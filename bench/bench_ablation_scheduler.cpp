@@ -1,0 +1,152 @@
+// Ablation — what the update scheduler buys (DESIGN.md design choice:
+// pluggable scheduler, reverse-path default).
+//
+// For a batch of random reroute scenarios on the paper's 5-switch fabric,
+// updates are applied in many random orders.  With dependence sets from
+// the reverse-path / Dionysus-lite schedulers, transient violations must
+// be zero; with the naive scheduler the same scenarios produce loops,
+// black holes and congestion at intermediate steps — quantifying Table 1.
+#include <cstdio>
+#include <map>
+
+#include "net/checker.hpp"
+#include "sched/depgraph.hpp"
+#include "sched/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cicero;
+
+struct Fabric {
+  net::Topology topo;
+  std::vector<net::NodeIndex> switches, hosts;
+  std::map<net::NodeIndex, net::FlowTable> tables;
+
+  Fabric() {
+    // 6 switches in a 2x3 grid + 4 hosts.
+    for (int i = 0; i < 6; ++i) {
+      switches.push_back(topo.add_switch("s" + std::to_string(i), {}, 0));
+    }
+    const double bw = 10e6;
+    auto link = [&](int a, int b) {
+      topo.add_link(switches[static_cast<std::size_t>(a)],
+                    switches[static_cast<std::size_t>(b)], bw, sim::microseconds(10));
+    };
+    link(0, 1);
+    link(1, 2);
+    link(3, 4);
+    link(4, 5);
+    link(0, 3);
+    link(1, 4);
+    link(2, 5);
+    for (int i = 0; i < 4; ++i) {
+      const auto h = topo.add_host("h" + std::to_string(i), {}, 0);
+      hosts.push_back(h);
+      topo.add_link(h, switches[static_cast<std::size_t>(i == 3 ? 5 : i)], 10 * bw,
+                    sim::microseconds(5));
+    }
+  }
+
+  net::TableMap table_map() const {
+    net::TableMap m;
+    for (const auto& [sw, t] : tables) m[sw] = &t;
+    return m;
+  }
+  void apply(const sched::Update& u) {
+    if (u.op == sched::UpdateOp::kInstall) {
+      tables[u.switch_node].install(u.rule);
+    } else {
+      tables[u.switch_node].remove(u.rule.match);
+    }
+  }
+};
+
+/// Runs one random reroute scenario under the given scheduler; returns
+/// the number of intermediate states with a violation.
+int run_scenario(const sched::UpdateScheduler& scheduler, std::uint64_t seed) {
+  Fabric f;
+  util::Rng rng(seed);
+  const net::NodeIndex src = f.hosts[rng.next_below(f.hosts.size())];
+  net::NodeIndex dst = src;
+  while (dst == src) dst = f.hosts[rng.next_below(f.hosts.size())];
+  const net::FlowMatch m{src, dst};
+
+  // Establish the shortest route first (consistently).
+  const auto path1 = f.topo.shortest_path(src, dst);
+  if (path1.size() < 3) return 0;
+  sched::RouteIntent establish;
+  establish.kind = sched::RouteIntent::Kind::kEstablish;
+  establish.match = m;
+  establish.path = path1;
+  establish.reserved_bps = 4e6;
+  for (const auto& su : sched::ReversePathScheduler().build(establish, 1).updates) {
+    f.apply(su.update);
+  }
+
+  // Reroute through a random intermediate switch (a detour), applying in a
+  // random dependence-respecting order, counting violating states.
+  const net::NodeIndex via = f.switches[rng.next_below(f.switches.size())];
+  const auto a = f.topo.shortest_path(f.topo.host_tor(src), via);
+  const auto b = f.topo.shortest_path(via, f.topo.host_tor(dst));
+  if (a.empty() || b.empty()) return 0;
+  std::vector<net::NodeIndex> detour;
+  detour.push_back(src);
+  for (const auto n : a) detour.push_back(n);
+  for (std::size_t i = 1; i < b.size(); ++i) detour.push_back(b[i]);
+  detour.push_back(dst);
+  // Skip degenerate detours with repeated switches (not simple paths).
+  std::set<net::NodeIndex> uniq(detour.begin(), detour.end());
+  if (uniq.size() != detour.size()) return 0;
+
+  sched::RouteIntent reroute;
+  reroute.kind = sched::RouteIntent::Kind::kEstablish;
+  reroute.match = m;
+  reroute.path = detour;
+  reroute.reserved_bps = 4e6;
+  const auto schedule = scheduler.build(reroute, 100);
+
+  int violations = 0;
+  sched::DependencyTracker tracker;
+  std::vector<sched::UpdateId> ready = tracker.add(schedule);
+  while (!ready.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(rng.next_below(ready.size()));
+    const sched::UpdateId id = ready[pick];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+    f.apply(tracker.update(id));
+    const auto trace = net::trace_flow(f.topo, f.table_map(), src, dst);
+    if (trace.status == net::TraceStatus::kLoop ||
+        trace.status == net::TraceStatus::kBlackHole) {
+      ++violations;
+    }
+    for (const auto next : tracker.complete(id)) ready.push_back(next);
+  }
+  return violations;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation: update scheduler (transient violations over 400 random reroutes)\n\n");
+  const sched::ReversePathScheduler reverse;
+  const sched::DionysusLiteScheduler dionysus;
+  const sched::NaiveScheduler naive;
+  struct Row {
+    const char* name;
+    const sched::UpdateScheduler* s;
+  };
+  for (const Row row : {Row{"reverse-path", &reverse}, Row{"dionysus-lite", &dionysus},
+                        Row{"naive (no deps)", &naive}}) {
+    int violating_states = 0, violating_scenarios = 0;
+    for (std::uint64_t seed = 0; seed < 400; ++seed) {
+      const int v = run_scenario(*row.s, seed);
+      violating_states += v;
+      violating_scenarios += (v > 0);
+    }
+    std::printf("%-18s violating intermediate states: %4d   scenarios affected: %3d/400\n",
+                row.name, violating_states, violating_scenarios);
+  }
+  std::printf("\n# expected: zero transient violations for the dependence-based\n");
+  std::printf("# schedulers; the naive scheduler reproduces the Fig. 1-3 bugs.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Shared plumbing for the figure-regeneration benches.
+//
+// Every bench binary prints (a) the experiment id and setup, (b) the same
+// series/rows the paper's figure or table reports, and (c) a short
+// "paper vs measured" summary line that EXPERIMENTS.md quotes.  Output is
+// plain text so `./bench_figXX | tee` is the full workflow.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "core/deployment.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace cicero::bench {
+
+inline void print_header(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Builds a deployment in cost-model mode (real crypto validated by the
+/// test suite; sweeps use calibrated simulated costs for tractable runs).
+inline std::unique_ptr<core::Deployment> make_dep(core::FrameworkKind fw, net::Topology topo,
+                                                  std::size_t controllers = 4,
+                                                  bool teardown = false) {
+  core::DeploymentParams dp;
+  dp.framework = fw;
+  dp.controllers_per_domain = controllers;
+  dp.real_crypto = false;
+  dp.teardown_after_flow = teardown;
+  dp.seed = 42;
+  return std::make_unique<core::Deployment>(std::move(topo), dp);
+}
+
+/// Injects a workload and runs to (near-)quiescence.
+inline void run_workload(core::Deployment& dep, workload::WorkloadKind kind,
+                         std::size_t flows, std::uint64_t seed = 7,
+                         double rate_per_sec = 400.0) {
+  workload::WorkloadParams wp;
+  wp.kind = kind;
+  wp.flow_count = flows;
+  wp.arrival_rate_per_sec = rate_per_sec;
+  wp.seed = seed;
+  workload::WorkloadGenerator gen(dep.topology(), wp);
+  dep.inject(gen.generate());
+  const double horizon_sec = static_cast<double>(flows) / rate_per_sec + 30.0;
+  dep.run(sim::from_sec(horizon_sec));
+}
+
+inline void print_cdf_series(const std::string& label, const util::CdfCollector& cdf,
+                             std::size_t points = 20) {
+  std::printf("# series: %s (n=%zu, mean=%.2f ms, p50=%.2f, p99=%.2f)\n", label.c_str(),
+              cdf.count(), cdf.mean(), cdf.count() ? cdf.median() : 0.0,
+              cdf.count() ? cdf.p99() : 0.0);
+  std::printf("#   %-14s %s\n", "value(ms)", "CDF");
+  for (const auto& [x, q] : cdf.cdf_series(points)) {
+    std::printf("    %-14.3f %.3f\n", x, q);
+  }
+}
+
+inline net::FabricParams bench_pod() {
+  net::FabricParams p;
+  p.racks_per_pod = 8;   // paper: 40 racks/pod; scaled for simulation speed
+  p.hosts_per_rack = 3;
+  return p;
+}
+
+constexpr std::size_t kBenchFlows = 1500;  // paper: 5000 (scaled; same CDF shape)
+
+}  // namespace cicero::bench

@@ -1,0 +1,175 @@
+// Crypto micro-benchmarks (google-benchmark).
+//
+// Not a paper figure: these numbers calibrate core::CostModel (see
+// DESIGN.md §4.2 and EXPERIMENTS.md "calibration") and characterise the
+// from-scratch secp256k1 / threshold stack.
+#include <benchmark/benchmark.h>
+
+#include "crypto/dkg.hpp"
+#include "crypto/frost.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/simbls.hpp"
+
+namespace {
+
+using namespace cicero;
+using namespace cicero::crypto;
+
+void BM_Sha256_1k(benchmark::State& state) {
+  const util::Bytes data(1024, 0xAB);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+}
+BENCHMARK(BM_Sha256_1k);
+
+void BM_FieldMul(benchmark::State& state) {
+  Drbg d(1);
+  const Scalar a = d.next_scalar(), b = d.next_scalar();
+  Scalar acc = a;
+  for (auto _ : state) {
+    acc = acc * b;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FieldMul);
+
+void BM_ScalarInverse(benchmark::State& state) {
+  Drbg d(2);
+  const Scalar a = d.next_scalar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.inverse());
+  }
+}
+BENCHMARK(BM_ScalarInverse);
+
+void BM_PointMul(benchmark::State& state) {
+  Drbg d(3);
+  const Scalar k = d.next_scalar();
+  const Point p = Point::mul_gen(d.next_scalar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p * k);
+  }
+}
+BENCHMARK(BM_PointMul);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  Drbg d(4);
+  const auto kp = SchnorrKeyPair::generate(d);
+  const util::Bytes msg = util::to_bytes("event: unroutable packet at s17");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_sign(kp.sk, msg));
+  }
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  Drbg d(5);
+  const auto kp = SchnorrKeyPair::generate(d);
+  const util::Bytes msg = util::to_bytes("event: unroutable packet at s17");
+  const auto sig = schnorr_sign(kp.sk, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schnorr_verify(kp.pk, msg, sig));
+  }
+}
+BENCHMARK(BM_SchnorrVerify);
+
+struct ThresholdSetup {
+  std::vector<DkgParticipant::Result> results;
+  util::Bytes msg = util::to_bytes("update: install r at s");
+  explicit ThresholdSetup(std::size_t n, std::size_t t) {
+    Drbg d(6);
+    std::vector<ShareIndex> members;
+    for (std::size_t i = 1; i <= n; ++i) members.push_back(static_cast<ShareIndex>(i));
+    results = run_dkg(members, t, d);
+  }
+};
+
+void BM_SimBlsPartialSign(benchmark::State& state) {
+  static const ThresholdSetup setup(4, 2);
+  const auto& scheme = SimBlsScheme::instance();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.partial_sign(setup.results[0].share, setup.msg));
+  }
+}
+BENCHMARK(BM_SimBlsPartialSign);
+
+void BM_SimBlsAggregate(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 3 + 1;
+  const ThresholdSetup setup(n, t);
+  const auto& scheme = SimBlsScheme::instance();
+  std::vector<PartialSignature> partials;
+  for (std::size_t i = 0; i < t; ++i) {
+    partials.push_back(scheme.partial_sign(setup.results[i].share, setup.msg));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.aggregate(setup.msg, partials, t));
+  }
+}
+BENCHMARK(BM_SimBlsAggregate)->Arg(4)->Arg(7)->Arg(10)->Arg(13);
+
+void BM_SimBlsVerify(benchmark::State& state) {
+  static const ThresholdSetup setup(4, 2);
+  const auto& scheme = SimBlsScheme::instance();
+  std::vector<PartialSignature> partials;
+  for (std::size_t i = 0; i < 2; ++i) {
+    partials.push_back(scheme.partial_sign(setup.results[i].share, setup.msg));
+  }
+  const auto agg = scheme.aggregate(setup.msg, partials, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scheme.verify(setup.results[0].group_public_key, setup.msg, *agg));
+  }
+}
+BENCHMARK(BM_SimBlsVerify);
+
+void BM_FrostSignSession(benchmark::State& state) {
+  static const ThresholdSetup setup(4, 3);
+  Drbg d(7);
+  std::vector<FrostSigner> signers;
+  for (int i = 0; i < 3; ++i) {
+    signers.emplace_back(setup.results[static_cast<std::size_t>(i)].share,
+                         setup.results[0].group_public_key);
+  }
+  for (auto _ : state) {
+    std::vector<FrostCommitment> session;
+    for (auto& s : signers) session.push_back(s.commit(d));
+    std::map<ShareIndex, Scalar> partials;
+    for (auto& s : signers) partials[s.id()] = s.sign(setup.msg, session);
+    benchmark::DoNotOptimize(
+        frost_aggregate(setup.msg, session, setup.results[0].group_public_key, partials));
+  }
+}
+BENCHMARK(BM_FrostSignSession);
+
+void BM_Dkg(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const std::size_t t = (n - 1) / 3 + 1;
+  Drbg d(8);
+  std::vector<ShareIndex> members;
+  for (std::size_t i = 1; i <= n; ++i) members.push_back(static_cast<ShareIndex>(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_dkg(members, t, d));
+  }
+}
+BENCHMARK(BM_Dkg)->Arg(4)->Arg(7)->Unit(benchmark::kMillisecond);
+
+void BM_Reshare(benchmark::State& state) {
+  static const ThresholdSetup setup(4, 2);
+  Drbg d(9);
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {1, 2, 3, 4, 5};
+  for (auto _ : state) {
+    std::vector<ReshareDeal> deals;
+    deals.push_back(make_reshare_deal(setup.results[0].share, quorum, new_members, 2, d));
+    deals.push_back(make_reshare_deal(setup.results[1].share, quorum, new_members, 2, d));
+    benchmark::DoNotOptimize(reshare_finalize(deals, 5, new_members));
+  }
+}
+BENCHMARK(BM_Reshare)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table 2 — comparison of network-management solutions.
+//
+// The related-work rows restate the paper's table; the Cicero row is
+// derived from this repository's capability registry, each column backed
+// by named tests (see EXPERIMENTS.md).
+#include <cstdio>
+
+#include "core/framework.hpp"
+
+int main() {
+  using namespace cicero::core;
+
+  std::printf("Table 2 — fault-tolerance/consistency comparison\n\n");
+  std::printf("%-28s %6s %6s %6s %6s %6s %6s  %s\n", "System", "Crash", "Byz", "CtrlAu",
+              "DynMem", "Consis", "Domain", "Implementation");
+  std::printf("%.120s\n",
+              "-----------------------------------------------------------------------------"
+              "-------------------------------------------");
+  for (const auto& row : table2_rows()) {
+    auto mark = [](bool b) { return b ? "  x  " : "     "; };
+    std::printf("%-28s %6s %6s %6s %6s %6s %6s  %s\n", row.system.c_str(),
+                mark(row.crash_tolerant), mark(row.byzantine_tolerant),
+                mark(row.controller_authentication), mark(row.dynamic_membership),
+                mark(row.update_consistent), mark(row.update_domains),
+                row.implementation.c_str());
+  }
+  std::printf("\n# Cicero column evidence (test names):\n");
+  std::printf("#   Crash     -> Pbft.CrashedPrimaryTriggersViewChange, Byzantine.SilentController*\n");
+  std::printf("#   Byz       -> Pbft.EquivocatingPrimarySafeAndLive, Byzantine.Mutating*\n");
+  std::printf("#   CtrlAuth  -> Byzantine.RogueUpdateRejectedByCiceroSwitch\n");
+  std::printf("#   DynMem    -> Membership.* (add/remove with fixed group public key)\n");
+  std::printf("#   Consis    -> Fig1/Fig2/Fig3 property suites, Deployment.ReverseInstallOrderObserved\n");
+  std::printf("#   Domains   -> MultiDomain.* (isolation + cross-domain forwarding)\n");
+  return 0;
+}

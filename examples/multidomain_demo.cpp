@@ -1,0 +1,82 @@
+// Multi-domain demo — the paper's Fig. 5 walkthrough.
+//
+// Two pods, each its own Cicero domain with its own control plane and its
+// own threshold key, plus an interconnect domain.  A flow from a host in
+// domain A to a host in domain B triggers one event at A's ingress
+// switch; A's control plane forwards it (tagged non-reforwardable) to B
+// and to the interconnect, and all three planes install their segments in
+// parallel.
+#include <cstdio>
+
+#include "core/deployment.hpp"
+
+using namespace cicero;
+
+int main() {
+  net::FabricParams fabric;
+  fabric.racks_per_pod = 2;
+  fabric.hosts_per_rack = 2;
+  fabric.pods_per_dc = 2;
+  fabric.domain_per_pod = true;
+  core::DeploymentParams params;
+  params.framework = core::FrameworkKind::kCicero;
+  params.controllers_per_domain = 4;
+  params.real_crypto = true;
+  params.seed = 5;
+  core::Deployment dep(net::build_datacenter(fabric), params);
+
+  const auto domains = dep.topology().domains();
+  std::printf("domains: %zu\n", domains.size());
+  for (const auto d : domains) {
+    std::printf("  domain %u: %zu switches, %zu controllers, group key %s...\n", d,
+                dep.topology().switches_in_domain(d).size(),
+                dep.domain_controller_ids(d).size(),
+                dep.group_pk(d).to_hex().substr(0, 18).c_str());
+  }
+
+  // Pick a cross-pod flow (Fig. 5's s1 -> s4).
+  net::NodeIndex src = net::kNoNode, dst = net::kNoNode;
+  for (const auto h : dep.topology().hosts()) {
+    const auto pod = dep.topology().node(h).placement.pod;
+    if (pod == 0 && src == net::kNoNode) src = h;
+    if (pod == 1 && dst == net::kNoNode) dst = h;
+  }
+  const auto path = dep.topology().shortest_path(src, dst);
+  std::printf("\ncross-domain flow %s -> %s, route:\n  ", dep.topology().node(src).name.c_str(),
+              dep.topology().node(dst).name.c_str());
+  for (const auto n : path) {
+    std::printf("%s(d%u) ", dep.topology().node(n).name.c_str(), dep.topology().node(n).domain);
+  }
+  std::printf("\n");
+
+  workload::Flow f;
+  f.arrival = sim::milliseconds(1);
+  f.src_host = src;
+  f.dst_host = dst;
+  f.size_bytes = 2e5;
+  f.reserved_bps = 1e6;
+  dep.inject({f});
+  dep.run(sim::seconds(10));
+
+  const auto& rec = dep.flow_records().front();
+  std::printf("\nflow completed: %s (setup %.2f ms, completion %.2f ms)\n",
+              rec.completed ? "yes" : "NO",
+              sim::to_ms(rec.route_ready - rec.flow.arrival),
+              sim::to_ms(rec.completion - rec.flow.arrival));
+
+  std::printf("\nper-domain event processing (each plane handled its segment):\n");
+  for (const auto d : domains) {
+    std::uint64_t processed = 0, forwarded = 0;
+    for (const auto id : dep.domain_controller_ids(d)) {
+      processed = std::max(processed, dep.controller(id).events_processed());
+      forwarded += dep.controller(id).events_forwarded();
+    }
+    std::printf("  domain %u: events processed %llu, forwarded to peers %llu\n", d,
+                static_cast<unsigned long long>(processed),
+                static_cast<unsigned long long>(forwarded));
+  }
+  std::printf("\nthe event was signed once by the origin switch; each domain verified\n");
+  std::printf("that same signature — the forwarded tag (outside the signed body)\n");
+  std::printf("stopped further propagation (paper Fig. 5 / §4.1).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#include "bft/failure_detector.hpp"
+
+#include "util/serialize.hpp"
+
+namespace cicero::bft {
+
+namespace {
+constexpr std::uint8_t kHeartbeatTag = 0xB7;
+}  // namespace
+
+FailureDetector::FailureDetector(sim::Simulator& simulator, sim::NetworkSim& network,
+                                 Config config, SuspectFn on_suspect)
+    : sim_(simulator), net_(network), config_(std::move(config)),
+      on_suspect_(std::move(on_suspect)) {}
+
+void FailureDetector::start() {
+  running_ = true;
+  for (MemberId m = 0; m < config_.group.size(); ++m) {
+    if (m != config_.id) last_seen_[m] = sim_.now();
+  }
+  tick();
+}
+
+void FailureDetector::tick() {
+  if (!running_) return;
+  // Emit our heartbeat.
+  const util::Bytes hb = encode_heartbeat(config_.id);
+  for (MemberId m = 0; m < config_.group.size(); ++m) {
+    if (m == config_.id) continue;
+    net_.send(config_.group[config_.id], config_.group[m], hb);
+  }
+  // Check peers.
+  const sim::SimTime deadline =
+      static_cast<sim::SimTime>(config_.miss_threshold) * config_.period;
+  for (const auto& [m, seen] : last_seen_) {
+    const bool late = sim_.now() - seen > deadline;
+    if (late && suspected_.insert(m).second) {
+      if (on_suspect_) on_suspect_(m, true);
+    }
+  }
+  sim_.after(config_.period, [this] { tick(); });
+}
+
+void FailureDetector::on_heartbeat(MemberId from) {
+  if (from >= config_.group.size() || from == config_.id) return;
+  last_seen_[from] = sim_.now();
+  if (suspected_.erase(from) != 0) {
+    if (on_suspect_) on_suspect_(from, false);
+  }
+}
+
+util::Bytes encode_heartbeat(FailureDetector::MemberId id) {
+  util::Writer w;
+  w.u8(kHeartbeatTag);
+  w.u32(id);
+  return w.take();
+}
+
+bool decode_heartbeat(const util::Bytes& wire, FailureDetector::MemberId& id) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != kHeartbeatTag) return false;
+    id = r.u32();
+    r.expect_end();
+    return true;
+  } catch (const util::DeserializeError&) {
+    return false;
+  }
+}
+
+}  // namespace cicero::bft

@@ -1,0 +1,66 @@
+// Heartbeat failure detector (paper §5.1: "We use periodic heartbeat
+// messages to detect failures").
+//
+// Each member periodically multicasts a heartbeat; a peer that misses
+// `miss_threshold` consecutive periods is suspected and reported through
+// the callback.  Suspicion is revocable: a late heartbeat un-suspects
+// (paper §4.3 notes premature removal only affects liveness, and removed
+// controllers can be re-added).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace cicero::bft {
+
+class FailureDetector {
+ public:
+  using MemberId = std::uint32_t;
+  /// (member, suspected?) transitions.
+  using SuspectFn = std::function<void(MemberId, bool suspected)>;
+
+  struct Config {
+    MemberId id = 0;
+    std::vector<sim::NodeId> group;  ///< node per member id
+    sim::SimTime period = sim::milliseconds(100);
+    std::uint32_t miss_threshold = 3;
+  };
+
+  FailureDetector(sim::Simulator& simulator, sim::NetworkSim& network, Config config,
+                  SuspectFn on_suspect);
+
+  /// Starts the heartbeat/check loop.
+  void start();
+  /// Stops emitting and checking (e.g., the owner crashed).
+  void stop() { running_ = false; }
+
+  /// Entry point for heartbeat messages (owner demuxes network traffic).
+  void on_heartbeat(MemberId from);
+
+  bool suspected(MemberId m) const { return suspected_.count(m) != 0; }
+  std::set<MemberId> suspects() const { return suspected_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  sim::NetworkSim& net_;
+  Config config_;
+  SuspectFn on_suspect_;
+  bool running_ = false;
+  std::map<MemberId, sim::SimTime> last_seen_;
+  std::set<MemberId> suspected_;
+};
+
+/// Wire format for heartbeats: a 1-byte tag + member id, distinguishable
+/// from BftMessage traffic by the demux tag (see core/messages.hpp).
+util::Bytes encode_heartbeat(FailureDetector::MemberId id);
+bool decode_heartbeat(const util::Bytes& wire, FailureDetector::MemberId& id);
+
+}  // namespace cicero::bft

@@ -1,0 +1,65 @@
+#include "core/audit.hpp"
+
+namespace cicero::core {
+
+crypto::Digest AuditEntry::digest() const {
+  crypto::Sha256 h;
+  h.update("cicero/audit");
+  util::Writer w;
+  w.u64(index);
+  w.raw(prev.data(), prev.size());
+  w.u32(cause.origin);
+  w.u64(cause.seq);
+  w.raw(update_digest.data(), update_digest.size());
+  h.update(w.data());
+  return h.finish();
+}
+
+void AuditLog::append(const EventId& cause, const util::Bytes& update_bytes,
+                      const crypto::Scalar& sk) {
+  AuditEntry e;
+  e.index = entries_.size();
+  if (!entries_.empty()) e.prev = entries_.back().digest();
+  e.cause = cause;
+  e.update_digest = crypto::Sha256::hash(update_bytes);
+  e.sig = crypto::schnorr_sign(sk, crypto::digest_bytes(e.digest())).to_bytes();
+  entries_.push_back(std::move(e));
+}
+
+bool AuditLog::verify_chain(const std::vector<AuditEntry>& entries, const crypto::Point& pk) {
+  crypto::Digest prev{};
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const AuditEntry& e = entries[i];
+    if (e.index != i) return false;
+    if (!std::equal(e.prev.begin(), e.prev.end(), prev.begin())) return false;
+    const auto sig = crypto::SchnorrSignature::from_bytes(e.sig);
+    if (!sig || !crypto::schnorr_verify(pk, crypto::digest_bytes(e.digest()), *sig)) {
+      return false;
+    }
+    prev = e.digest();
+  }
+  return true;
+}
+
+std::map<EventId, std::multiset<std::string>> AuditLog::decisions(
+    const std::vector<AuditEntry>& entries) {
+  std::map<EventId, std::multiset<std::string>> out;
+  for (const AuditEntry& e : entries) {
+    out[e.cause].insert(std::string(e.update_digest.begin(), e.update_digest.end()));
+  }
+  return out;
+}
+
+std::optional<EventId> AuditLog::first_divergence(const std::vector<AuditEntry>& a,
+                                                  const std::vector<AuditEntry>& b) {
+  const auto da = decisions(a);
+  const auto db = decisions(b);
+  for (const auto& [event, set_a] : da) {
+    const auto it = db.find(event);
+    if (it == db.end()) continue;  // only one side has seen it (yet)
+    if (it->second != set_a) return event;
+  }
+  return std::nullopt;
+}
+
+}  // namespace cicero::core

@@ -1,0 +1,578 @@
+#include "core/controller.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace cicero::core {
+
+namespace {
+constexpr const char* kLog = "controller";
+
+bft::PbftConfig make_pbft_config(const Controller::Config& c, sim::CpuServer* cpu) {
+  bft::PbftConfig pc;
+  // Replica id = our position in the (id-sorted) member list.
+  for (std::size_t i = 0; i < c.members.size(); ++i) {
+    if (c.members[i].id == c.id) pc.id = static_cast<bft::ReplicaId>(i);
+    pc.group.push_back(c.members[i].node);
+  }
+  pc.request_timeout = c.bft_timeout;
+  pc.sign_messages = c.sign_bft_messages;
+  pc.msg_processing_cost = c.costs.bft_msg_cost;
+  pc.cpu = cpu;
+  return pc;
+}
+
+bft::PbftKeys make_pbft_keys(const Controller::Config& c) {
+  bft::PbftKeys keys;
+  keys.own = c.key;
+  for (const auto& m : c.members) keys.replica_pks.push_back(m.pk);
+  return keys;
+}
+}  // namespace
+
+Controller::Controller(sim::Simulator& simulator, sim::NetworkSim& network, Config config,
+                       Environment env)
+    : sim_(simulator), net_(network), config_(std::move(config)), env_(std::move(env)),
+      cpu_(simulator) {
+  if (config_.backend == ThresholdBackend::kFrost && config_.real_crypto) {
+    frost_signer_ = std::make_unique<crypto::FrostSigner>(config_.share, config_.group_pk);
+    nonce_drbg_ = std::make_unique<crypto::Drbg>(config_.nonce_seed ^ 0xF057ull);
+  }
+  rebuild_replica();
+}
+
+void Controller::rebuild_replica() {
+  replica_ = std::make_unique<bft::PbftReplica>(
+      sim_, net_, make_pbft_config(config_, &cpu_), make_pbft_keys(config_),
+      [this](bft::SeqNum seq, const util::Bytes& payload) { on_deliver(seq, payload); });
+}
+
+bool Controller::is_aggregator() const {
+  // Lowest identifier among the current members (§4.2); identifiers are
+  // never reused, so the choice is stable across membership changes.
+  std::uint32_t lowest = UINT32_MAX;
+  for (const auto& m : config_.members) lowest = std::min(lowest, m.id);
+  return lowest == config_.id;
+}
+
+void Controller::handle_message(sim::NodeId from, const util::Bytes& wire) {
+  if (fault_ == ControllerFault::kSilent) return;
+  const auto tag = peek_tag(wire);
+  if (!tag) return;
+  if (*tag == bft::kBftWireTag) {
+    replica_->on_message(from, wire);
+    return;
+  }
+  switch (static_cast<CoreMsgTag>(*tag)) {
+    case CoreMsgTag::kEvent: {
+      if (auto e = Event::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling + config_.costs.event_verify,
+                     [this, e = std::move(*e)] { on_event(e); });
+      }
+      break;
+    }
+    case CoreMsgTag::kAck: {
+      if (auto a = AckMsg::decode(wire)) {
+        const bool verify = config_.framework == FrameworkKind::kCicero ||
+                            config_.framework == FrameworkKind::kCiceroAgg;
+        const sim::SimTime cost = config_.costs.ctrl_msg_handling +
+                                  (verify ? config_.costs.ack_verify : sim::SimTime{0});
+        cpu_.execute(cost, [this, a = std::move(*a)] { on_ack(a); });
+      }
+      break;
+    }
+    case CoreMsgTag::kUpdate: {
+      if (auto m = UpdateMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling,
+                     [this, m = std::move(*m)] { on_peer_update(m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kFrostSession: {
+      if (auto m = FrostSessionMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling,
+                     [this, m = std::move(*m)] { on_frost_session(m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kFrostPartial: {
+      if (auto m = FrostPartialMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling + config_.costs.partial_verify,
+                     [this, m = std::move(*m)] { on_frost_partial(m); });
+      }
+      break;
+    }
+    default:
+      break;  // reshare and notify messages are handled by the orchestrator
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Event intake and cross-domain forwarding (Fig. 7a)
+// ---------------------------------------------------------------------------
+
+void Controller::on_event(const Event& e) {
+  ++events_seen_;
+  if (events_submitted_.count(e.id) != 0 || events_processed_set_.count(e.id) != 0) return;
+  if (config_.real_crypto && !env_.pki->verify_event(e)) {
+    CICERO_LOG_WARN(kLog, "c%u: event with bad origin signature dropped", config_.id);
+    return;
+  }
+
+  // The centralized/crash-tolerant baselines run one global control plane
+  // spanning every domain: no filtering, no forwarding.
+  const bool global_plane = config_.framework == FrameworkKind::kCentralized ||
+                            config_.framework == FrameworkKind::kCrashTolerant;
+  bool ours = true;
+  if (!global_plane &&
+      (e.kind == EventKind::kFlowRequest || e.kind == EventKind::kFlowTeardown)) {
+    const auto path = env_.topology->shortest_path(e.match.src_host, e.match.dst_host);
+    if (path.empty()) return;
+    const auto domains = domains_of_path(path);
+    ours = domains.count(config_.domain) != 0;
+    if (!e.forwarded && domains.size() > 1) forward_cross_domain(e, domains);
+  }
+  if (!ours) return;
+
+  events_submitted_.insert(e.id);
+  replica_->submit(e.encode());
+}
+
+std::set<net::DomainId> Controller::domains_of_path(
+    const std::vector<net::NodeIndex>& path) const {
+  std::set<net::DomainId> domains;
+  for (std::size_t i = 1; i + 1 < path.size(); ++i) {
+    domains.insert(env_.topology->node(path[i]).domain);
+  }
+  return domains;
+}
+
+void Controller::forward_cross_domain(const Event& e, const std::set<net::DomainId>& domains) {
+  for (const net::DomainId d : domains) {
+    if (d == config_.domain) continue;
+    const auto it = env_.domain_directory.find(d);
+    if (it == env_.domain_directory.end() || it->second.empty()) continue;
+    // Forward to the lowest-id member of the remote domain (any valid
+    // recipient works; lowest-id matches the aggregator-selection rule).
+    const MemberInfo* target = &it->second.front();
+    for (const auto& m : it->second) {
+      if (m.id < target->id) target = &m;
+    }
+    Event fwd = e;
+    fwd.forwarded = true;  // never re-forwarded (§4.1)
+    net_.send(config_.node, target->node, fwd.encode());
+    ++events_forwarded_;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ordered delivery -> scheduling -> signed updates (Fig. 7b)
+// ---------------------------------------------------------------------------
+
+void Controller::on_deliver(bft::SeqNum seq, const util::Bytes& payload) {
+  (void)seq;
+  const auto e = Event::decode(payload);
+  if (!e) return;
+  if (membership_changing_) {
+    queued_events_.push_back(*e);
+    return;
+  }
+  process_event(*e);
+}
+
+void Controller::process_event(const Event& e) {
+  if (!events_processed_set_.insert(e.id).second) return;
+  events_submitted_.erase(e.id);
+  ++events_processed_;
+
+  switch (e.kind) {
+    case EventKind::kFlowRequest:
+    case EventKind::kFlowTeardown:
+      process_flow_event(e);
+      break;
+    case EventKind::kAddController:
+    case EventKind::kRemoveController:
+      if (on_membership_) on_membership_(e);
+      break;
+  }
+}
+
+void Controller::process_flow_event(const Event& e) {
+  if (fault_ == ControllerFault::kSilent) return;
+
+  // Controller application: shortest-path routing (§5.1).
+  const auto path = env_.topology->shortest_path(e.match.src_host, e.match.dst_host);
+  if (path.size() < 3) return;
+
+  sched::RouteIntent intent;
+  intent.kind = e.kind == EventKind::kFlowRequest ? sched::RouteIntent::Kind::kEstablish
+                                                  : sched::RouteIntent::Kind::kTeardown;
+  intent.match = e.match;
+  intent.path = path;
+  intent.reserved_bps = e.reserved_bps;
+
+  sched::UpdateSchedule schedule = env_.scheduler->build(intent, update_id_base(e.id));
+
+  // Domain filter (§3.3): keep updates for our own switches; dependencies
+  // on other domains' updates are dropped — each domain applies its
+  // segment independently and in parallel.  Global planes keep everything.
+  const bool global_plane = config_.framework == FrameworkKind::kCentralized ||
+                            config_.framework == FrameworkKind::kCrashTolerant;
+  sched::UpdateSchedule local;
+  std::set<sched::UpdateId> local_ids;
+  for (const auto& su : schedule.updates) {
+    if (global_plane ||
+        env_.topology->node(su.update.switch_node).domain == config_.domain) {
+      local_ids.insert(su.update.id);
+    }
+  }
+  for (auto& su : schedule.updates) {
+    if (local_ids.count(su.update.id) == 0) continue;
+    sched::ScheduledUpdate filtered;
+    filtered.update = su.update;
+    for (const sched::UpdateId d : su.deps) {
+      if (local_ids.count(d) != 0) filtered.deps.push_back(d);
+    }
+    local.updates.push_back(std::move(filtered));
+  }
+  if (local.updates.empty()) return;
+
+  for (const auto& su : local.updates) update_cause_[su.update.id] = e.id;
+
+  cpu_.execute(config_.costs.route_compute, [this, local = std::move(local)] {
+    std::vector<sched::UpdateId> ready;
+    try {
+      ready = tracker_.add(local);
+    } catch (const std::invalid_argument&) {
+      return;  // duplicate replay of an already-scheduled event
+    }
+    for (const sched::UpdateId id : ready) release_update(id);
+  });
+}
+
+void Controller::release_update(sched::UpdateId id) {
+  send_update(tracker_.update(id), update_cause_.at(id));
+}
+
+void Controller::send_update(const sched::Update& update, const EventId& cause) {
+  if (fault_ == ControllerFault::kSilent) return;
+
+  UpdateMsg msg;
+  msg.update = update;
+  msg.cause = cause;
+  if (fault_ == ControllerFault::kMutateUpdates || fault_ == ControllerFault::kRogueUpdates) {
+    // Corrupt the rule: point the flow at the wrong neighbor (a loop- or
+    // blackhole-inducing change a compromised controller would make).
+    msg.update.rule.next_hop = update.switch_node;
+  }
+
+  const bool threshold = config_.framework == FrameworkKind::kCicero ||
+                         config_.framework == FrameworkKind::kCiceroAgg;
+  const sim::SimTime sign_cost = threshold ? config_.costs.partial_sign : sim::SimTime{0};
+
+  cpu_.execute(sign_cost, [this, msg = std::move(msg)]() mutable {
+    // Decision audit trail: record the exact update body we are about to
+    // sign and emit (a mutating controller thereby signs evidence of its
+    // own corruption; see core/audit.hpp).
+    audit_.append(msg.cause, update_signing_bytes(msg.update), config_.key.sk);
+    if (config_.framework == FrameworkKind::kCicero ||
+        config_.framework == FrameworkKind::kCiceroAgg) {
+      if (config_.backend == ThresholdBackend::kFrost) {
+        // FROST round 1: attach a fresh one-time nonce commitment; the
+        // actual partial is produced in round 2 (on_frost_session).
+        msg.partial.signer = config_.share.index;
+        msg.partial.payload = {0x01};
+        if (frost_signer_) {
+          msg.frost_commitment = frost_signer_->commit(*nonce_drbg_).to_bytes();
+        }
+      } else if (config_.real_crypto) {
+        msg.partial = crypto::SimBlsScheme::instance().partial_sign(
+            config_.share, update_signing_bytes(msg.update));
+      } else {
+        msg.partial.signer = config_.share.index;
+        msg.partial.payload = {0x00};  // placeholder (cost-only runs)
+      }
+    }
+    ++updates_sent_;
+
+    const auto sw_it = env_.switch_nodes.find(msg.update.switch_node);
+    if (sw_it == env_.switch_nodes.end()) return;
+
+    if (config_.framework == FrameworkKind::kCiceroAgg && !is_aggregator()) {
+      // Route through the aggregator (Fig. 7c).
+      const MemberInfo* agg = &config_.members.front();
+      for (const auto& m : config_.members) {
+        if (m.id < agg->id) agg = &m;
+      }
+      net_.send(config_.node, agg->node, msg.encode());
+    } else if (config_.framework == FrameworkKind::kCiceroAgg) {
+      on_peer_update(msg);  // we are the aggregator: count our own partial
+    } else {
+      net_.send(config_.node, sw_it->second, msg.encode());
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Acknowledgements -> dependency release
+// ---------------------------------------------------------------------------
+
+void Controller::on_ack(const AckMsg& ack) {
+  const bool threshold = config_.framework == FrameworkKind::kCicero ||
+                         config_.framework == FrameworkKind::kCiceroAgg;
+  if (threshold && config_.real_crypto && !env_.pki->verify_ack(ack)) {
+    CICERO_LOG_WARN(kLog, "c%u: ack with bad signature dropped", config_.id);
+    return;
+  }
+  ++acks_received_;
+  for (const sched::UpdateId id : tracker_.complete(ack.update_id)) release_update(id);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator role (Fig. 7c)
+// ---------------------------------------------------------------------------
+
+void Controller::on_peer_update(const UpdateMsg& m) {
+  if (config_.framework != FrameworkKind::kCiceroAgg || !is_aggregator()) return;
+  AggPending& p = agg_pending_[m.update.id];
+  if (p.done) return;
+  if (p.partials.empty() && p.frost_commitments.empty()) {
+    p.update = m.update;
+    p.cause = m.cause;
+    p.signing_bytes = update_signing_bytes(m.update);
+  } else if (!(p.update == m.update)) {
+    return;  // conflicting body: not counted with the first
+  }
+  if (m.partial.signer == 0) return;
+
+  if (config_.backend == ThresholdBackend::kFrost) {
+    if (config_.real_crypto) {
+      const auto c = crypto::FrostCommitment::from_bytes(m.frost_commitment);
+      if (!c || c->signer != m.partial.signer) return;
+      p.frost_commitments[m.partial.signer] = *c;
+    } else {
+      p.frost_commitments[m.partial.signer] = crypto::FrostCommitment{m.partial.signer, {}, {}};
+    }
+    maybe_start_frost_session(m.update.id);
+    return;
+  }
+
+  // Verify the partial against the signer's verification share so a bad
+  // partial is attributed and excluded before aggregation.
+  const sim::SimTime vcost = config_.costs.partial_verify;
+  cpu_.execute(vcost, [this, id = m.update.id, partial = m.partial] {
+    auto it = agg_pending_.find(id);
+    if (it == agg_pending_.end() || it->second.done) return;
+    AggPending& p2 = it->second;
+    if (config_.real_crypto) {
+      const auto vs = config_.verification_shares.find(partial.signer);
+      if (vs == config_.verification_shares.end() ||
+          !crypto::SimBlsScheme::instance().verify_partial(vs->second, p2.signing_bytes,
+                                                           partial)) {
+        CICERO_LOG_WARN(kLog, "aggregator c%u: bad partial from share %u dropped", config_.id,
+                        partial.signer);
+        return;
+      }
+    }
+    p2.partials[partial.signer] = partial;
+    if (p2.partials.size() < config_.quorum) return;
+    p2.done = true;
+
+    const sim::SimTime agg_cost =
+        config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum);
+    cpu_.execute(agg_cost, [this, id] {
+      auto it2 = agg_pending_.find(id);
+      if (it2 == agg_pending_.end()) return;
+      AggPending& p3 = it2->second;
+      AggUpdateMsg out;
+      out.update = p3.update;
+      out.cause = p3.cause;
+      if (config_.real_crypto) {
+        std::vector<crypto::PartialSignature> parts;
+        for (const auto& [idx, part] : p3.partials) parts.push_back(part);
+        const auto agg = crypto::SimBlsScheme::instance().aggregate(p3.signing_bytes, parts,
+                                                                    config_.quorum);
+        if (!agg) return;
+        out.agg_sig = *agg;
+      } else {
+        out.agg_sig = {0x00};
+      }
+      const auto sw_it = env_.switch_nodes.find(p3.update.switch_node);
+      if (sw_it != env_.switch_nodes.end()) {
+        net_.send(config_.node, sw_it->second, out.encode());
+      }
+      agg_pending_.erase(it2);
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// FROST signing round (kFrost backend, aggregator-coordinated; §4.2 with a
+// cryptographically real threshold scheme — costs one extra round trip)
+// ---------------------------------------------------------------------------
+
+void Controller::maybe_start_frost_session(sched::UpdateId id) {
+  auto it = agg_pending_.find(id);
+  if (it == agg_pending_.end()) return;
+  AggPending& p = it->second;
+  if (p.session_started || p.frost_commitments.size() < config_.quorum) return;
+  p.session_started = true;
+
+  std::size_t taken = 0;
+  for (const auto& [idx, c] : p.frost_commitments) {
+    if (taken++ == config_.quorum) break;
+    p.frost_session.push_back(c);
+  }
+  FrostSessionMsg session;
+  session.update_id = id;
+  for (const auto& c : p.frost_session) session.commitments.push_back(c.to_bytes());
+  const util::Bytes wire = session.encode();
+  for (const auto& c : p.frost_session) {
+    // Locate the member owning this share index (share index = id + 1).
+    for (const auto& m : config_.members) {
+      if (m.id + 1 == c.signer) {
+        if (m.id == config_.id) {
+          on_frost_session(session);  // our own round-2 contribution
+        } else {
+          net_.send(config_.node, m.node, wire);
+        }
+      }
+    }
+  }
+}
+
+void Controller::on_frost_session(const FrostSessionMsg& m) {
+  if (fault_ == ControllerFault::kSilent) return;
+  if (!tracker_.knows(m.update_id)) return;
+  const util::Bytes msg_bytes = update_signing_bytes(tracker_.update(m.update_id));
+
+  FrostPartialMsg reply;
+  reply.update_id = m.update_id;
+  reply.signer_index = config_.share.index;
+  if (config_.real_crypto && frost_signer_) {
+    std::vector<crypto::FrostCommitment> session;
+    for (const auto& cb : m.commitments) {
+      const auto c = crypto::FrostCommitment::from_bytes(cb);
+      if (!c) return;
+      session.push_back(*c);
+    }
+    try {
+      reply.z = frost_signer_->sign(msg_bytes, session).to_bytes();
+    } catch (const std::invalid_argument&) {
+      return;  // stale/unknown session (e.g. nonce already consumed)
+    }
+  } else {
+    reply.z = {0x00};
+  }
+  cpu_.execute(config_.costs.partial_sign, [this, reply = std::move(reply)] {
+    const MemberInfo* agg = &config_.members.front();
+    for (const auto& mem : config_.members) {
+      if (mem.id < agg->id) agg = &mem;
+    }
+    if (agg->id == config_.id) {
+      on_frost_partial(reply);
+    } else {
+      net_.send(config_.node, agg->node, reply.encode());
+    }
+  });
+}
+
+void Controller::on_frost_partial(const FrostPartialMsg& m) {
+  if (!is_aggregator()) return;
+  auto it = agg_pending_.find(m.update_id);
+  if (it == agg_pending_.end() || it->second.done) return;
+  AggPending& p = it->second;
+  bool in_session = false;
+  for (const auto& c : p.frost_session) in_session |= (c.signer == m.signer_index);
+  if (!in_session) return;
+  if (config_.real_crypto) {
+    const auto z = crypto::Scalar::from_bytes(m.z);
+    if (!z) return;
+    const auto vs = config_.verification_shares.find(m.signer_index);
+    if (vs == config_.verification_shares.end() ||
+        !crypto::frost_verify_partial(p.signing_bytes, p.frost_session, config_.group_pk,
+                                      m.signer_index, vs->second, *z)) {
+      CICERO_LOG_WARN(kLog, "aggregator c%u: bad FROST partial from %u", config_.id,
+                      m.signer_index);
+      return;
+    }
+    p.frost_partials[m.signer_index] = *z;
+  } else {
+    p.frost_partials[m.signer_index] = crypto::Scalar::zero();
+  }
+  if (p.frost_partials.size() < p.frost_session.size()) return;
+  p.done = true;
+  finish_frost_aggregation(m.update_id);
+}
+
+void Controller::finish_frost_aggregation(sched::UpdateId id) {
+  const sim::SimTime agg_cost =
+      config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum);
+  cpu_.execute(agg_cost, [this, id] {
+    auto it = agg_pending_.find(id);
+    if (it == agg_pending_.end()) return;
+    AggPending& p = it->second;
+    AggUpdateMsg out;
+    out.update = p.update;
+    out.cause = p.cause;
+    if (config_.real_crypto) {
+      const auto sig =
+          crypto::frost_aggregate(p.signing_bytes, p.frost_session, config_.group_pk,
+                                  p.frost_partials);
+      if (!sig) return;
+      out.agg_sig = sig->to_bytes();
+    } else {
+      out.agg_sig = {0x01};
+    }
+    const auto sw_it = env_.switch_nodes.find(p.update.switch_node);
+    if (sw_it != env_.switch_nodes.end()) {
+      net_.send(config_.node, sw_it->second, out.encode());
+    }
+    agg_pending_.erase(it);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Membership (§4.3)
+// ---------------------------------------------------------------------------
+
+void Controller::propose_membership(EventKind kind, std::uint32_t member) {
+  Event e;
+  e.id = EventId{kControllerOriginBase + config_.id, ++origin_seq_};
+  e.kind = kind;
+  e.member = member;
+  if (config_.real_crypto) {
+    e.sig = crypto::schnorr_sign(config_.key.sk, e.body()).to_bytes();
+  }
+  events_submitted_.insert(e.id);
+  replica_->submit(e.encode());
+}
+
+void Controller::finish_membership_change(std::uint64_t phase, Config new_group_config) {
+  membership_phase_ = phase;
+  config_ = std::move(new_group_config);
+  rebuild_replica();
+  membership_changing_ = false;
+  auto queued = std::move(queued_events_);
+  queued_events_.clear();
+  for (const auto& e : queued) process_event(e);
+}
+
+void Controller::inject_rogue_update(net::NodeIndex switch_node, const sched::Update& update) {
+  const auto sw_it = env_.switch_nodes.find(switch_node);
+  if (sw_it == env_.switch_nodes.end()) return;
+  UpdateMsg msg;
+  msg.update = update;
+  if (config_.real_crypto &&
+      (config_.framework == FrameworkKind::kCicero ||
+       config_.framework == FrameworkKind::kCiceroAgg)) {
+    // The rogue controller signs with its own (single) share — deliberately
+    // short of a quorum; switches must never apply this.
+    msg.partial = crypto::SimBlsScheme::instance().partial_sign(
+        config_.share, update_signing_bytes(msg.update));
+  }
+  net_.send(config_.node, sw_it->second, msg.encode());
+}
+
+}  // namespace cicero::core

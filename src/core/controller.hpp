@@ -1,0 +1,203 @@
+// Cicero controller runtime (paper §5.1, Figs. 7a–7c).
+//
+// One instance per control-plane member.  The controller:
+//   * validates incoming events against the PKI directory, forwards
+//     multi-domain events to the other affected domains (tagged
+//     non-reforwardable), and submits events to its domain's atomic
+//     broadcast;
+//   * on delivery, runs the controller application (shortest-path routing)
+//     and the pluggable update scheduler, filters the schedule to its own
+//     domain, threshold-signs each released update and sends it to the
+//     switch (or to the aggregator);
+//   * on verified switch acknowledgements, releases dependent updates —
+//     the dependency machinery behind intra-domain parallelism;
+//   * when it is the aggregator (lowest live id, §4.2), collects and
+//     verifies partials from its peers and ships one aggregated signature
+//     per update to the switch.
+//
+// Byzantine behaviours for the security tests are injected with
+// `set_fault`: a faulty controller can mutate updates before signing,
+// stay silent, or fire unsolicited rogue updates at switches (the
+// PACKET_OUT-style attack of §2.2).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "bft/pbft.hpp"
+#include "core/cost_model.hpp"
+#include "core/framework.hpp"
+#include "core/messages.hpp"
+#include "core/audit.hpp"
+#include "core/pki.hpp"
+#include "crypto/frost.hpp"
+#include "crypto/simbls.hpp"
+#include "net/topology.hpp"
+#include "sched/depgraph.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+
+namespace cicero::core {
+
+/// Byzantine behaviours a compromised controller may exhibit in tests.
+enum class ControllerFault : std::uint8_t {
+  kNone = 0,
+  kSilent,         ///< signs nothing, sends nothing (crash-like)
+  kMutateUpdates,  ///< signs and sends a corrupted rule (wrong next hop)
+  kRogueUpdates,   ///< additionally fires unsolicited updates at switches
+};
+
+class Controller {
+ public:
+  struct MemberInfo {
+    std::uint32_t id = 0;  ///< controller id; share index is id + 1
+    sim::NodeId node = sim::kInvalidNode;
+    crypto::Point pk;  ///< PKI key (BFT message + event signing)
+  };
+
+  struct Config {
+    std::uint32_t id = 0;
+    net::DomainId domain = 0;
+    FrameworkKind framework = FrameworkKind::kCicero;
+    CostModel costs;
+    sim::NodeId node = sim::kInvalidNode;
+    std::vector<MemberInfo> members;  ///< sorted by id, includes self
+    crypto::SchnorrKeyPair key;
+    crypto::SecretShare share;  ///< threshold share (Cicero frameworks)
+    crypto::Point group_pk;
+    std::map<crypto::ShareIndex, crypto::Point> verification_shares;
+    std::uint32_t quorum = 3;
+    /// Threshold scheme for update authentication; kFrost requires the
+    /// kCiceroAgg framework (the aggregator coordinates signing sessions).
+    ThresholdBackend backend = ThresholdBackend::kSimBls;
+    std::uint64_t nonce_seed = 0;  ///< per-controller FROST nonce stream
+    bool real_crypto = true;
+    bool sign_bft_messages = false;  ///< Schnorr on every BFT message
+    sim::SimTime bft_timeout = sim::milliseconds(200);
+  };
+
+  /// Immutable environment shared by all controllers of a deployment.
+  struct Environment {
+    const net::Topology* topology = nullptr;
+    const sched::UpdateScheduler* scheduler = nullptr;
+    const PkiDirectory* pki = nullptr;
+    /// topology switch index -> network endpoint.
+    std::map<net::NodeIndex, sim::NodeId> switch_nodes;
+    /// domain -> that domain's control-plane members (for forwarding).
+    std::map<net::DomainId, std::vector<MemberInfo>> domain_directory;
+  };
+
+  /// Fired when a membership event (add/remove) is delivered by the
+  /// domain's broadcast; the ControlPlane orchestrator reacts by running
+  /// the resharing and rebuilding the group.
+  using MembershipFn = std::function<void(const Event&)>;
+
+  Controller(sim::Simulator& simulator, sim::NetworkSim& network, Config config,
+             Environment env);
+
+  void handle_message(sim::NodeId from, const util::Bytes& wire);
+
+  std::uint32_t id() const { return config_.id; }
+  net::DomainId domain() const { return config_.domain; }
+  sim::NodeId node() const { return config_.node; }
+  bool is_aggregator() const;
+  sim::CpuServer& cpu() { return cpu_; }
+  bft::PbftReplica& replica() { return *replica_; }
+  const Config& config() const { return config_; }
+
+  void set_fault(ControllerFault fault) { fault_ = fault; }
+
+  /// Hash-chained, signed log of every update this controller emitted
+  /// (§7 future work: decision auditability); see core/audit.hpp.
+  const AuditLog& audit() const { return audit_; }
+  void set_on_membership(MembershipFn fn) { on_membership_ = std::move(fn); }
+
+  /// True while a membership change is being installed; events delivered
+  /// in this window are queued (paper §4.3) and drained by
+  /// `finish_membership_change`.
+  bool membership_changing() const { return membership_changing_; }
+  void begin_membership_change() { membership_changing_ = true; }
+  /// Installs new group state (share, members, quorum), rebuilds the BFT
+  /// replica for the new membership, and drains the event queue.  `phase`
+  /// is the new membership phase.
+  void finish_membership_change(std::uint64_t phase, Config new_group_config);
+
+  /// Fires an unsolicited (non-quorum) update at a switch — only used by
+  /// fault injection to demonstrate the baselines' vulnerability.
+  void inject_rogue_update(net::NodeIndex switch_node, const sched::Update& update);
+
+  // --- stats ---
+  std::uint64_t events_seen() const { return events_seen_; }
+  std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t updates_sent() const { return updates_sent_; }
+  std::uint64_t acks_received() const { return acks_received_; }
+  std::uint64_t events_forwarded() const { return events_forwarded_; }
+
+ private:
+  void rebuild_replica();
+  void on_event(const Event& e);
+  void on_deliver(bft::SeqNum seq, const util::Bytes& payload);
+  void process_event(const Event& e);
+  void process_flow_event(const Event& e);
+  void release_update(sched::UpdateId id);
+  void send_update(const sched::Update& update, const EventId& cause);
+  void on_ack(const AckMsg& ack);
+  void on_peer_update(const UpdateMsg& m);  ///< aggregator role
+  void on_frost_session(const FrostSessionMsg& m);   ///< signer role (kFrost)
+  void on_frost_partial(const FrostPartialMsg& m);   ///< aggregator role (kFrost)
+  void maybe_start_frost_session(sched::UpdateId id);
+  void finish_frost_aggregation(sched::UpdateId id);
+  void forward_cross_domain(const Event& e, const std::set<net::DomainId>& domains);
+  std::set<net::DomainId> domains_of_path(const std::vector<net::NodeIndex>& path) const;
+
+  sim::Simulator& sim_;
+  sim::NetworkSim& net_;
+  Config config_;
+  Environment env_;
+  sim::CpuServer cpu_;
+  std::unique_ptr<bft::PbftReplica> replica_;
+  sched::DependencyTracker tracker_;
+  std::map<sched::UpdateId, EventId> update_cause_;
+  std::set<EventId> events_submitted_;
+  std::set<EventId> events_processed_set_;
+  std::vector<Event> queued_events_;  ///< arrivals during membership change
+  std::uint64_t membership_phase_ = 0;
+  bool membership_changing_ = false;
+  ControllerFault fault_ = ControllerFault::kNone;
+  AuditLog audit_;
+  MembershipFn on_membership_;
+  std::uint64_t origin_seq_ = 0;  ///< for membership events we originate
+
+  struct AggPending {
+    sched::Update update;
+    EventId cause;
+    util::Bytes signing_bytes;
+    std::map<crypto::ShareIndex, crypto::PartialSignature> partials;
+    // kFrost: piggybacked nonce commitments, the chosen session, and the
+    // collected z_i partials.
+    std::map<crypto::ShareIndex, crypto::FrostCommitment> frost_commitments;
+    std::vector<crypto::FrostCommitment> frost_session;
+    std::map<crypto::ShareIndex, crypto::Scalar> frost_partials;
+    bool session_started = false;
+    bool done = false;
+  };
+  std::map<sched::UpdateId, AggPending> agg_pending_;
+  std::unique_ptr<crypto::FrostSigner> frost_signer_;
+  std::unique_ptr<crypto::Drbg> nonce_drbg_;
+
+  std::uint64_t events_seen_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t updates_sent_ = 0;
+  std::uint64_t acks_received_ = 0;
+  std::uint64_t events_forwarded_ = 0;
+
+ public:
+  /// Originates a membership event (bootstrap controller proposes adds;
+  /// any member proposes removes, §4.3) into the domain's broadcast.
+  void propose_membership(EventKind kind, std::uint32_t member);
+};
+
+}  // namespace cicero::core

@@ -1,0 +1,600 @@
+#include "core/deployment.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace cicero::core {
+
+namespace {
+constexpr const char* kLog = "deploy";
+}
+
+Deployment::Deployment(net::Topology topology, DeploymentParams params)
+    : topo_(std::move(topology)), params_(params), drbg_(params.seed) {
+  if (params_.backend == ThresholdBackend::kFrost &&
+      params_.framework != FrameworkKind::kCiceroAgg) {
+    throw std::invalid_argument(
+        "Deployment: the FROST backend requires controller aggregation");
+  }
+  net_ = std::make_unique<sim::NetworkSim>(sim_);
+  net_->set_latency_fn([this](sim::NodeId a, sim::NodeId b) { return latency(a, b); });
+  build_nodes();
+  wire_handlers();
+}
+
+Deployment::~Deployment() = default;
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+void Deployment::build_nodes() {
+  // Switch endpoints + PKI keys.
+  for (const net::NodeIndex sw : topo_.switches()) {
+    const sim::NodeId node = net_->add_node("sw:" + topo_.node(sw).name);
+    switch_nodes_[sw] = node;
+    const auto& p = topo_.node(sw).placement;
+    node_place_[node] = Placement2{p.dc, p.pod, true};
+  }
+
+  // Control planes: per topology domain for Cicero; one global plane for
+  // the centralized and crash-tolerant baselines.
+  const bool global_plane = params_.framework == FrameworkKind::kCentralized ||
+                            params_.framework == FrameworkKind::kCrashTolerant;
+  if (global_plane) {
+    build_plane(0, topo_.switches());
+  } else {
+    for (const net::DomainId d : topo_.domains()) {
+      build_plane(d, topo_.switches_in_domain(d));
+    }
+  }
+
+  // Switch runtimes (need the planes' keys, so after build_plane).
+  for (const net::NodeIndex sw : topo_.switches()) {
+    const net::DomainId d = global_plane ? 0 : topo_.node(sw).domain;
+    const Plane& plane = planes_.at(d);
+
+    SwitchRuntime::Config cfg;
+    cfg.topo_index = sw;
+    cfg.node = switch_nodes_.at(sw);
+    cfg.framework = params_.framework;
+    cfg.costs = params_.costs;
+    cfg.key = crypto::SchnorrKeyPair::generate(drbg_);
+    cfg.group_pk = plane.group_pk;
+    cfg.quorum = plane_quorum(plane);
+    cfg.backend = params_.backend;
+    for (const std::uint32_t id : plane.member_ids) cfg.controllers.push_back(ctrl_nodes_.at(id));
+    if (params_.framework == FrameworkKind::kCiceroAgg) {
+      cfg.aggregator = ctrl_nodes_.at(
+          *std::min_element(plane.member_ids.begin(), plane.member_ids.end()));
+    }
+    cfg.real_crypto = params_.real_crypto;
+    pki_.register_origin(sw, cfg.key.pk);
+    auto runtime = std::make_unique<SwitchRuntime>(sim_, *net_, std::move(cfg));
+    runtime->add_applied_observer(
+        [this, sw](const sched::Update& u) { on_switch_applied(sw, u); });
+    switches_[sw] = std::move(runtime);
+  }
+
+  // Controllers (after switches and all planes exist, so the cross-domain
+  // directory is complete at construction).
+  std::map<net::DomainId, std::vector<Controller::MemberInfo>> directory;
+  for (const auto& [d, plane] : planes_) directory[d] = member_infos(plane);
+  for (auto& [d, plane] : planes_) {
+    const net::DomainId dom = d;
+    for (const std::uint32_t id : plane.member_ids) {
+      auto ctrl = std::make_unique<Controller>(
+          sim_, *net_, member_config(plane, id),
+          Controller::Environment{&topo_, &scheduler_, &pki_, switch_nodes_, directory});
+      ctrl->set_on_membership(
+          [this, dom](const Event& e) { on_membership_event(dom, e); });
+      controllers_[id] = std::move(ctrl);
+    }
+  }
+}
+
+std::uint32_t Deployment::provision_controller(net::DomainId domain,
+                                               const net::Placement& placement) {
+  const std::uint32_t id = next_ctrl_id_++;
+  const sim::NodeId node = net_->add_node("ctrl:" + std::to_string(id));
+  node_place_[node] = Placement2{placement.dc, placement.pod, false};
+  ctrl_nodes_[id] = node;
+  ctrl_domain_[id] = domain;
+  ctrl_keys_[id] = crypto::SchnorrKeyPair::generate(drbg_);
+  pki_.register_origin(kControllerOriginBase + id, ctrl_keys_[id].pk);
+  return id;
+}
+
+void Deployment::build_plane(net::DomainId domain,
+                             const std::vector<net::NodeIndex>& domain_switches) {
+  Plane plane;
+  plane.domain = domain;
+  const std::size_t n = params_.framework == FrameworkKind::kCentralized
+                            ? 1
+                            : params_.controllers_per_domain;
+  const net::Placement placement = domain_switches.empty()
+                                       ? net::Placement{}
+                                       : topo_.node(domain_switches.front()).placement;
+  for (std::size_t i = 0; i < n; ++i) {
+    plane.member_ids.push_back(provision_controller(domain, placement));
+  }
+
+  // Threshold key material.  With real crypto the full joint-Feldman DKG
+  // runs (no dealer ever knows the group secret); cost-only runs use a
+  // direct Shamir split, which has identical share structure.
+  const std::size_t t = std::max<std::size_t>(1, (n - 1) / 3 + 1);
+  std::vector<crypto::ShareIndex> indices;
+  for (const std::uint32_t id : plane.member_ids) indices.push_back(id + 1);
+
+  if (params_.real_crypto &&
+      (params_.framework == FrameworkKind::kCicero ||
+       params_.framework == FrameworkKind::kCiceroAgg)) {
+    const auto results = crypto::run_dkg(indices, t, drbg_);
+    plane.group_pk = results.front().group_public_key;
+    plane.verification_shares = results.front().verification_shares;
+    for (std::size_t i = 0; i < plane.member_ids.size(); ++i) {
+      shares_[plane.member_ids[i]] = results[i].share;
+    }
+  } else {
+    const crypto::Scalar secret = drbg_.next_scalar();
+    plane.group_pk = crypto::Point::mul_gen(secret);
+    crypto::Polynomial poly = crypto::Polynomial::random(secret, t, drbg_);
+    for (const std::uint32_t id : plane.member_ids) {
+      shares_[id] = crypto::SecretShare{id + 1, poly.eval(id + 1)};
+    }
+  }
+  planes_[domain] = std::move(plane);
+}
+
+std::uint32_t Deployment::plane_quorum(const Plane& plane) const {
+  const std::size_t n = plane.member_ids.size();
+  return static_cast<std::uint32_t>(std::max<std::size_t>(1, (n - 1) / 3 + 1));
+}
+
+std::vector<Controller::MemberInfo> Deployment::member_infos(const Plane& plane) const {
+  std::vector<Controller::MemberInfo> members;
+  for (const std::uint32_t mid : plane.member_ids) {
+    members.push_back(Controller::MemberInfo{mid, ctrl_nodes_.at(mid), ctrl_keys_.at(mid).pk});
+  }
+  std::sort(members.begin(), members.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  return members;
+}
+
+Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t id) const {
+  Controller::Config cfg;
+  cfg.id = id;
+  cfg.domain = plane.domain;
+  cfg.framework = params_.framework;
+  cfg.costs = params_.costs;
+  cfg.node = ctrl_nodes_.at(id);
+  cfg.members = member_infos(plane);
+  cfg.key = ctrl_keys_.at(id);
+  cfg.share = shares_.at(id);
+  cfg.group_pk = plane.group_pk;
+  cfg.verification_shares = plane.verification_shares;
+  cfg.quorum = plane_quorum(plane);
+  cfg.backend = params_.backend;
+  cfg.nonce_seed = params_.seed ^ (0x9E3779B97F4A7C15ULL * (id + 1));
+  cfg.real_crypto = params_.real_crypto;
+  cfg.sign_bft_messages = params_.sign_bft_messages;
+  cfg.bft_timeout = params_.bft_timeout;
+  return cfg;
+}
+
+void Deployment::wire_handlers() {
+  for (auto& [sw, runtime] : switches_) {
+    net_->set_handler(switch_nodes_.at(sw),
+                      [rt = runtime.get()](sim::NodeId from, const util::Bytes& wire) {
+                        rt->handle_message(from, wire);
+                      });
+  }
+  for (auto& [id, ctrl] : controllers_) {
+    net_->set_handler(ctrl_nodes_.at(id),
+                      [this, id = id](sim::NodeId from, const util::Bytes& wire) {
+                        const auto it = controllers_.find(id);
+                        if (it != controllers_.end()) it->second->handle_message(from, wire);
+                      });
+  }
+}
+
+sim::SimTime Deployment::latency(sim::NodeId a, sim::NodeId b) const {
+  const auto ia = node_place_.find(a);
+  const auto ib = node_place_.find(b);
+  if (ia == node_place_.end() || ib == node_place_.end()) {
+    return params_.costs.ctrl_switch_latency;
+  }
+  const Placement2& pa = ia->second;
+  const Placement2& pb = ib->second;
+  if (pa.dc != pb.dc) {
+    // WAN ring distance scales the cross-DC latency.
+    const std::uint32_t dcs = static_cast<std::uint32_t>(topo_.domains().size()) + 2;
+    const std::uint32_t d = pa.dc > pb.dc ? pa.dc - pb.dc : pb.dc - pa.dc;
+    const std::uint32_t ring = std::min(d, dcs > d ? dcs - d : d);
+    return params_.costs.cross_dc_latency * std::max<std::uint32_t>(1, ring);
+  }
+  if (pa.pod != pb.pod) return params_.costs.cross_pod_latency;
+  if (pa.is_switch || pb.is_switch) return params_.costs.ctrl_switch_latency;
+  return params_.costs.ctrl_ctrl_latency;
+}
+
+std::vector<std::uint32_t> Deployment::controller_ids() const {
+  std::vector<std::uint32_t> out;
+  for (const auto& [id, c] : controllers_) out.push_back(id);
+  return out;
+}
+
+std::vector<std::uint32_t> Deployment::domain_controller_ids(net::DomainId d) const {
+  const auto it = planes_.find(d);
+  if (it == planes_.end()) return {};
+  return it->second.member_ids;
+}
+
+void Deployment::set_controller_fault(std::uint32_t id, ControllerFault fault) {
+  controllers_.at(id)->set_fault(fault);
+}
+
+void Deployment::fail_link(net::NodeIndex a, net::NodeIndex b) {
+  topo_.set_link_up(topo_.link_between(a, b), false);
+  // Routes may change under every cached path: recompute lazily.
+  path_cache_.clear();
+  for (const net::NodeIndex side : {a, b}) {
+    const auto it = switches_.find(side);
+    if (it != switches_.end()) {
+      it->second->report_link_failure(side == a ? b : a);
+    }
+  }
+}
+
+void Deployment::restore_link(net::NodeIndex a, net::NodeIndex b) {
+  topo_.set_link_up(topo_.link_between(a, b), true);
+  path_cache_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Flow driver
+// ---------------------------------------------------------------------------
+
+void Deployment::inject(const std::vector<workload::Flow>& flows) {
+  const std::size_t base = records_.size();
+  // Arrival times are relative to the injection instant, so workloads can
+  // be injected into an already-running deployment.
+  const sim::SimTime t0 = sim_.now();
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    FlowRecord rec;
+    rec.flow = flows[i];
+    rec.flow.arrival += t0;
+    records_.push_back(rec);
+    const std::size_t idx = base + i;
+    sim_.at(records_[idx].flow.arrival, [this, idx] {
+      FlowRecord& r = records_[idx];
+      const net::FlowMatch match{r.flow.src_host, r.flow.dst_host};
+      const net::NodeIndex ingress = topo_.host_tor(r.flow.src_host);
+
+      auto path_it = path_cache_.find({match.src_host, match.dst_host});
+      if (path_it == path_cache_.end()) {
+        path_it = path_cache_
+                      .emplace(std::make_pair(match.src_host, match.dst_host),
+                               topo_.shortest_path(match.src_host, match.dst_host))
+                      .first;
+      }
+      const auto& path = path_it->second;
+      if (path.size() < 3) return;  // unroutable
+
+      const sim::SimTime transmit =
+          topo_.path_latency(path) +
+          sim::from_sec(r.flow.size_bytes * 8.0 / params_.costs.flow_effective_bps);
+
+      // Is the whole route already installed?  (Reverse-path order means
+      // checking every switch; rules may have been torn down mid-path.)
+      bool ready = true;
+      for (std::size_t p = 1; p + 1 < path.size(); ++p) {
+        if (!switches_.at(path[p])->table().has(match)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        r.rule_reused = true;
+        r.route_ready = sim_.now();
+        r.completion = sim_.now() + transmit;
+        r.completed = true;
+        if (params_.teardown_after_flow) {
+          sim_.at(r.completion,
+                  [this, ingress, match] { switches_.at(ingress)->request_teardown(match); });
+        }
+        return;
+      }
+
+      // Emit the miss at the ingress switch and wait for the full path.
+      switches_.at(ingress)->packet_in(match, r.flow.reserved_bps);
+      waiting_flows_.emplace(std::make_pair(match.src_host, match.dst_host), idx);
+    });
+  }
+}
+
+void Deployment::on_switch_applied(net::NodeIndex sw, const sched::Update& update) {
+  (void)sw;
+  if (update.op != sched::UpdateOp::kInstall) return;
+  const auto key = std::make_pair(update.rule.match.src_host, update.rule.match.dst_host);
+  auto [begin, end] = waiting_flows_.equal_range(key);
+  std::vector<std::size_t> ready;
+  for (auto it = begin; it != end; ++it) {
+    FlowRecord& r = records_[it->second];
+    const auto& path = path_cache_.at(key);
+    bool all = true;
+    for (std::size_t p = 1; p + 1 < path.size(); ++p) {
+      if (!switches_.at(path[p])->table().has(update.rule.match)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) ready.push_back(it->second);
+  }
+  if (ready.empty()) return;
+  waiting_flows_.erase(key);
+
+  for (const std::size_t idx : ready) {
+    FlowRecord& r = records_[idx];
+    const auto& path = path_cache_.at(key);
+    const sim::SimTime transmit =
+        topo_.path_latency(path) +
+        sim::from_sec(r.flow.size_bytes * 8.0 / params_.costs.flow_effective_bps);
+    r.route_ready = sim_.now();
+    r.completion = sim_.now() + transmit;
+    r.completed = true;
+    if (params_.teardown_after_flow) {
+      const net::NodeIndex ingress = topo_.host_tor(r.flow.src_host);
+      const net::FlowMatch match = update.rule.match;
+      sim_.at(r.completion,
+              [this, ingress, match] { switches_.at(ingress)->request_teardown(match); });
+    }
+  }
+}
+
+void Deployment::run(sim::SimTime horizon) { sim_.run_until(horizon); }
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+util::CdfCollector Deployment::completion_cdf() const {
+  util::CdfCollector cdf;
+  for (const auto& r : records_) {
+    if (r.completed) cdf.add(sim::to_ms(r.completion - r.flow.arrival));
+  }
+  return cdf;
+}
+
+util::CdfCollector Deployment::setup_cdf() const {
+  util::CdfCollector cdf;
+  for (const auto& r : records_) {
+    if (r.completed && !r.rule_reused) cdf.add(sim::to_ms(r.route_ready - r.flow.arrival));
+  }
+  return cdf;
+}
+
+std::vector<double> Deployment::switch_cpu_windows(sim::SimTime window,
+                                                   sim::SimTime horizon) const {
+  std::vector<double> acc;
+  std::size_t count = 0;
+  for (const auto& [sw, runtime] : switches_) {
+    const auto w = runtime->cpu().utilisation_windows(window, horizon);
+    if (acc.empty()) acc.resize(w.size(), 0.0);
+    for (std::size_t i = 0; i < w.size() && i < acc.size(); ++i) acc[i] += w[i];
+    ++count;
+  }
+  for (auto& v : acc) v /= static_cast<double>(std::max<std::size_t>(1, count));
+  return acc;
+}
+
+std::map<net::DomainId, double> Deployment::events_share_per_domain() const {
+  std::uint64_t total = 0;
+  for (const auto& [sw, runtime] : switches_) total += runtime->events_emitted();
+  std::map<net::DomainId, double> out;
+  for (const auto& [d, plane] : planes_) {
+    std::uint64_t processed = 0;
+    for (const std::uint32_t id : plane.member_ids) {
+      const auto it = controllers_.find(id);
+      if (it != controllers_.end()) {
+        processed = std::max(processed, it->second->events_processed());
+      }
+    }
+    out[d] = total == 0 ? 0.0 : static_cast<double>(processed) / static_cast<double>(total);
+  }
+  return out;
+}
+
+net::TableMap Deployment::table_map() const {
+  net::TableMap map;
+  for (const auto& [sw, runtime] : switches_) map[sw] = &runtime->table();
+  return map;
+}
+
+// ---------------------------------------------------------------------------
+// Membership changes (§4.3)
+// ---------------------------------------------------------------------------
+
+std::uint32_t Deployment::add_controller(net::DomainId domain) {
+  Plane& plane = planes_.at(domain);
+  // (i) provision keys/identifier and hand the directory entry out before
+  // the proposal, mirroring the paper's bootstrap step.
+  const auto& sample = topo_.switches_in_domain(domain);
+  const net::Placement placement =
+      sample.empty() ? net::Placement{} : topo_.node(sample.front()).placement;
+  const std::uint32_t new_id = provision_controller(domain, placement);
+
+  // (ii) the bootstrap controller (lowest id) proposes the addition
+  // through consensus.
+  const std::uint32_t bootstrap =
+      *std::min_element(plane.member_ids.begin(), plane.member_ids.end());
+  controllers_.at(bootstrap)->propose_membership(EventKind::kAddController, new_id);
+  return new_id;
+}
+
+void Deployment::remove_controller(std::uint32_t id) {
+  const net::DomainId domain = ctrl_domain_.at(id);
+  Plane& plane = planes_.at(domain);
+  // Any live member that detected the failure proposes the removal.
+  std::uint32_t proposer = UINT32_MAX;
+  for (const std::uint32_t m : plane.member_ids) {
+    if (m != id) proposer = std::min(proposer, m);
+  }
+  if (proposer == UINT32_MAX) throw std::logic_error("remove_controller: no proposer");
+  controllers_.at(proposer)->propose_membership(EventKind::kRemoveController, id);
+}
+
+void Deployment::on_membership_event(net::DomainId domain, const Event& e) {
+  Plane& plane = planes_.at(domain);
+  if (!plane.membership_seen.insert(e.id).second) return;  // one change per event
+  run_membership_change(domain, e);
+}
+
+void Deployment::run_membership_change(net::DomainId domain, const Event& e) {
+  Plane& plane = planes_.at(domain);
+
+  // Freeze event processing (events delivered during the change queue up).
+  for (const std::uint32_t id : plane.member_ids) {
+    const auto it = controllers_.find(id);
+    if (it != controllers_.end()) it->second->begin_membership_change();
+  }
+
+  std::vector<std::uint32_t> new_members = plane.member_ids;
+  if (e.kind == EventKind::kAddController) {
+    new_members.push_back(e.member);
+  } else {
+    new_members.erase(std::remove(new_members.begin(), new_members.end(), e.member),
+                      new_members.end());
+  }
+  std::sort(new_members.begin(), new_members.end());
+  if (new_members.empty()) return;
+
+  const std::size_t t_old = plane_quorum(plane);
+  const std::size_t t_new = std::max<std::size_t>(1, (new_members.size() - 1) / 3 + 1);
+
+  // (iii) resharing: a quorum of existing members re-deals toward the new
+  // member set; the group public key is unchanged (asserted below).  The
+  // cryptography is real; the message exchange is orchestrated here with
+  // its costs charged to the dealers' and receivers' CPUs.
+  std::vector<crypto::ShareIndex> new_indices;
+  for (const std::uint32_t id : new_members) new_indices.push_back(id + 1);
+
+  std::vector<crypto::ShareIndex> quorum_idx;
+  std::vector<std::uint32_t> quorum_ids;
+  for (const std::uint32_t id : plane.member_ids) {
+    if (e.kind == EventKind::kRemoveController && id == e.member) continue;
+    quorum_idx.push_back(id + 1);
+    quorum_ids.push_back(id);
+    if (quorum_idx.size() == t_old) break;
+  }
+
+  const crypto::Point old_pk = plane.group_pk;
+  std::map<std::uint32_t, crypto::SecretShare> new_shares;
+  std::map<crypto::ShareIndex, crypto::Point> new_vshares;
+
+  if (params_.real_crypto) {
+    std::vector<crypto::ReshareDeal> deals;
+    for (const std::uint32_t id : quorum_ids) {
+      deals.push_back(crypto::make_reshare_deal(shares_.at(id), quorum_idx, new_indices,
+                                                t_new, drbg_));
+      controllers_.at(id)->cpu().charge(params_.costs.reshare_deal_cost);
+    }
+    for (const std::uint32_t id : new_members) {
+      const auto result = crypto::reshare_finalize(deals, id + 1, new_indices);
+      new_shares[id] = result.share;
+      new_vshares = result.verification_shares;
+      if (!(result.group_public_key == old_pk)) {
+        throw std::logic_error("membership change altered the group public key");
+      }
+      const auto it = controllers_.find(id);
+      if (it != controllers_.end()) {
+        it->second->cpu().charge(params_.costs.reshare_finalize_cost);
+      }
+    }
+  } else {
+    // Cost-only runs: fresh Shamir split of the same secret structure; the
+    // group PK is trivially preserved because it is never recomputed.
+    for (const std::uint32_t id : new_members) {
+      new_shares[id] = crypto::SecretShare{id + 1, drbg_.next_scalar_any()};
+    }
+  }
+
+  // Apply after the (charged) exchange latency: one control-plane RTT per
+  // resharing round.
+  const sim::SimTime settle = 2 * params_.costs.ctrl_ctrl_latency +
+                              params_.costs.reshare_deal_cost +
+                              params_.costs.reshare_finalize_cost;
+  const EventKind kind = e.kind;
+  const std::uint32_t member = e.member;
+  sim_.after(settle, [this, domain, kind, member, new_members, new_shares, new_vshares] {
+    Plane& pl = planes_.at(domain);
+    pl.member_ids = new_members;
+    pl.verification_shares = new_vshares;
+    pl.phase += 1;
+    for (const auto& [id, share] : new_shares) shares_[id] = share;
+
+    if (kind == EventKind::kRemoveController) {
+      // Keep the object (ids are never reused and callbacks may still be
+      // queued against it) but silence it completely.
+      const auto it = controllers_.find(member);
+      if (it != controllers_.end()) {
+        it->second->set_fault(ControllerFault::kSilent);
+        it->second->replica().crash();
+        removed_.insert(member);
+      }
+    }
+
+    // Rebuild every member's group view + a fresh PBFT instance for the
+    // new membership, then drain queued events.
+    for (const std::uint32_t id : pl.member_ids) {
+      if (controllers_.count(id) == 0) {
+        // Newly added controller object (iv: receives data-plane state,
+        // policies and directory).
+        std::map<net::DomainId, std::vector<Controller::MemberInfo>> directory;
+        for (const auto& [dd, pp] : planes_) directory[dd] = member_infos(pp);
+        auto ctrl = std::make_unique<Controller>(
+            sim_, *net_, member_config(pl, id),
+            Controller::Environment{&topo_, &scheduler_, &pki_, switch_nodes_, directory});
+        ctrl->set_on_membership(
+            [this, domain](const Event& ev) { on_membership_event(domain, ev); });
+        controllers_[id] = std::move(ctrl);
+        net_->set_handler(ctrl_nodes_.at(id),
+                          [this, id](sim::NodeId from, const util::Bytes& wire) {
+                            const auto it = controllers_.find(id);
+                            if (it != controllers_.end()) {
+                              it->second->handle_message(from, wire);
+                            }
+                          });
+        continue;
+      }
+      controllers_.at(id)->finish_membership_change(pl.phase, member_config(pl, id));
+    }
+    notify_switches(pl);
+    CICERO_LOG_INFO(kLog, "domain %u membership now phase %llu with %zu members", domain,
+                    static_cast<unsigned long long>(pl.phase), pl.member_ids.size());
+  });
+}
+
+void Deployment::notify_switches(const Plane& plane) {
+  AggregatorNotifyMsg m;
+  m.phase = plane.phase;
+  m.quorum = plane_quorum(plane);
+  for (const std::uint32_t id : plane.member_ids) m.controllers.push_back(ctrl_nodes_.at(id));
+  m.aggregator = params_.framework == FrameworkKind::kCiceroAgg
+                     ? ctrl_nodes_.at(
+                           *std::min_element(plane.member_ids.begin(), plane.member_ids.end()))
+                     : sim::kInvalidNode;
+  const std::uint32_t bootstrap =
+      *std::min_element(plane.member_ids.begin(), plane.member_ids.end());
+  const bool global_plane = params_.framework == FrameworkKind::kCentralized ||
+                            params_.framework == FrameworkKind::kCrashTolerant;
+  for (const net::NodeIndex sw : global_plane ? topo_.switches()
+                                              : topo_.switches_in_domain(plane.domain)) {
+    net_->send(ctrl_nodes_.at(bootstrap), switch_nodes_.at(sw), m.encode());
+  }
+}
+
+}  // namespace cicero::core

@@ -1,0 +1,182 @@
+// Deployment: wires a complete evaluated system.
+//
+// Given a topology, a framework kind (§6.1's four comparands) and sizing
+// parameters, `Deployment` creates the network simulation, the per-domain
+// control planes (with DKG-derived threshold keys), the switch runtimes,
+// the PKI directory, the latency model, and a flow driver that injects
+// workload flows and records the paper's metrics (flow completion times,
+// setup latencies, switch CPU utilisation, per-controller event counts).
+//
+// Centralized/crash-tolerant baselines use a single global control plane
+// regardless of topology domains (that is how the paper deploys them);
+// Cicero frameworks get one control plane per switch domain (§3.3).
+//
+// Membership changes (§4.3) are exposed as `add_controller` /
+// `remove_controller`: the bootstrap (lowest-id) member proposes the
+// change through the domain's atomic broadcast; on delivery every member
+// queues incoming events, the existing quorum re-deals shares (real
+// crypto::ReshareDeal exchanges with charged CPU + latency), the group's
+// PBFT instance is rebuilt for the new membership, switches learn the new
+// member list/quorum/aggregator, and queued events drain — with the group
+// public key provably unchanged.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/cost_model.hpp"
+#include "core/framework.hpp"
+#include "core/pki.hpp"
+#include "core/switch_runtime.hpp"
+#include "crypto/dkg.hpp"
+#include "net/checker.hpp"
+#include "net/topology.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/stats.hpp"
+#include "workload/workload.hpp"
+
+namespace cicero::core {
+
+struct DeploymentParams {
+  FrameworkKind framework = FrameworkKind::kCicero;
+  std::size_t controllers_per_domain = 4;
+  CostModel costs;
+  /// Threshold scheme; kFrost is only valid with kCiceroAgg (the signing
+  /// session needs a coordinator) and demonstrates the protocol over a
+  /// cryptographically REAL threshold signature.
+  ThresholdBackend backend = ThresholdBackend::kSimBls;
+  bool real_crypto = true;
+  bool sign_bft_messages = false;
+  std::uint64_t seed = 1;
+  /// Tear the route down after each flow completes (Fig. 11c's
+  /// unamortized setup/teardown mode).
+  bool teardown_after_flow = false;
+  sim::SimTime bft_timeout = sim::milliseconds(400);
+};
+
+/// Per-flow measurement record.
+struct FlowRecord {
+  workload::Flow flow;
+  sim::SimTime route_ready = 0;   ///< when the ingress rule was usable
+  sim::SimTime completion = 0;    ///< route_ready + transmission
+  bool rule_reused = false;       ///< no event needed (rule already present)
+  bool completed = false;
+};
+
+class Deployment {
+ public:
+  Deployment(net::Topology topology, DeploymentParams params);
+  ~Deployment();
+
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  // --- workload driving ---
+  /// Schedules all flows for injection at their arrival times.
+  void inject(const std::vector<workload::Flow>& flows);
+  /// Runs the simulation until quiescent or `horizon`.
+  void run(sim::SimTime horizon = sim::seconds(600));
+
+  // --- accessors ---
+  sim::Simulator& simulator() { return sim_; }
+  sim::NetworkSim& network() { return *net_; }
+  const net::Topology& topology() const { return topo_; }
+  SwitchRuntime& switch_at(net::NodeIndex topo_index) { return *switches_.at(topo_index); }
+  Controller& controller(std::uint32_t id) { return *controllers_.at(id); }
+  std::vector<std::uint32_t> controller_ids() const;
+  std::vector<std::uint32_t> domain_controller_ids(net::DomainId d) const;
+  const PkiDirectory& pki() const { return pki_; }
+  const crypto::Point& group_pk(net::DomainId d) const { return planes_.at(d).group_pk; }
+
+  // --- metrics ---
+  const std::vector<FlowRecord>& flow_records() const { return records_; }
+  /// Flow completion times in ms (completed flows only).
+  util::CdfCollector completion_cdf() const;
+  /// Flow setup latencies in ms (flows that required an event).
+  util::CdfCollector setup_cdf() const;
+  /// Mean switch CPU utilisation per window across all switches.
+  std::vector<double> switch_cpu_windows(sim::SimTime window, sim::SimTime horizon) const;
+  /// Fraction of flow events processed per control plane (Fig. 12b).
+  std::map<net::DomainId, double> events_share_per_domain() const;
+
+  /// Current flow-table map for the consistency checker.
+  net::TableMap table_map() const;
+
+  // --- membership (§4.3) ---
+  /// Asks the domain's bootstrap member to propose adding a freshly
+  /// provisioned controller; returns the new controller's id.
+  std::uint32_t add_controller(net::DomainId domain);
+  /// Proposes removing `id` from its domain (detected failure or
+  /// proactive removal).
+  void remove_controller(std::uint32_t id);
+
+  /// Direct access for fault injection in tests.
+  void set_controller_fault(std::uint32_t id, ControllerFault fault);
+
+  /// Fails the link between two adjacent nodes: routing stops using it and
+  /// the adjacent switches emit re-route events for every flow they were
+  /// forwarding into it (link-state probing, paper §2/§7).
+  void fail_link(net::NodeIndex a, net::NodeIndex b);
+  /// Brings a failed link back.
+  void restore_link(net::NodeIndex a, net::NodeIndex b);
+
+ private:
+  struct Plane {  ///< one control plane (domain or global)
+    net::DomainId domain = 0;
+    std::vector<std::uint32_t> member_ids;
+    crypto::Point group_pk;
+    std::map<crypto::ShareIndex, crypto::Point> verification_shares;
+    std::uint64_t phase = 0;
+    std::set<EventId> membership_seen;
+  };
+
+  void build_nodes();
+  void build_plane(net::DomainId domain, const std::vector<net::NodeIndex>& domain_switches);
+  std::uint32_t provision_controller(net::DomainId domain, const net::Placement& placement);
+  Controller::Config member_config(const Plane& plane, std::uint32_t id) const;
+  std::vector<Controller::MemberInfo> member_infos(const Plane& plane) const;
+  void wire_handlers();
+  sim::SimTime latency(sim::NodeId a, sim::NodeId b) const;
+  void on_switch_applied(net::NodeIndex sw, const sched::Update& update);
+  void on_membership_event(net::DomainId domain, const Event& e);
+  void run_membership_change(net::DomainId domain, const Event& e);
+  void notify_switches(const Plane& plane);
+  std::uint32_t plane_quorum(const Plane& plane) const;
+
+  struct Placement2 {  ///< placement info for latency classification
+    std::uint32_t dc = 0;
+    std::uint32_t pod = 0;
+    bool is_switch = false;
+  };
+
+  net::Topology topo_;
+  DeploymentParams params_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::NetworkSim> net_;
+  crypto::Drbg drbg_;
+  PkiDirectory pki_;
+  sched::ReversePathScheduler scheduler_;
+
+  std::map<net::NodeIndex, std::unique_ptr<SwitchRuntime>> switches_;
+  std::map<net::NodeIndex, sim::NodeId> switch_nodes_;
+  std::map<std::uint32_t, std::unique_ptr<Controller>> controllers_;
+  std::map<std::uint32_t, crypto::SecretShare> shares_;
+  std::map<std::uint32_t, crypto::SchnorrKeyPair> ctrl_keys_;
+  std::map<std::uint32_t, sim::NodeId> ctrl_nodes_;
+  std::map<std::uint32_t, net::DomainId> ctrl_domain_;
+  std::map<net::DomainId, Plane> planes_;
+  std::map<sim::NodeId, Placement2> node_place_;
+  std::uint32_t next_ctrl_id_ = 0;
+  std::set<std::uint32_t> removed_;  ///< silenced ex-members (ids never reused)
+
+  // flow driver state
+  std::vector<FlowRecord> records_;
+  std::multimap<std::pair<net::NodeIndex, net::NodeIndex>, std::size_t> waiting_flows_;
+  std::map<std::pair<net::NodeIndex, net::NodeIndex>, std::vector<net::NodeIndex>> path_cache_;
+};
+
+}  // namespace cicero::core

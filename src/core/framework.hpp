@@ -1,0 +1,42 @@
+// Evaluated frameworks and the Table 2 capability matrix.
+//
+// The paper's evaluation compares four update frameworks (§6.1); the same
+// enum selects the deployment wiring throughout this repository.  The
+// capability matrix reproduces Table 2 as data derived from what each
+// implementation actually does, so `bench_table2_features` prints it from
+// code rather than prose.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+namespace cicero::core {
+
+enum class FrameworkKind : std::uint8_t {
+  kCentralized = 0,    ///< singleton controller, no replication, no auth
+  kCrashTolerant = 1,  ///< BFT-ordered control plane, NO quorum auth on switches
+  kCicero = 2,         ///< full protocol, switch-side signature aggregation
+  kCiceroAgg = 3,      ///< full protocol, controller-side aggregation (§4.2)
+};
+
+const char* framework_name(FrameworkKind kind);
+
+/// One row of Table 2.
+struct Capabilities {
+  std::string system;
+  bool crash_tolerant = false;
+  bool byzantine_tolerant = false;
+  bool controller_authentication = false;
+  bool dynamic_membership = false;
+  bool update_consistent = false;
+  bool update_domains = false;
+  std::string implementation;
+};
+
+/// Capabilities of this repository's frameworks (the Cicero rows are the
+/// paper's claims, backed by the tests named in EXPERIMENTS.md) plus the
+/// related-work rows of Table 2 for the printed comparison.
+std::vector<Capabilities> table2_rows();
+
+}  // namespace cicero::core

@@ -1,0 +1,298 @@
+#include "core/messages.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace cicero::core {
+
+std::optional<std::uint8_t> peek_tag(const util::Bytes& wire) {
+  if (wire.empty()) return std::nullopt;
+  return wire.front();
+}
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+util::Bytes Event::body() const {
+  util::Writer w;
+  w.str("cicero/event");
+  w.u32(id.origin);
+  w.u64(id.seq);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(match.src_host);
+  w.u32(match.dst_host);
+  w.f64(reserved_bps);
+  w.u32(member);
+  return w.take();
+}
+
+util::Bytes Event::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kEvent));
+  w.u32(id.origin);
+  w.u64(id.seq);
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(match.src_host);
+  w.u32(match.dst_host);
+  w.f64(reserved_bps);
+  w.u32(member);
+  w.boolean(forwarded);
+  w.bytes(sig);
+  return w.take();
+}
+
+std::optional<Event> Event::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kEvent)) return std::nullopt;
+    Event e;
+    e.id.origin = r.u32();
+    e.id.seq = r.u64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(EventKind::kRemoveController)) return std::nullopt;
+    e.kind = static_cast<EventKind>(kind);
+    e.match.src_host = r.u32();
+    e.match.dst_host = r.u32();
+    e.reserved_bps = r.f64();
+    e.member = r.u32();
+    e.forwarded = r.boolean();
+    e.sig = r.bytes();
+    r.expect_end();
+    return e;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Updates
+// ---------------------------------------------------------------------------
+
+sched::UpdateId update_id_base(const EventId& cause) {
+  // 24 bits of origin, 32 bits of per-origin sequence, 8 bits of update
+  // index within the schedule — unique as long as a schedule stays under
+  // 256 updates (one per path switch; ample).
+  return (static_cast<sched::UpdateId>(cause.origin & 0xFFFFFF) << 40) |
+         ((cause.seq & 0xFFFFFFFFULL) << 8);
+}
+
+util::Bytes update_signing_bytes(const sched::Update& update) {
+  util::Writer w;
+  w.str("cicero/update");
+  update.serialize(w);
+  return w.take();
+}
+
+util::Bytes UpdateMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kUpdate));
+  update.serialize(w);
+  w.u32(cause.origin);
+  w.u64(cause.seq);
+  // No partial (centralized / crash-tolerant) encodes as an empty string.
+  w.bytes(partial.signer == 0 ? util::Bytes{} : partial.to_bytes());
+  w.bytes(frost_commitment);
+  return w.take();
+}
+
+std::optional<UpdateMsg> UpdateMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kUpdate)) return std::nullopt;
+    UpdateMsg m;
+    m.update = sched::Update::deserialize(r);
+    m.cause.origin = r.u32();
+    m.cause.seq = r.u64();
+    const util::Bytes pb = r.bytes();
+    m.frost_commitment = r.bytes();
+    r.expect_end();
+    if (!pb.empty()) {
+      auto p = crypto::PartialSignature::from_bytes(pb);
+      if (!p) return std::nullopt;
+      m.partial = std::move(*p);
+    }
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes AggUpdateMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kAggUpdate));
+  update.serialize(w);
+  w.u32(cause.origin);
+  w.u64(cause.seq);
+  w.bytes(agg_sig);
+  return w.take();
+}
+
+std::optional<AggUpdateMsg> AggUpdateMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kAggUpdate)) return std::nullopt;
+    AggUpdateMsg m;
+    m.update = sched::Update::deserialize(r);
+    m.cause.origin = r.u32();
+    m.cause.seq = r.u64();
+    m.agg_sig = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Acks
+// ---------------------------------------------------------------------------
+
+util::Bytes AckMsg::body() const {
+  util::Writer w;
+  w.str("cicero/ack");
+  w.u64(update_id);
+  w.u32(switch_node);
+  return w.take();
+}
+
+util::Bytes AckMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kAck));
+  w.u64(update_id);
+  w.u32(switch_node);
+  w.bytes(sig);
+  return w.take();
+}
+
+std::optional<AckMsg> AckMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kAck)) return std::nullopt;
+    AckMsg m;
+    m.update_id = r.u64();
+    m.switch_node = r.u32();
+    m.sig = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FROST signing round (controller aggregation with the kFrost backend)
+// ---------------------------------------------------------------------------
+
+util::Bytes FrostSessionMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kFrostSession));
+  w.u64(update_id);
+  w.u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const auto& c : commitments) w.bytes(c);
+  return w.take();
+}
+
+std::optional<FrostSessionMsg> FrostSessionMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kFrostSession)) return std::nullopt;
+    FrostSessionMsg m;
+    m.update_id = r.u64();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) m.commitments.push_back(r.bytes());
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes FrostPartialMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kFrostPartial));
+  w.u64(update_id);
+  w.u32(signer_index);
+  w.bytes(z);
+  return w.take();
+}
+
+std::optional<FrostPartialMsg> FrostPartialMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kFrostPartial)) return std::nullopt;
+    FrostPartialMsg m;
+    m.update_id = r.u64();
+    m.signer_index = r.u32();
+    m.z = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+util::Bytes ReshareMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kReshare));
+  w.u32(dealer_member);
+  w.u64(phase);
+  w.u32(dealer_index);
+  w.u32(static_cast<std::uint32_t>(commitments.size()));
+  for (const auto& c : commitments) w.bytes(c);
+  w.u32(receiver_index);
+  w.bytes(share);
+  return w.take();
+}
+
+std::optional<ReshareMsg> ReshareMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kReshare)) return std::nullopt;
+    ReshareMsg m;
+    m.dealer_member = r.u32();
+    m.phase = r.u64();
+    m.dealer_index = r.u32();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) m.commitments.push_back(r.bytes());
+    m.receiver_index = r.u32();
+    m.share = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes AggregatorNotifyMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kAggregatorNotify));
+  w.u64(phase);
+  w.u32(aggregator);
+  w.u32(quorum);
+  w.u32(static_cast<std::uint32_t>(controllers.size()));
+  for (const auto c : controllers) w.u32(c);
+  return w.take();
+}
+
+std::optional<AggregatorNotifyMsg> AggregatorNotifyMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kAggregatorNotify)) return std::nullopt;
+    AggregatorNotifyMsg m;
+    m.phase = r.u64();
+    m.aggregator = r.u32();
+    m.quorum = r.u32();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) m.controllers.push_back(r.u32());
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace cicero::core

@@ -1,0 +1,182 @@
+// Cicero southbound/northbound protocol messages.
+//
+// The paper extends the OpenFlow message layer with "new message types for
+// signed messages, and ... a unique identifier to each message to prevent
+// duplicate processing of events and updates" (§5.1).  This header is that
+// extended message layer: every message carries a one-byte demux tag, a
+// unique id, and (for Cicero frameworks) a signature.
+//
+// Wire tags (first byte) shared by all traffic arriving at a node:
+//   0xBF  BFT atomic broadcast       (bft/messages.hpp)
+//   0xB7  failure-detector heartbeat (bft/failure_detector.hpp)
+//   0x02  Event          switch -> control plane (or forwarded cross-domain)
+//   0x03  UpdateMsg      controller -> switch (or -> aggregator)
+//   0x04  AckMsg         switch -> control plane
+//   0x05  AggUpdateMsg   aggregator -> switch
+//   0x06  ReshareMsg     old member -> new member (membership change)
+//   0x07  AggregatorNotifyMsg  control plane -> switch
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/schnorr.hpp"
+#include "crypto/threshold.hpp"
+#include "net/flow_table.hpp"
+#include "sched/update.hpp"
+#include "sim/network.hpp"
+#include "util/serialize.hpp"
+
+namespace cicero::core {
+
+enum class CoreMsgTag : std::uint8_t {
+  kEvent = 0x02,
+  kUpdate = 0x03,
+  kAck = 0x04,
+  kAggUpdate = 0x05,
+  kReshare = 0x06,
+  kAggregatorNotify = 0x07,
+  kFrostSession = 0x08,  ///< aggregator -> signers: chosen commitment set
+  kFrostPartial = 0x09,  ///< signer -> aggregator: z_i for a session
+};
+
+/// Which threshold scheme authenticates updates.  kSimBls is the paper's
+/// BLS shape (non-interactive, any-t aggregation; see crypto/simbls.hpp);
+/// kFrost is REAL threshold Schnorr and requires controller aggregation
+/// (a coordinator fixes the signer set), costing one extra signing round.
+enum class ThresholdBackend : std::uint8_t { kSimBls = 0, kFrost = 1 };
+
+/// Peeks at the demux tag of a wire message (nullopt on empty).
+std::optional<std::uint8_t> peek_tag(const util::Bytes& wire);
+
+/// Globally unique event identifier: (origin id, per-origin sequence).
+/// Origins are topology node indices for switches and kControllerOriginBase
+/// + controller id for controllers (membership events).
+struct EventId {
+  std::uint32_t origin = 0;
+  std::uint64_t seq = 0;
+  bool operator==(const EventId&) const = default;
+  auto operator<=>(const EventId&) const = default;
+};
+
+constexpr std::uint32_t kControllerOriginBase = 1u << 24;
+
+enum class EventKind : std::uint8_t {
+  kFlowRequest = 0,   ///< unroutable packet: establish a route
+  kFlowTeardown = 1,  ///< flow completed: remove its route
+  kAddController = 2, ///< membership: admit `member` to the control plane
+  kRemoveController = 3,
+};
+
+/// A data-plane (or membership) event.  Signed by its origin's PKI key;
+/// the signature covers `body()` so forwarding across domains preserves
+/// verifiability (§4.1: forwarded events are tagged to stop propagation —
+/// the flag is OUTSIDE the signed body for exactly that reason, and
+/// event identity/dedup is by `id`).
+struct Event {
+  EventId id;
+  EventKind kind = EventKind::kFlowRequest;
+  net::FlowMatch match;
+  double reserved_bps = 0.0;
+  std::uint32_t member = 0;  ///< controller id for membership events
+  bool forwarded = false;    ///< set when relayed to another domain
+  util::Bytes sig;
+
+  util::Bytes body() const;  ///< signed portion
+  util::Bytes encode() const;
+  static std::optional<Event> decode(const util::Bytes& wire);
+};
+
+/// Update identifiers must be equal across all correct controllers for the
+/// same event (switches count partial signatures per update id), so they
+/// are derived deterministically from the causing event.
+sched::UpdateId update_id_base(const EventId& cause);
+
+/// Canonical signed bytes of an update (what threshold partials cover).
+util::Bytes update_signing_bytes(const sched::Update& update);
+
+/// Controller -> switch (switch aggregation) or -> aggregator.
+struct UpdateMsg {
+  sched::Update update;
+  EventId cause;
+  /// Threshold partial signature; empty payload in the centralized and
+  /// crash-tolerant frameworks (no quorum authentication — the very gap
+  /// Cicero closes).
+  crypto::PartialSignature partial;
+  /// FROST backend only: a fresh one-time nonce commitment piggybacked so
+  /// the aggregator can assemble a signing session without an extra round.
+  util::Bytes frost_commitment;
+
+  util::Bytes encode() const;
+  static std::optional<UpdateMsg> decode(const util::Bytes& wire);
+};
+
+/// Aggregator -> switch: update plus the aggregated threshold signature.
+struct AggUpdateMsg {
+  sched::Update update;
+  EventId cause;
+  util::Bytes agg_sig;
+
+  util::Bytes encode() const;
+  static std::optional<AggUpdateMsg> decode(const util::Bytes& wire);
+};
+
+/// Switch -> control plane acknowledgement that `update_id` was applied.
+struct AckMsg {
+  sched::UpdateId update_id = 0;
+  std::uint32_t switch_node = 0;  ///< topology index
+  util::Bytes sig;                ///< switch PKI signature over body()
+
+  util::Bytes body() const;
+  util::Bytes encode() const;
+  static std::optional<AckMsg> decode(const util::Bytes& wire);
+};
+
+/// Aggregator -> signers: the FROST signing session for one update (the
+/// quorum's nonce commitments, taken from their UpdateMsg piggybacks).
+struct FrostSessionMsg {
+  sched::UpdateId update_id = 0;
+  std::vector<util::Bytes> commitments;  ///< serialized FrostCommitment set
+
+  util::Bytes encode() const;
+  static std::optional<FrostSessionMsg> decode(const util::Bytes& wire);
+};
+
+/// Signer -> aggregator: the FROST partial for a session.
+struct FrostPartialMsg {
+  sched::UpdateId update_id = 0;
+  std::uint32_t signer_index = 0;  ///< share index
+  util::Bytes z;                   ///< scalar bytes
+
+  util::Bytes encode() const;
+  static std::optional<FrostPartialMsg> decode(const util::Bytes& wire);
+};
+
+/// Old member -> new member: one resharing deal of a membership change
+/// (carries real crypto::ReshareDeal content).
+struct ReshareMsg {
+  std::uint32_t dealer_member = 0;  ///< controller id of the dealer
+  std::uint64_t phase = 0;          ///< membership phase being established
+  crypto::ShareIndex dealer_index = 0;
+  std::vector<util::Bytes> commitments;  ///< serialized points
+  crypto::ShareIndex receiver_index = 0;
+  util::Bytes share;  ///< scalar dealt to the receiver
+
+  util::Bytes encode() const;
+  static std::optional<ReshareMsg> decode(const util::Bytes& wire);
+};
+
+/// Control plane -> switch: the current aggregator (or none) and quorum.
+/// In the paper this rides on OpenFlow "master/slave role request"
+/// messages; here it also refreshes the member list after a change.
+struct AggregatorNotifyMsg {
+  std::uint64_t phase = 0;
+  sim::NodeId aggregator = UINT32_MAX;
+  std::uint32_t quorum = 0;
+  std::vector<sim::NodeId> controllers;
+
+  util::Bytes encode() const;
+  static std::optional<AggregatorNotifyMsg> decode(const util::Bytes& wire);
+};
+
+}  // namespace cicero::core

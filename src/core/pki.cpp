@@ -1,0 +1,21 @@
+#include "core/pki.hpp"
+
+namespace cicero::core {
+
+bool PkiDirectory::verify_event(const Event& e) const {
+  const auto pk = lookup(e.id.origin);
+  if (!pk) return false;
+  const auto sig = crypto::SchnorrSignature::from_bytes(e.sig);
+  if (!sig) return false;
+  return crypto::schnorr_verify(*pk, e.body(), *sig);
+}
+
+bool PkiDirectory::verify_ack(const AckMsg& a) const {
+  const auto pk = lookup(a.switch_node);
+  if (!pk) return false;
+  const auto sig = crypto::SchnorrSignature::from_bytes(a.sig);
+  if (!sig) return false;
+  return crypto::schnorr_verify(*pk, a.body(), *sig);
+}
+
+}  // namespace cicero::core

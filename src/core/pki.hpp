@@ -1,0 +1,39 @@
+// PKI directory: public keys of every event source (paper §3.2: "each
+// event source is assigned a public/private key pair").
+//
+// Switches are keyed by topology node index; controllers by
+// kControllerOriginBase + controller id (controller ids are never reused
+// across membership changes, §4.2, so directory entries are append-only).
+#pragma once
+
+#include <map>
+#include <optional>
+
+#include "core/messages.hpp"
+#include "crypto/group.hpp"
+
+namespace cicero::core {
+
+class PkiDirectory {
+ public:
+  void register_origin(std::uint32_t origin, const crypto::Point& pk) { pks_[origin] = pk; }
+
+  std::optional<crypto::Point> lookup(std::uint32_t origin) const {
+    const auto it = pks_.find(origin);
+    if (it == pks_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Verifies an event signature against its origin's registered key.
+  bool verify_event(const Event& e) const;
+
+  /// Verifies a switch acknowledgement.
+  bool verify_ack(const AckMsg& a) const;
+
+  std::size_t size() const { return pks_.size(); }
+
+ private:
+  std::map<std::uint32_t, crypto::Point> pks_;
+};
+
+}  // namespace cicero::core

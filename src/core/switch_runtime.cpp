@@ -1,0 +1,262 @@
+#include "core/switch_runtime.hpp"
+
+#include "bft/failure_detector.hpp"
+#include "crypto/frost.hpp"
+#include "util/logging.hpp"
+
+namespace cicero::core {
+
+namespace {
+constexpr const char* kLog = "switch";
+}
+
+SwitchRuntime::SwitchRuntime(sim::Simulator& simulator, sim::NetworkSim& network, Config config)
+    : sim_(simulator), net_(network), config_(std::move(config)), cpu_(simulator) {}
+
+bool SwitchRuntime::packet_in(const net::FlowMatch& match, double reserved_bps) {
+  if (table_.has(match)) return true;
+  const auto key = std::make_pair(match.src_host, match.dst_host);
+  if (outstanding_events_.count(key) != 0) return false;  // event already in flight
+  outstanding_events_.insert(key);
+  emit_flow_request(match, reserved_bps, config_.event_max_retries);
+  return false;
+}
+
+void SwitchRuntime::emit_flow_request(const net::FlowMatch& match, double reserved_bps,
+                                      std::uint32_t retries_left) {
+  Event e;
+  e.id = EventId{config_.topo_index, ++event_seq_};
+  e.kind = EventKind::kFlowRequest;
+  e.match = match;
+  e.reserved_bps = reserved_bps;
+  emit_event(std::move(e));
+  if (retries_left == 0 || config_.event_retry <= 0) return;
+  // While the route stays missing, unroutable packets keep arriving and a
+  // fresh event (new id) is emitted — the retransmission that rides out a
+  // faulty aggregator or dropped messages.
+  sim_.after(config_.event_retry, [this, match, reserved_bps, retries_left] {
+    if (table_.has(match)) return;
+    if (outstanding_events_.count({match.src_host, match.dst_host}) == 0) return;
+    emit_flow_request(match, reserved_bps, retries_left - 1);
+  });
+}
+
+void SwitchRuntime::request_teardown(const net::FlowMatch& match) {
+  Event e;
+  e.id = EventId{config_.topo_index, ++event_seq_};
+  e.kind = EventKind::kFlowTeardown;
+  e.match = match;
+  emit_event(std::move(e));
+}
+
+void SwitchRuntime::report_link_failure(net::NodeIndex neighbor) {
+  for (const net::FlowRule& rule : table_.rules()) {
+    if (rule.next_hop != neighbor) continue;
+    Event e;
+    e.id = EventId{config_.topo_index, ++event_seq_};
+    e.kind = EventKind::kFlowRequest;  // re-route request for this flow
+    e.match = rule.match;
+    e.reserved_bps = rule.reserved_bps;
+    emit_event(std::move(e));
+  }
+}
+
+void SwitchRuntime::emit_event(Event e) {
+  ++events_emitted_;
+  if (config_.real_crypto) {
+    e.sig = crypto::schnorr_sign(config_.key.sk, e.body()).to_bytes();
+  }
+  // Miss detection + event signing cost, then transmit (Fig. 6a).
+  cpu_.execute(config_.costs.packet_in_cost + config_.costs.event_sign,
+               [this, e = std::move(e)] {
+                 const util::Bytes wire = e.encode();
+                 if (config_.framework == FrameworkKind::kCiceroAgg &&
+                     config_.aggregator != sim::kInvalidNode) {
+                   net_.send(config_.node, config_.aggregator, wire);
+                 } else {
+                   net_.multicast(config_.node, config_.controllers, wire);
+                 }
+               });
+}
+
+void SwitchRuntime::handle_message(sim::NodeId from, const util::Bytes& wire) {
+  (void)from;
+  const auto tag = peek_tag(wire);
+  if (!tag) return;
+  switch (static_cast<CoreMsgTag>(*tag)) {
+    case CoreMsgTag::kUpdate: {
+      if (auto m = UpdateMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling, [this, m = std::move(*m)] { on_update(m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kAggUpdate: {
+      if (auto m = AggUpdateMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling,
+                     [this, m = std::move(*m)] { on_agg_update(m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kAggregatorNotify: {
+      if (auto m = AggregatorNotifyMsg::decode(wire)) on_aggregator_notify(*m);
+      break;
+    }
+    default:
+      CICERO_LOG_DEBUG(kLog, "s%u: unexpected tag 0x%02x", config_.topo_index, *tag);
+      break;
+  }
+}
+
+void SwitchRuntime::on_aggregator_notify(const AggregatorNotifyMsg& m) {
+  config_.aggregator = m.aggregator;
+  config_.quorum = m.quorum;
+  if (!m.controllers.empty()) config_.controllers = m.controllers;
+}
+
+void SwitchRuntime::on_update(const UpdateMsg& m) {
+  if (applied_ids_.count(m.update.id) != 0) return;
+
+  if (config_.framework == FrameworkKind::kCentralized ||
+      config_.framework == FrameworkKind::kCrashTolerant) {
+    // No quorum authentication: the first copy of the update is applied
+    // as-is.  (This is the attack surface the Byzantine tests exploit.)
+    applied_ids_.insert(m.update.id);
+    apply_update(m.update);
+    return;
+  }
+
+  // Cicero switch aggregation (Fig. 6b): buffer identical updates until a
+  // quorum of distinct signers accumulated, bucketed by update body.
+  if (m.partial.signer == 0) return;  // Cicero updates must carry a partial
+  const util::Bytes signing_bytes = update_signing_bytes(m.update);
+  const crypto::Digest d = crypto::Sha256::hash(signing_bytes);
+  const util::Bytes digest(d.begin(), d.end());
+
+  Pending& p = pending_[m.update.id];
+  Bucket& bucket = p.buckets[digest];
+  if (bucket.partials.empty()) {
+    bucket.update = m.update;
+    bucket.signing_bytes = signing_bytes;
+  }
+  if (p.buckets.size() > 1) {
+    CICERO_LOG_WARN(kLog, "s%u: conflicting update bodies for id %llu", config_.topo_index,
+                    static_cast<unsigned long long>(m.update.id));
+  }
+  bucket.partials[m.partial.signer] = m.partial;
+  try_aggregate(m.update.id, digest);
+}
+
+void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;
+  const auto bit = it->second.buckets.find(digest);
+  if (bit == it->second.buckets.end()) return;
+  Bucket& bucket = bit->second;
+  if (bucket.aggregating || bucket.partials.size() < config_.quorum) return;
+  bucket.aggregating = true;
+
+  // Charge aggregation (per-share Lagrange work) + threshold verification.
+  const sim::SimTime cost =
+      config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum) +
+      config_.costs.threshold_verify;
+  cpu_.execute(cost, [this, id, digest] {
+    auto it2 = pending_.find(id);
+    if (it2 == pending_.end()) return;
+    const auto bit2 = it2->second.buckets.find(digest);
+    if (bit2 == it2->second.buckets.end()) return;
+    Bucket& bucket = bit2->second;
+    bucket.aggregating = false;
+    if (applied_ids_.count(id) != 0) return;
+
+    bool valid = true;
+    if (config_.real_crypto) {
+      const auto& scheme = crypto::SimBlsScheme::instance();
+      // Try quorum-sized subsets, excluding at most one suspect at a time:
+      // with up to f bad partials among >= 2f+1 received this terminates
+      // with a valid aggregate once enough honest partials arrive.
+      std::vector<crypto::PartialSignature> all;
+      all.reserve(bucket.partials.size());
+      for (const auto& [idx, part] : bucket.partials) all.push_back(part);
+      valid = false;
+      for (std::size_t skip = 0; skip <= all.size() && !valid; ++skip) {
+        std::vector<crypto::PartialSignature> subset;
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          if (skip != 0 && i == skip - 1) continue;  // skip==0: no exclusion
+          subset.push_back(all[i]);
+        }
+        if (subset.size() < config_.quorum) continue;
+        const auto agg = scheme.aggregate(bucket.signing_bytes, subset, config_.quorum);
+        if (agg && scheme.verify(config_.group_pk, bucket.signing_bytes, *agg)) valid = true;
+      }
+    }
+
+    if (!valid) {
+      // Wait for more partials; a later arrival retries.
+      ++updates_rejected_;
+      CICERO_LOG_WARN(kLog, "s%u: aggregate verification failed for update %llu",
+                      config_.topo_index, static_cast<unsigned long long>(id));
+      return;
+    }
+    const sched::Update update = bucket.update;
+    pending_.erase(it2);
+    applied_ids_.insert(id);
+    apply_update(update);
+  });
+}
+
+void SwitchRuntime::on_agg_update(const AggUpdateMsg& m) {
+  if (applied_ids_.count(m.update.id) != 0) return;
+  cpu_.execute(config_.costs.threshold_verify, [this, m] {
+    if (applied_ids_.count(m.update.id) != 0) return;
+    if (config_.real_crypto) {
+      bool valid = false;
+      if (config_.backend == ThresholdBackend::kFrost) {
+        const auto sig = crypto::FrostSignature::from_bytes(m.agg_sig);
+        valid = sig && crypto::frost_verify(config_.group_pk,
+                                            update_signing_bytes(m.update), *sig);
+      } else {
+        valid = crypto::SimBlsScheme::instance().verify(
+            config_.group_pk, update_signing_bytes(m.update), m.agg_sig);
+      }
+      if (!valid) {
+        ++updates_rejected_;
+        CICERO_LOG_WARN(kLog, "s%u: bad aggregated signature for update %llu",
+                        config_.topo_index, static_cast<unsigned long long>(m.update.id));
+        return;
+      }
+    }
+    applied_ids_.insert(m.update.id);
+    apply_update(m.update);
+  });
+}
+
+void SwitchRuntime::apply_update(const sched::Update& update) {
+  cpu_.execute(config_.costs.flow_table_update, [this, update] {
+    if (update.op == sched::UpdateOp::kInstall) {
+      table_.install(update.rule);
+      outstanding_events_.erase({update.rule.match.src_host, update.rule.match.dst_host});
+    } else {
+      table_.remove(update.rule.match);
+    }
+    ++updates_applied_;
+    for (const auto& observer : observers_) observer(update);
+    send_ack(update);
+  });
+}
+
+void SwitchRuntime::send_ack(const sched::Update& update) {
+  AckMsg ack;
+  ack.update_id = update.id;
+  ack.switch_node = config_.topo_index;
+  const bool sign = config_.framework == FrameworkKind::kCicero ||
+                    config_.framework == FrameworkKind::kCiceroAgg;
+  if (sign && config_.real_crypto) {
+    ack.sig = crypto::schnorr_sign(config_.key.sk, ack.body()).to_bytes();
+  }
+  const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
+  cpu_.execute(cost, [this, ack = std::move(ack)] {
+    net_.multicast(config_.node, config_.controllers, ack.encode());
+  });
+}
+
+}  // namespace cicero::core

@@ -1,0 +1,133 @@
+// Cicero switch runtime (paper §5.2, Figs. 6a/6b).
+//
+// Deliberately minimal, as the paper stresses: a switch stores and
+// forwards by its flow table; on a table miss it signs and emits an event;
+// updates from the control plane are buffered until a quorum of identical
+// updates with valid partial signatures arrives, aggregated, verified
+// against the control plane's single public key, applied, and acknowledged
+// with a signed ack.  Under controller aggregation the switch only
+// verifies one aggregated signature.  Under the centralized/crash-tolerant
+// baselines it applies the first copy of an update it sees — which is
+// precisely the hole Cicero closes (demonstrated by the Byzantine tests).
+//
+// All expensive steps charge simulated CPU through the switch's CpuServer;
+// with Config::real_crypto the signatures are also actually computed and
+// verified (tests), otherwise only the costs are charged (large benches).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/cost_model.hpp"
+#include "core/framework.hpp"
+#include "core/messages.hpp"
+#include "crypto/simbls.hpp"
+#include "net/flow_table.hpp"
+#include "sim/cpu.hpp"
+#include "sim/network.hpp"
+
+namespace cicero::core {
+
+class SwitchRuntime {
+ public:
+  struct Config {
+    net::NodeIndex topo_index = net::kNoNode;  ///< identity in the topology
+    sim::NodeId node = sim::kInvalidNode;      ///< network endpoint
+    FrameworkKind framework = FrameworkKind::kCicero;
+    CostModel costs;
+    crypto::SchnorrKeyPair key;                ///< PKI pair (event/ack signing)
+    crypto::Point group_pk;                    ///< control plane threshold PK
+    std::uint32_t quorum = 3;
+    ThresholdBackend backend = ThresholdBackend::kSimBls;
+    std::vector<sim::NodeId> controllers;      ///< domain control plane
+    sim::NodeId aggregator = sim::kInvalidNode;  ///< set in kCiceroAgg
+    bool real_crypto = true;
+    /// Unroutable packets keep arriving while a route is missing, so an
+    /// unanswered flow-request event is re-emitted after this interval
+    /// (bounded retries); covers events lost to faulty controllers.
+    sim::SimTime event_retry = sim::seconds(2);
+    std::uint32_t event_max_retries = 10;
+  };
+
+  /// Fired (with the applied update) right after a rule change commits to
+  /// the flow table; the flow driver, consistency auditors and tests all
+  /// observe through this — observers accumulate, they do not replace
+  /// each other.
+  using AppliedFn = std::function<void(const sched::Update&)>;
+
+  SwitchRuntime(sim::Simulator& simulator, sim::NetworkSim& network, Config config);
+
+  /// Data-plane entry: a packet for `match` arrived.  If a rule exists the
+  /// packet forwards silently (returns true); otherwise the switch emits a
+  /// signed event to its control plane (Fig. 6a) and returns false.
+  /// Duplicate misses for a match with an event already outstanding do not
+  /// re-emit.
+  bool packet_in(const net::FlowMatch& match, double reserved_bps);
+
+  /// Emits a teardown event for an established flow (used by the
+  /// setup/teardown workload of Fig. 11c).
+  void request_teardown(const net::FlowMatch& match);
+
+  /// Link-state probing (paper §2 / future work): the link to `neighbor`
+  /// failed.  The switch emits one re-route event per installed rule that
+  /// forwards into the dead link, so the control plane re-establishes the
+  /// affected flows consistently around the failure.
+  void report_link_failure(net::NodeIndex neighbor);
+
+  /// Network ingress; wire into NetworkSim's handler for `config.node`.
+  void handle_message(sim::NodeId from, const util::Bytes& wire);
+
+  void add_applied_observer(AppliedFn fn) { observers_.push_back(std::move(fn)); }
+
+  const net::FlowTable& table() const { return table_; }
+  sim::CpuServer& cpu() { return cpu_; }
+  const Config& config() const { return config_; }
+
+  // --- stats ---
+  std::uint64_t events_emitted() const { return events_emitted_; }
+  std::uint64_t updates_applied() const { return updates_applied_; }
+  std::uint64_t updates_rejected() const { return updates_rejected_; }
+
+ private:
+  // Identical-update counting (Fig. 6b): partials are bucketed by the
+  // update body they sign, so a Byzantine controller racing a corrupted
+  // body ahead of the honest copies can never block the honest quorum's
+  // bucket (nor merge with it).
+  struct Bucket {
+    sched::Update update;
+    util::Bytes signing_bytes;
+    std::map<crypto::ShareIndex, crypto::PartialSignature> partials;
+    bool aggregating = false;
+  };
+  struct Pending {
+    std::map<util::Bytes, Bucket> buckets;  ///< body digest -> bucket
+  };
+
+  void emit_event(Event e);
+  void emit_flow_request(const net::FlowMatch& match, double reserved_bps,
+                         std::uint32_t retries_left);
+  void on_update(const UpdateMsg& m);
+  void on_agg_update(const AggUpdateMsg& m);
+  void on_aggregator_notify(const AggregatorNotifyMsg& m);
+  void try_aggregate(sched::UpdateId id, const util::Bytes& digest);
+  void apply_update(const sched::Update& update);
+  void send_ack(const sched::Update& update);
+
+  sim::Simulator& sim_;
+  sim::NetworkSim& net_;
+  Config config_;
+  sim::CpuServer cpu_;
+  net::FlowTable table_;
+  std::vector<AppliedFn> observers_;
+
+  std::uint64_t event_seq_ = 0;
+  std::map<sched::UpdateId, Pending> pending_;
+  std::set<sched::UpdateId> applied_ids_;
+  std::set<std::pair<net::NodeIndex, net::NodeIndex>> outstanding_events_;
+  std::uint64_t events_emitted_ = 0;
+  std::uint64_t updates_applied_ = 0;
+  std::uint64_t updates_rejected_ = 0;
+};
+
+}  // namespace cicero::core

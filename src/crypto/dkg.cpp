@@ -1,0 +1,151 @@
+#include "crypto/dkg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cicero::crypto {
+
+DkgParticipant::DkgParticipant(ShareIndex id, std::vector<ShareIndex> members,
+                               std::size_t threshold, Drbg& drbg)
+    : id_(id), members_(std::move(members)), threshold_(threshold), drbg_(&drbg) {
+  if (id_ == 0) throw std::invalid_argument("DkgParticipant: id must be nonzero");
+  if (threshold_ == 0 || threshold_ > members_.size()) {
+    throw std::invalid_argument("DkgParticipant: need 1 <= t <= n");
+  }
+  if (std::find(members_.begin(), members_.end(), id_) == members_.end()) {
+    throw std::invalid_argument("DkgParticipant: id not in member set");
+  }
+}
+
+DkgDeal DkgParticipant::make_deal() {
+  const Polynomial poly = Polynomial::random(drbg_->next_scalar(), threshold_, *drbg_);
+  own_coeffs_ = poly.coefficients();
+  DkgDeal deal;
+  deal.dealer = id_;
+  deal.commitments = poly.commitments();
+  for (const ShareIndex m : members_) deal.shares[m] = poly.eval(m);
+  return deal;
+}
+
+bool DkgParticipant::receive_deal(const DkgDeal& deal) {
+  if (deal.commitments.size() != threshold_) return false;
+  const auto it = deal.shares.find(id_);
+  if (it == deal.shares.end()) return false;
+  // Feldman check: share * G == sum_j id^j * A_j.
+  if (!(Point::mul_gen(it->second) == commitment_eval(deal.commitments, id_))) return false;
+  received_[deal.dealer] = it->second;
+  commitments_[deal.dealer] = deal.commitments;
+  return true;
+}
+
+DkgParticipant::Result DkgParticipant::finalize(const std::vector<ShareIndex>& qualified) const {
+  if (qualified.size() < threshold_) {
+    throw std::invalid_argument("DkgParticipant::finalize: |QUAL| < t");
+  }
+  Result result;
+  Scalar share = Scalar::zero();
+  Point pk = Point::infinity();
+  for (const ShareIndex dealer : qualified) {
+    const auto sh = received_.find(dealer);
+    const auto cm = commitments_.find(dealer);
+    if (sh == received_.end() || cm == commitments_.end()) {
+      throw std::invalid_argument("DkgParticipant::finalize: missing qualified deal");
+    }
+    share = share + sh->second;
+    pk = pk + cm->second.front();
+  }
+  result.share = SecretShare{id_, share};
+  result.group_public_key = pk;
+  for (const ShareIndex m : members_) {
+    Point v = Point::infinity();
+    for (const ShareIndex dealer : qualified) {
+      v = v + commitment_eval(commitments_.at(dealer), m);
+    }
+    result.verification_shares[m] = v;
+  }
+  return result;
+}
+
+std::vector<DkgParticipant::Result> run_dkg(const std::vector<ShareIndex>& members,
+                                            std::size_t threshold, Drbg& drbg) {
+  std::vector<DkgParticipant> participants;
+  participants.reserve(members.size());
+  for (const ShareIndex m : members) participants.emplace_back(m, members, threshold, drbg);
+
+  std::vector<DkgDeal> deals;
+  deals.reserve(members.size());
+  for (auto& p : participants) deals.push_back(p.make_deal());
+
+  for (auto& p : participants) {
+    for (const auto& d : deals) {
+      if (!p.receive_deal(d)) {
+        throw std::logic_error("run_dkg: honest deal rejected");
+      }
+    }
+  }
+
+  std::vector<DkgParticipant::Result> results;
+  results.reserve(members.size());
+  for (auto& p : participants) results.push_back(p.finalize(members));
+  return results;
+}
+
+ReshareDeal make_reshare_deal(const SecretShare& old_share,
+                              const std::vector<ShareIndex>& quorum,
+                              const std::vector<ShareIndex>& new_members,
+                              std::size_t new_threshold, Drbg& drbg) {
+  if (new_threshold == 0 || new_threshold > new_members.size()) {
+    throw std::invalid_argument("make_reshare_deal: need 1 <= t_new <= n_new");
+  }
+  const Scalar lambda = lagrange_at_zero(old_share.index, quorum);
+  const Polynomial poly = Polynomial::random(lambda * old_share.value, new_threshold, drbg);
+  ReshareDeal deal;
+  deal.dealer = old_share.index;
+  deal.commitments = poly.commitments();
+  for (const ShareIndex m : new_members) deal.shares[m] = poly.eval(m);
+  return deal;
+}
+
+bool verify_reshare_deal(const ReshareDeal& deal, const Point& old_verification_share,
+                         const std::vector<ShareIndex>& quorum, ShareIndex receiver) {
+  if (deal.commitments.empty()) return false;
+  Scalar lambda;
+  try {
+    lambda = lagrange_at_zero(deal.dealer, quorum);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  // Constant-term commitment must equal λ * (old share * G), binding the
+  // re-deal to the dealer's actual old share.
+  if (!(deal.commitments.front() == old_verification_share * lambda)) return false;
+  const auto it = deal.shares.find(receiver);
+  if (it == deal.shares.end()) return false;
+  return Point::mul_gen(it->second) == commitment_eval(deal.commitments, receiver);
+}
+
+DkgParticipant::Result reshare_finalize(const std::vector<ReshareDeal>& deals,
+                                        ShareIndex receiver,
+                                        const std::vector<ShareIndex>& new_members) {
+  if (deals.empty()) throw std::invalid_argument("reshare_finalize: no deals");
+  DkgParticipant::Result result;
+  Scalar share = Scalar::zero();
+  Point pk = Point::infinity();
+  for (const auto& d : deals) {
+    const auto it = d.shares.find(receiver);
+    if (it == d.shares.end()) {
+      throw std::invalid_argument("reshare_finalize: deal missing our share");
+    }
+    share = share + it->second;
+    pk = pk + d.commitments.front();
+  }
+  result.share = SecretShare{receiver, share};
+  result.group_public_key = pk;  // = sum λ_i * x_i * G = X * G: unchanged.
+  for (const ShareIndex m : new_members) {
+    Point v = Point::infinity();
+    for (const auto& d : deals) v = v + commitment_eval(d.commitments, m);
+    result.verification_shares[m] = v;
+  }
+  return result;
+}
+
+}  // namespace cicero::crypto

@@ -1,0 +1,115 @@
+// Distributed key generation (joint-Feldman / Pedersen DKG) and resharing.
+//
+// Paper §3.2: the control plane's threshold key is never known to any single
+// party.  Every controller acts as a sub-dealer: it deals a Shamir sharing
+// of a random value with Feldman commitments; receivers verify their dealt
+// sub-shares against the commitments and complain about bad dealers; the
+// final share is the sum of sub-shares from the qualified dealer set and
+// the group public key is the sum of the dealers' constant-term
+// commitments.
+//
+// Membership changes (§4.3) run `ReshareDealer`/`reshare_finalize`: at
+// least t_old existing members re-deal Lagrange-weighted sharings of their
+// own shares so the NEW member set gets fresh shares under a NEW threshold
+// while the group public key — the one installed on every switch — stays
+// fixed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
+
+namespace cicero::crypto {
+
+/// What a dealer broadcasts (commitments) and sends privately (one share
+/// per receiver).
+struct DkgDeal {
+  ShareIndex dealer = 0;
+  std::vector<Point> commitments;            ///< A_0..A_{t-1}, A_j = a_j * G.
+  std::map<ShareIndex, Scalar> shares;       ///< receiver -> f_dealer(receiver).
+};
+
+/// One DKG participant.  Usage:
+///   1. every participant calls make_deal() and distributes it;
+///   2. every participant feeds all deals to receive_deal(), collecting
+///      complaints;
+///   3. participants agree on the qualified set (deals with no valid
+///      complaint) and call finalize(qualified).
+class DkgParticipant {
+ public:
+  /// `id` is this participant's share index (nonzero); `members` lists all
+  /// participant indices (including `id`); `threshold` = t.
+  DkgParticipant(ShareIndex id, std::vector<ShareIndex> members, std::size_t threshold,
+                 Drbg& drbg);
+
+  ShareIndex id() const { return id_; }
+  std::size_t threshold() const { return threshold_; }
+
+  /// Creates this participant's deal (random polynomial + per-member shares).
+  DkgDeal make_deal();
+
+  /// Validates the sub-share addressed to us inside `deal`.  Returns true
+  /// if the share verifies against the dealer's commitments; false means
+  /// "complain against this dealer".
+  bool receive_deal(const DkgDeal& deal);
+
+  /// Result of the protocol for this participant.
+  struct Result {
+    SecretShare share;                       ///< this participant's key share
+    Point group_public_key;                  ///< PK = sum of A_{i,0} over QUAL
+    std::map<ShareIndex, Point> verification_shares;  ///< member -> share*G
+  };
+
+  /// Combines the deals from `qualified` (dealer indices; each must have
+  /// been accepted by receive_deal).  Throws if a qualified deal is missing.
+  Result finalize(const std::vector<ShareIndex>& qualified) const;
+
+ private:
+  ShareIndex id_;
+  std::vector<ShareIndex> members_;
+  std::size_t threshold_;
+  Drbg* drbg_;
+  std::vector<Scalar> own_coeffs_;                       // our polynomial
+  std::map<ShareIndex, Scalar> received_;                // dealer -> sub-share
+  std::map<ShareIndex, std::vector<Point>> commitments_;  // dealer -> commitments
+};
+
+/// Convenience: runs a full honest DKG in one call; returns one Result per
+/// member (all carrying the same group public key).
+std::vector<DkgParticipant::Result> run_dkg(const std::vector<ShareIndex>& members,
+                                            std::size_t threshold, Drbg& drbg);
+
+/// Resharing deal: an old member re-deals its (Lagrange-weighted) share to
+/// the new member set.
+struct ReshareDeal {
+  ShareIndex dealer = 0;                     ///< old-committee index
+  std::vector<Point> commitments;            ///< degree t_new-1; A_0 = λ_Q,dealer * share * G
+  std::map<ShareIndex, Scalar> shares;       ///< new member -> g_dealer(new member)
+};
+
+/// Creates a resharing deal.  `quorum` is the set of old members
+/// participating (>= t_old of them); `new_members`/`new_threshold` describe
+/// the next committee.
+ReshareDeal make_reshare_deal(const SecretShare& old_share,
+                              const std::vector<ShareIndex>& quorum,
+                              const std::vector<ShareIndex>& new_members,
+                              std::size_t new_threshold, Drbg& drbg);
+
+/// Validates a resharing deal against the old verification share of the
+/// dealer (old_vshare = old_share * G): checks A_0 == λ * old_vshare and the
+/// sub-share for `receiver` against the commitments.
+bool verify_reshare_deal(const ReshareDeal& deal, const Point& old_verification_share,
+                         const std::vector<ShareIndex>& quorum, ShareIndex receiver);
+
+/// New share for `receiver` = sum of sub-shares over all deals; also
+/// returns the new verification shares.  The group public key is unchanged
+/// (callers can assert against the old one).
+DkgParticipant::Result reshare_finalize(const std::vector<ReshareDeal>& deals,
+                                        ShareIndex receiver,
+                                        const std::vector<ShareIndex>& new_members);
+
+}  // namespace cicero::crypto

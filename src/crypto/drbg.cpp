@@ -1,0 +1,56 @@
+#include "crypto/drbg.hpp"
+
+#include <cstring>
+
+namespace cicero::crypto {
+
+Drbg::Drbg(const util::Bytes& seed) {
+  Sha256 h;
+  h.update("cicero/drbg/seed").update(seed);
+  key_ = h.finish();
+}
+
+Drbg::Drbg(std::uint64_t seed) {
+  util::Bytes b(8);
+  for (int i = 0; i < 8; ++i) b[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  Sha256 h;
+  h.update("cicero/drbg/seed").update(b);
+  key_ = h.finish();
+}
+
+void Drbg::generate(std::uint8_t* out, std::size_t len) {
+  while (len > 0) {
+    Sha256 h;
+    h.update(key_.data(), key_.size());
+    std::uint8_t ctr[8];
+    for (int i = 0; i < 8; ++i) ctr[i] = static_cast<std::uint8_t>(counter_ >> (8 * i));
+    ++counter_;
+    h.update(ctr, 8);
+    const Digest block = h.finish();
+    const std::size_t take = std::min(len, block.size());
+    std::memcpy(out, block.data(), take);
+    out += take;
+    len -= take;
+  }
+}
+
+util::Bytes Drbg::generate(std::size_t len) {
+  util::Bytes out(len);
+  generate(out.data(), len);
+  return out;
+}
+
+Scalar Drbg::next_scalar_any() {
+  std::uint8_t wide[64];
+  generate(wide, sizeof(wide));
+  return Scalar::from_wide_bytes(wide);
+}
+
+Scalar Drbg::next_scalar() {
+  for (;;) {
+    const Scalar s = next_scalar_any();
+    if (!s.is_zero()) return s;
+  }
+}
+
+}  // namespace cicero::crypto

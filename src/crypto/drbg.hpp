@@ -1,0 +1,38 @@
+// Deterministic random bit generator for key material.
+//
+// The simulator must be reproducible, so even "random" key generation is
+// derived from the run seed.  The DRBG is a simple SHA-256 counter
+// construction: out_i = SHA256(key || i), rekeyed from the seed.  This is
+// the HASH-DRBG shape (not certified; fine for a research simulator).
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/group.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+class Drbg {
+ public:
+  /// Seeds from arbitrary bytes.
+  explicit Drbg(const util::Bytes& seed);
+  /// Seeds from a 64-bit value (convenience for simulator wiring).
+  explicit Drbg(std::uint64_t seed);
+
+  /// Fills `out` with `len` pseudo-random bytes.
+  void generate(std::uint8_t* out, std::size_t len);
+  util::Bytes generate(std::size_t len);
+
+  /// Uniform nonzero scalar (wide reduction => negligible bias).
+  Scalar next_scalar();
+  /// Uniform scalar, possibly zero.
+  Scalar next_scalar_any();
+
+ private:
+  Digest key_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace cicero::crypto

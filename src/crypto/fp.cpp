@@ -1,0 +1,157 @@
+#include "crypto/fp.hpp"
+
+#include <stdexcept>
+
+namespace cicero::crypto {
+
+using u128 = unsigned __int128;
+
+namespace {
+// Computes m^{-1} mod 2^64 by Newton iteration (m odd), then negates.
+std::uint64_t neg_inv64(std::uint64_t m) {
+  std::uint64_t inv = m;  // correct mod 2^3
+  for (int i = 0; i < 5; ++i) inv *= 2 - m * inv;  // doubles precision each step
+  return ~inv + 1;  // -inv mod 2^64
+}
+}  // namespace
+
+MontgomeryCtx::MontgomeryCtx(const U256& modulus) : m_(modulus) {
+  if (!modulus.is_odd() || modulus <= U256::one()) {
+    throw std::invalid_argument("MontgomeryCtx: modulus must be odd and > 1");
+  }
+  n0inv_ = neg_inv64(m_.w[0]);
+
+  // one_mont_ = 2^256 mod m: start from the reduction of 2^255 doubled once,
+  // computed by repeated modular doubling of 1.
+  U256 x = U256::one();
+  // Reduce 1 (already < m unless m == 1, excluded above).
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t carry = x.add_assign(x);
+    if (carry != 0 || x >= m_) x.sub_assign(m_);
+  }
+  one_mont_ = x;
+
+  // r2_ = 2^512 mod m: double one_mont_ another 256 times.
+  for (int i = 0; i < 256; ++i) {
+    const std::uint64_t carry = x.add_assign(x);
+    if (carry != 0 || x >= m_) x.sub_assign(m_);
+  }
+  r2_ = x;
+}
+
+U256 MontgomeryCtx::redc(const U512& t) const {
+  // Standard word-by-word Montgomery reduction (CIOS-style on a materialized
+  // 512-bit input).
+  std::uint64_t tw[9];
+  for (int i = 0; i < 8; ++i) tw[i] = t.w[i];
+  tw[8] = 0;
+
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t u = tw[i] * n0inv_;
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(u) * m_.w[j] + tw[i + j] + carry;
+      tw[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    for (int j = i + 4; j < 9 && carry != 0; ++j) {
+      u128 cur = static_cast<u128>(tw[j]) + carry;
+      tw[j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+  }
+
+  // value = tw[8]*2^256 + tw[7..4]; reduce below m with 5-limb subtraction.
+  // For inputs t < m*R (all callers except reduce_wide) a single iteration
+  // suffices; the loop keeps redc total for any t < 2^512.
+  std::uint64_t hi = tw[8];
+  U256 r{tw[4], tw[5], tw[6], tw[7]};
+  while (hi != 0 || r >= m_) {
+    const std::uint64_t borrow = r.sub_assign(m_);
+    hi -= borrow;
+  }
+  return r;
+}
+
+U256 MontgomeryCtx::to_mont(const U256& a) const { return redc(mul_wide(a, r2_)); }
+
+U256 MontgomeryCtx::from_mont(const U256& a) const {
+  U512 t;
+  for (int i = 0; i < 4; ++i) t.w[i] = a.w[i];
+  return redc(t);
+}
+
+U256 MontgomeryCtx::add(const U256& a, const U256& b) const {
+  U256 r = a;
+  const std::uint64_t carry = r.add_assign(b);
+  if (carry != 0 || r >= m_) r.sub_assign(m_);
+  return r;
+}
+
+U256 MontgomeryCtx::sub(const U256& a, const U256& b) const {
+  U256 r = a;
+  if (r.sub_assign(b) != 0) r.add_assign(m_);
+  return r;
+}
+
+U256 MontgomeryCtx::neg(const U256& a) const {
+  if (a.is_zero()) return a;
+  U256 r = m_;
+  r.sub_assign(a);
+  return r;
+}
+
+U256 MontgomeryCtx::mul(const U256& a, const U256& b) const { return redc(mul_wide(a, b)); }
+
+U256 MontgomeryCtx::pow(const U256& a, const U256& e) const {
+  U256 result = one_mont_;
+  U256 base = a;
+  const unsigned bits = e.bit_length();
+  for (unsigned i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = mul(result, base);
+    base = sqr(base);
+  }
+  return result;
+}
+
+U256 MontgomeryCtx::inv(const U256& a) const {
+  if (a.is_zero()) throw std::domain_error("MontgomeryCtx::inv: zero has no inverse");
+  U256 e = m_;
+  e.sub_assign(U256(2));  // m - 2
+  return pow(a, e);
+}
+
+U256 MontgomeryCtx::reduce(const U256& a) const {
+  // For 256-bit inputs at most one conditional subtraction loop is bounded;
+  // handle the general case by repeated subtraction of shifted modulus.
+  if (a < m_) return a;
+  U256 r = a;
+  const unsigned shift_max = 256 - m_.bit_length();
+  for (int s = static_cast<int>(shift_max); s >= 0; --s) {
+    const U256 shifted = m_.shl(static_cast<unsigned>(s));
+    // m.shl(s) may have dropped high bits only if s too large; bounded by
+    // construction since m.bit_length() + s <= 256.
+    while (r >= shifted) r.sub_assign(shifted);
+  }
+  return r;
+}
+
+U256 MontgomeryCtx::reduce_wide(const U512& a) const {
+  // Binary (shift-and-subtract) reduction, correct for any odd modulus.
+  // 512 iterations of limb ops; only used on cold paths (hash-to-field).
+  U256 r;
+  for (int i = 511; i >= 0; --i) {
+    const std::uint64_t carry = r.add_assign(r);  // r <<= 1
+    // After doubling, true value is carry*2^256 + r < 2m, so at most one
+    // subtraction is needed and the wrapped subtraction is exact.
+    if (carry != 0 || r >= m_) r.sub_assign(m_);
+    const bool bit = (a.w[i / 64] >> (i % 64)) & 1;
+    if (bit) {
+      const std::uint64_t c2 = r.add_assign(U256::one());
+      if (c2 != 0 || r >= m_) r.sub_assign(m_);
+    }
+  }
+  return r;
+}
+
+}  // namespace cicero::crypto

@@ -1,0 +1,59 @@
+// Montgomery-form modular arithmetic over a runtime odd modulus.
+//
+// `MontgomeryCtx` is a reusable prime-field context: it precomputes the
+// Montgomery constants (-m^{-1} mod 2^64 and R^2 mod m, R = 2^256) for an
+// arbitrary odd 256-bit modulus and exposes the standard residue
+// operations.  Both secp256k1 contexts (base field and scalar order) are
+// instances of this class.  Values passed to/returned from the arithmetic
+// methods are in Montgomery form unless the method name says otherwise.
+#pragma once
+
+#include "crypto/u256.hpp"
+
+namespace cicero::crypto {
+
+class MontgomeryCtx {
+ public:
+  /// Builds a context for the given odd modulus (> 1).  Throws on even or
+  /// trivial moduli.
+  explicit MontgomeryCtx(const U256& modulus);
+
+  const U256& modulus() const { return m_; }
+
+  /// Conversion into/out of Montgomery form.
+  U256 to_mont(const U256& a) const;    ///< a must be < modulus.
+  U256 from_mont(const U256& a) const;  ///< REDC(a).
+
+  /// Montgomery representation of 1 (i.e., R mod m).
+  const U256& one_mont() const { return one_mont_; }
+
+  /// Residue arithmetic (inputs/outputs in Montgomery form, < modulus).
+  U256 add(const U256& a, const U256& b) const;
+  U256 sub(const U256& a, const U256& b) const;
+  U256 neg(const U256& a) const;
+  U256 mul(const U256& a, const U256& b) const;
+  U256 sqr(const U256& a) const { return mul(a, a); }
+
+  /// a^e via square-and-multiply; `a` in Montgomery form, `e` plain.
+  U256 pow(const U256& a, const U256& e) const;
+
+  /// Multiplicative inverse via Fermat (modulus must be prime); input and
+  /// output in Montgomery form.  Throws on zero.
+  U256 inv(const U256& a) const;
+
+  /// Reduces an arbitrary (non-Montgomery) 256-bit value mod m.
+  U256 reduce(const U256& a) const;
+
+  /// Reduces a 512-bit value mod m (non-Montgomery, used for hash-to-field).
+  U256 reduce_wide(const U512& a) const;
+
+ private:
+  U256 redc(const U512& t) const;
+
+  U256 m_;
+  std::uint64_t n0inv_;  // -m^{-1} mod 2^64
+  U256 r2_;              // R^2 mod m
+  U256 one_mont_;        // R mod m
+};
+
+}  // namespace cicero::crypto

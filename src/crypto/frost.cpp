@@ -1,0 +1,204 @@
+#include "crypto/frost.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/serialize.hpp"
+
+namespace cicero::crypto {
+
+namespace {
+
+/// Canonical transcript of the sorted commitment list.
+util::Bytes session_transcript(const std::vector<FrostCommitment>& session) {
+  std::vector<const FrostCommitment*> sorted;
+  sorted.reserve(session.size());
+  for (const auto& c : session) sorted.push_back(&c);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto* a, const auto* b) { return a->signer < b->signer; });
+  util::Writer w;
+  for (const auto* c : sorted) {
+    w.u32(c->signer);
+    w.bytes(c->d.to_bytes());
+    w.bytes(c->e.to_bytes());
+  }
+  return w.take();
+}
+
+Scalar binding_factor(ShareIndex signer, const util::Bytes& msg, const util::Bytes& transcript) {
+  util::Writer w;
+  w.str("cicero/frost/rho");
+  w.u32(signer);
+  w.bytes(msg);
+  w.bytes(transcript);
+  return Scalar::hash_to_scalar(w.data());
+}
+
+Scalar challenge(const Point& r, const Point& pk, const util::Bytes& msg) {
+  util::Writer w;
+  w.str("cicero/frost/chal");
+  w.bytes(r.to_bytes());
+  w.bytes(pk.to_bytes());
+  w.bytes(msg);
+  return Scalar::hash_to_scalar(w.data());
+}
+
+}  // namespace
+
+util::Bytes FrostCommitment::to_bytes() const {
+  util::Writer w;
+  w.u32(signer);
+  w.bytes(d.to_bytes());
+  w.bytes(e.to_bytes());
+  return w.take();
+}
+
+std::optional<FrostCommitment> FrostCommitment::from_bytes(const util::Bytes& b) {
+  try {
+    util::Reader r(b);
+    FrostCommitment c;
+    c.signer = r.u32();
+    const auto d = Point::from_bytes(r.bytes());
+    const auto e = Point::from_bytes(r.bytes());
+    r.expect_end();
+    if (!d || !e || c.signer == 0) return std::nullopt;
+    c.d = *d;
+    c.e = *e;
+    return c;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes FrostSignature::to_bytes() const {
+  util::Writer w;
+  w.bytes(r.to_bytes());
+  w.bytes(z.to_bytes());
+  return w.take();
+}
+
+std::optional<FrostSignature> FrostSignature::from_bytes(const util::Bytes& b) {
+  try {
+    util::Reader rd(b);
+    const auto r = Point::from_bytes(rd.bytes());
+    const auto z = Scalar::from_bytes(rd.bytes());
+    rd.expect_end();
+    if (!r || !z) return std::nullopt;
+    return FrostSignature{*r, *z};
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+FrostSigner::FrostSigner(SecretShare share, Point group_public_key)
+    : share_(std::move(share)), group_pk_(std::move(group_public_key)) {
+  if (share_.index == 0) throw std::invalid_argument("FrostSigner: zero share index");
+}
+
+FrostCommitment FrostSigner::commit(Drbg& drbg) {
+  NoncePair np;
+  np.d = drbg.next_scalar();
+  np.e = drbg.next_scalar();
+  np.cd = Point::mul_gen(np.d);
+  np.ce = Point::mul_gen(np.e);
+  pending_.push_back(np);
+  return FrostCommitment{share_.index, np.cd, np.ce};
+}
+
+Scalar FrostSigner::sign(const util::Bytes& msg, const std::vector<FrostCommitment>& session) {
+  // Locate our commitment in the session and the matching pending nonce.
+  const FrostCommitment* ours = nullptr;
+  for (const auto& c : session) {
+    if (c.signer == share_.index) {
+      if (ours != nullptr) throw std::invalid_argument("FrostSigner::sign: duplicate commitment");
+      ours = &c;
+    }
+  }
+  if (ours == nullptr) throw std::invalid_argument("FrostSigner::sign: not in session");
+
+  auto it = std::find_if(pending_.begin(), pending_.end(), [&](const NoncePair& np) {
+    return np.cd == ours->d && np.ce == ours->e;
+  });
+  if (it == pending_.end()) {
+    throw std::invalid_argument("FrostSigner::sign: unknown or already-used nonce pair");
+  }
+  const NoncePair np = *it;
+  pending_.erase(it);  // never reuse a nonce
+
+  const auto keys = frost_session_keys(msg, session, group_pk_);
+  const Scalar rho = keys.rho.at(share_.index);
+  const Scalar lambda = keys.lambda.at(share_.index);
+  return np.d + np.e * rho + lambda * keys.c * share_.value;
+}
+
+FrostSessionKeys frost_session_keys(const util::Bytes& msg,
+                                    const std::vector<FrostCommitment>& session,
+                                    const Point& group_public_key) {
+  if (session.empty()) throw std::invalid_argument("frost_session_keys: empty session");
+  const util::Bytes transcript = session_transcript(session);
+
+  std::vector<ShareIndex> indices;
+  indices.reserve(session.size());
+  for (const auto& c : session) indices.push_back(c.signer);
+
+  FrostSessionKeys keys;
+  Point r = Point::infinity();
+  for (const auto& c : session) {
+    const Scalar rho = binding_factor(c.signer, msg, transcript);
+    keys.rho[c.signer] = rho;
+    keys.lambda[c.signer] = lagrange_at_zero(c.signer, indices);
+    r = r + c.d + c.e * rho;
+  }
+  keys.r = r;
+  keys.c = challenge(r, group_public_key, msg);
+  return keys;
+}
+
+bool frost_verify_partial(const util::Bytes& msg, const std::vector<FrostCommitment>& session,
+                          const Point& group_public_key, ShareIndex signer,
+                          const Point& verification_share, const Scalar& z_i) {
+  const FrostCommitment* ours = nullptr;
+  for (const auto& c : session) {
+    if (c.signer == signer) ours = &c;
+  }
+  if (ours == nullptr) return false;
+  FrostSessionKeys keys;
+  try {
+    keys = frost_session_keys(msg, session, group_public_key);
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  // z_i*G == D_i + ρ_i E_i + λ_i c * (x_i G)
+  const Point lhs = Point::mul_gen(z_i);
+  const Point rhs = ours->d + ours->e * keys.rho.at(signer) +
+                    verification_share * (keys.lambda.at(signer) * keys.c);
+  return lhs == rhs;
+}
+
+std::optional<FrostSignature> frost_aggregate(const util::Bytes& msg,
+                                              const std::vector<FrostCommitment>& session,
+                                              const Point& group_public_key,
+                                              const std::map<ShareIndex, Scalar>& partials) {
+  FrostSessionKeys keys;
+  try {
+    keys = frost_session_keys(msg, session, group_public_key);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;
+  }
+  Scalar z = Scalar::zero();
+  for (const auto& c : session) {
+    const auto it = partials.find(c.signer);
+    if (it == partials.end()) return std::nullopt;
+    z = z + it->second;
+  }
+  return FrostSignature{keys.r, z};
+}
+
+bool frost_verify(const Point& group_public_key, const util::Bytes& msg,
+                  const FrostSignature& sig) {
+  if (sig.r.is_infinity() || group_public_key.is_infinity()) return false;
+  const Scalar c = challenge(sig.r, group_public_key, msg);
+  return Point::mul_gen(sig.z) == sig.r + group_public_key * c;
+}
+
+}  // namespace cicero::crypto

@@ -1,0 +1,111 @@
+// FROST-style two-round threshold Schnorr signatures (Komlo–Goldberg).
+//
+// This is the repository's *cryptographically real* threshold scheme: it
+// demonstrates that the Cicero controller-aggregation path (paper §4.2)
+// composes with a sound threshold signature, and it provides honest CPU
+// cost numbers for the cost model.  Unlike SimBLS it is interactive — a
+// coordinator (Cicero's aggregator controller) fixes the signer set and
+// collects nonce commitments before partial signatures are produced.  In
+// deployment signers precompute batches of nonce commitments so a signing
+// request needs only one message per signer, which is how the aggregator
+// flow uses it.
+//
+// Protocol (one signing session over message m with signer set S, |S| = t):
+//   round 1: each i in S picks nonces (d_i, e_i), publishes D_i = d_i*G,
+//            E_i = e_i*G.
+//   round 2: binding factor ρ_i = H1(i, m, B) with B the sorted commitment
+//            list; group commitment R = Σ (D_i + ρ_i E_i); challenge
+//            c = H2(R, PK, m); partial z_i = d_i + e_i ρ_i + λ_i(S) c x_i.
+//   output:  z = Σ z_i; signature (R, z); verifier checks
+//            z*G == R + c*PK.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "crypto/shamir.hpp"
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+/// Round-1 output: a signer's one-time nonce commitments.
+struct FrostCommitment {
+  ShareIndex signer = 0;
+  Point d;
+  Point e;
+
+  util::Bytes to_bytes() const;
+  static std::optional<FrostCommitment> from_bytes(const util::Bytes& b);
+};
+
+/// Final signature; verification-compatible encoding (R, z).
+struct FrostSignature {
+  Point r;
+  Scalar z;
+
+  util::Bytes to_bytes() const;
+  static std::optional<FrostSignature> from_bytes(const util::Bytes& b);
+};
+
+/// One signer's state.  A `FrostSigner` owns a key share and a pool of
+/// unused nonce pairs; `commit()` mints a fresh pair (never reused — nonce
+/// reuse leaks the share, and `sign` consumes the pair it matches).
+class FrostSigner {
+ public:
+  FrostSigner(SecretShare share, Point group_public_key);
+
+  ShareIndex id() const { return share_.index; }
+
+  /// Round 1: creates and remembers a fresh nonce pair.
+  FrostCommitment commit(Drbg& drbg);
+
+  /// Round 2: produces this signer's partial signature for `msg` under the
+  /// session's commitment list (must contain our commitment exactly once).
+  /// Consumes the matching nonce pair; throws std::invalid_argument if the
+  /// session does not include a commitment we made, or reuses one.
+  Scalar sign(const util::Bytes& msg, const std::vector<FrostCommitment>& session);
+
+ private:
+  struct NoncePair {
+    Scalar d, e;
+    Point cd, ce;
+  };
+  SecretShare share_;
+  Point group_pk_;
+  std::vector<NoncePair> pending_;
+};
+
+/// Computes the session's group commitment R and challenge c (used by the
+/// coordinator and by partial verification).
+struct FrostSessionKeys {
+  Point r;
+  Scalar c;
+  std::map<ShareIndex, Scalar> rho;      ///< binding factors per signer
+  std::map<ShareIndex, Scalar> lambda;   ///< Lagrange coefficients per signer
+};
+FrostSessionKeys frost_session_keys(const util::Bytes& msg,
+                                    const std::vector<FrostCommitment>& session,
+                                    const Point& group_public_key);
+
+/// Verifies a single partial signature z_i against the signer's
+/// verification share; lets the coordinator attribute bad partials.
+bool frost_verify_partial(const util::Bytes& msg, const std::vector<FrostCommitment>& session,
+                          const Point& group_public_key, ShareIndex signer,
+                          const Point& verification_share, const Scalar& z_i);
+
+/// Aggregates partial signatures (one per session signer) into (R, z).
+/// Returns nullopt if a signer's partial is missing.
+std::optional<FrostSignature> frost_aggregate(const util::Bytes& msg,
+                                              const std::vector<FrostCommitment>& session,
+                                              const Point& group_public_key,
+                                              const std::map<ShareIndex, Scalar>& partials);
+
+/// Verifies the final signature: z*G == R + c*PK.
+bool frost_verify(const Point& group_public_key, const util::Bytes& msg,
+                  const FrostSignature& sig);
+
+}  // namespace cicero::crypto

@@ -1,0 +1,302 @@
+#include "crypto/group.hpp"
+
+#include <stdexcept>
+
+namespace cicero::crypto {
+
+namespace {
+
+// secp256k1 parameters.
+const U256 kFieldP =
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kOrderN =
+    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const U256 kGenX = U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGenY = U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+/// Singleton holding the two Montgomery contexts.
+struct GroupParams {
+  MontgomeryCtx fp;   // base field
+  MontgomeryCtx fn;   // scalar field (group order)
+  U256 b_mont;        // curve b = 7 in Montgomery form
+  GroupParams() : fp(kFieldP), fn(kOrderN), b_mont(fp.to_mont(U256(7))) {}
+};
+
+const GroupParams& params() {
+  static const GroupParams p;
+  return p;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scalar
+// ---------------------------------------------------------------------------
+
+Scalar Scalar::from_u64(std::uint64_t v) { return Scalar(U256(v)); }
+
+Scalar Scalar::from_u256(const U256& v) { return Scalar(params().fn.reduce(v)); }
+
+Scalar Scalar::hash_to_scalar(const util::Bytes& msg) {
+  // Widen to 64 bytes with two tagged hashes to make the mod-n bias
+  // negligible, then reduce.
+  Sha256 h1, h2;
+  h1.update("cicero/h2s/0").update(msg);
+  h2.update("cicero/h2s/1").update(msg);
+  const Digest d1 = h1.finish(), d2 = h2.finish();
+  std::uint8_t wide[64];
+  std::copy(d1.begin(), d1.end(), wide);
+  std::copy(d2.begin(), d2.end(), wide + 32);
+  return from_wide_bytes(wide);
+}
+
+Scalar Scalar::from_wide_bytes(const std::uint8_t* data64) {
+  U512 wide;
+  // Interpret as big-endian 512-bit integer.
+  for (int i = 0; i < 64; ++i) {
+    const int bit_pos = (63 - i) * 8;
+    wide.w[bit_pos / 64] |= static_cast<std::uint64_t>(data64[i]) << (bit_pos % 64);
+  }
+  return Scalar(params().fn.reduce_wide(wide));
+}
+
+Scalar Scalar::operator+(const Scalar& o) const {
+  // Plain-form add: both < n, so Montgomery form is unnecessary.
+  U256 r = v_;
+  const std::uint64_t carry = r.add_assign(o.v_);
+  if (carry != 0 || r >= params().fn.modulus()) r.sub_assign(params().fn.modulus());
+  return Scalar(r);
+}
+
+Scalar Scalar::operator-(const Scalar& o) const {
+  U256 r = v_;
+  if (r.sub_assign(o.v_) != 0) r.add_assign(params().fn.modulus());
+  return Scalar(r);
+}
+
+Scalar Scalar::operator*(const Scalar& o) const {
+  const auto& fn = params().fn;
+  return Scalar(fn.from_mont(fn.mul(fn.to_mont(v_), fn.to_mont(o.v_))));
+}
+
+Scalar Scalar::operator-() const {
+  if (v_.is_zero()) return *this;
+  U256 r = params().fn.modulus();
+  r.sub_assign(v_);
+  return Scalar(r);
+}
+
+Scalar Scalar::inverse() const {
+  const auto& fn = params().fn;
+  return Scalar(fn.from_mont(fn.inv(fn.to_mont(v_))));
+}
+
+util::Bytes Scalar::to_bytes() const {
+  const auto b = v_.to_bytes_be();
+  return util::Bytes(b.begin(), b.end());
+}
+
+std::optional<Scalar> Scalar::from_bytes(const util::Bytes& b) {
+  if (b.size() != 32) return std::nullopt;
+  const U256 v = U256::from_bytes_be(b.data(), b.size());
+  if (v >= params().fn.modulus()) return std::nullopt;
+  return Scalar(v);
+}
+
+// ---------------------------------------------------------------------------
+// Point
+// ---------------------------------------------------------------------------
+
+Point::Point() = default;
+
+const Point& Point::generator() {
+  static const Point g = [] {
+    const auto& fp = params().fp;
+    Point p;
+    p.x_ = fp.to_mont(kGenX);
+    p.y_ = fp.to_mont(kGenY);
+    p.z_ = fp.one_mont();
+    p.inf_ = false;
+    return p;
+  }();
+  return g;
+}
+
+namespace {
+
+// Jacobian kernels (defined after GroupCtx, which has coordinate access).
+Point jac_double(const Point& p);
+Point jac_add(const Point& p, const Point& q);
+
+}  // namespace
+
+// GroupCtx is a friend of Point and hosts the coordinate-level kernels.
+class GroupCtx {
+ public:
+  static Point make(const U256& x, const U256& y, const U256& z) {
+    Point p;
+    p.x_ = x;
+    p.y_ = y;
+    p.z_ = z;
+    p.inf_ = false;
+    return p;
+  }
+
+  static Point dbl(const Point& p) {
+    if (p.inf_) return p;
+    const auto& f = params().fp;
+    if (p.y_.is_zero()) return Point::infinity();
+    // A = X^2; B = Y^2; C = B^2; D = 2*((X+B)^2 - A - C); E = 3*A; F = E^2
+    const U256 a = f.sqr(p.x_);
+    const U256 b = f.sqr(p.y_);
+    const U256 c = f.sqr(b);
+    U256 d = f.sqr(f.add(p.x_, b));
+    d = f.sub(f.sub(d, a), c);
+    d = f.add(d, d);
+    const U256 e = f.add(f.add(a, a), a);
+    const U256 ff = f.sqr(e);
+    const U256 x3 = f.sub(ff, f.add(d, d));
+    U256 c8 = f.add(c, c);
+    c8 = f.add(c8, c8);
+    c8 = f.add(c8, c8);
+    const U256 y3 = f.sub(f.mul(e, f.sub(d, x3)), c8);
+    const U256 z3 = f.mul(f.add(p.y_, p.y_), p.z_);
+    if (z3.is_zero()) return Point::infinity();
+    return make(x3, y3, z3);
+  }
+
+  static Point add(const Point& p, const Point& q) {
+    if (p.inf_) return q;
+    if (q.inf_) return p;
+    const auto& f = params().fp;
+    // add-2007-bl
+    const U256 z1z1 = f.sqr(p.z_);
+    const U256 z2z2 = f.sqr(q.z_);
+    const U256 u1 = f.mul(p.x_, z2z2);
+    const U256 u2 = f.mul(q.x_, z1z1);
+    const U256 s1 = f.mul(f.mul(p.y_, q.z_), z2z2);
+    const U256 s2 = f.mul(f.mul(q.y_, p.z_), z1z1);
+    if (u1 == u2) {
+      if (s1 == s2) return dbl(p);
+      return Point::infinity();
+    }
+    const U256 h = f.sub(u2, u1);
+    U256 i = f.add(h, h);
+    i = f.sqr(i);
+    const U256 j = f.mul(h, i);
+    U256 r = f.sub(s2, s1);
+    r = f.add(r, r);
+    const U256 v = f.mul(u1, i);
+    U256 x3 = f.sqr(r);
+    x3 = f.sub(f.sub(x3, j), f.add(v, v));
+    U256 s1j = f.mul(s1, j);
+    U256 y3 = f.mul(r, f.sub(v, x3));
+    y3 = f.sub(y3, f.add(s1j, s1j));
+    U256 z3 = f.sqr(f.add(p.z_, q.z_));
+    z3 = f.sub(f.sub(z3, z1z1), z2z2);
+    z3 = f.mul(z3, h);
+    if (z3.is_zero()) return Point::infinity();
+    return make(x3, y3, z3);
+  }
+
+  /// Converts to affine (Montgomery-form) coordinates; p must be finite.
+  static void to_affine(const Point& p, U256& ax, U256& ay) {
+    const auto& f = params().fp;
+    const U256 zinv = f.inv(p.z_);
+    const U256 zinv2 = f.sqr(zinv);
+    ax = f.mul(p.x_, zinv2);
+    ay = f.mul(p.y_, f.mul(zinv2, zinv));
+  }
+};
+
+namespace {
+Point jac_double(const Point& p) { return GroupCtx::dbl(p); }
+Point jac_add(const Point& p, const Point& q) { return GroupCtx::add(p, q); }
+}  // namespace
+
+Point Point::operator+(const Point& o) const { return jac_add(*this, o); }
+
+Point Point::operator-() const {
+  if (inf_) return *this;
+  Point p = *this;
+  p.y_ = params().fp.neg(y_);
+  return p;
+}
+
+Point Point::operator*(const Scalar& k) const {
+  // 4-bit fixed-window double-and-add.  Not constant-time; acceptable for a
+  // research simulator (documented in DESIGN.md).
+  if (inf_ || k.is_zero()) return Point::infinity();
+  Point table[16];
+  table[0] = Point::infinity();
+  table[1] = *this;
+  for (int i = 2; i < 16; ++i) table[i] = jac_add(table[i - 1], *this);
+
+  const U256& e = k.raw();
+  const unsigned bits = e.bit_length();
+  const unsigned windows = (bits + 3) / 4;
+  Point acc = Point::infinity();
+  for (int wi = static_cast<int>(windows) - 1; wi >= 0; --wi) {
+    for (int j = 0; j < 4; ++j) acc = jac_double(acc);
+    const unsigned shift = static_cast<unsigned>(wi) * 4;
+    unsigned digit = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+      const unsigned bit_idx = shift + b;
+      if (bit_idx < 256 && e.bit(bit_idx)) digit |= 1u << b;
+    }
+    if (digit != 0) acc = jac_add(acc, table[digit]);
+  }
+  return acc;
+}
+
+bool Point::operator==(const Point& o) const {
+  if (inf_ || o.inf_) return inf_ == o.inf_;
+  // Cross-multiplied Jacobian comparison: X1*Z2^2 == X2*Z1^2 etc.
+  const auto& f = params().fp;
+  const U256 z1z1 = f.sqr(z_);
+  const U256 z2z2 = f.sqr(o.z_);
+  if (!(f.mul(x_, z2z2) == f.mul(o.x_, z1z1))) return false;
+  return f.mul(y_, f.mul(z2z2, o.z_)) == f.mul(o.y_, f.mul(z1z1, z_));
+}
+
+bool Point::on_curve() const {
+  if (inf_) return true;
+  const auto& f = params().fp;
+  U256 ax, ay;
+  GroupCtx::to_affine(*this, ax, ay);
+  const U256 lhs = f.sqr(ay);
+  const U256 rhs = f.add(f.mul(f.sqr(ax), ax), params().b_mont);
+  return lhs == rhs;
+}
+
+util::Bytes Point::to_bytes() const {
+  if (inf_) return util::Bytes{0x00};
+  const auto& f = params().fp;
+  U256 ax, ay;
+  GroupCtx::to_affine(*this, ax, ay);
+  const auto xb = f.from_mont(ax).to_bytes_be();
+  const auto yb = f.from_mont(ay).to_bytes_be();
+  util::Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  out.insert(out.end(), xb.begin(), xb.end());
+  out.insert(out.end(), yb.begin(), yb.end());
+  return out;
+}
+
+std::optional<Point> Point::from_bytes(const util::Bytes& b) {
+  if (b.size() == 1 && b[0] == 0x00) return Point::infinity();
+  if (b.size() != 65 || b[0] != 0x04) return std::nullopt;
+  const auto& f = params().fp;
+  const U256 x = U256::from_bytes_be(b.data() + 1, 32);
+  const U256 y = U256::from_bytes_be(b.data() + 33, 32);
+  if (x >= f.modulus() || y >= f.modulus()) return std::nullopt;
+  Point p = GroupCtx::make(f.to_mont(x), f.to_mont(y), f.one_mont());
+  if (!p.on_curve()) return std::nullopt;
+  return p;
+}
+
+void absorb(Sha256& h, const Scalar& s) { h.update(s.to_bytes()); }
+void absorb(Sha256& h, const Point& p) { h.update(p.to_bytes()); }
+
+}  // namespace cicero::crypto

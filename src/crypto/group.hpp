@@ -1,0 +1,102 @@
+// The secp256k1 group: scalars mod the group order and curve points.
+//
+// Everything above this layer (Schnorr signatures, Shamir sharing, DKG,
+// FROST, SimBLS) is written against `Scalar` and `Point`.  `Scalar` is an
+// element of Z_n (n = group order) kept in plain (non-Montgomery) form;
+// `Point` is a curve point kept internally in Jacobian coordinates with
+// base-field coordinates in Montgomery form.  Both are cheap value types.
+//
+// Curve: y^2 = x^3 + 7 over F_p,
+//   p = 2^256 - 2^32 - 977,
+//   n = group order (prime), cofactor 1.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/fp.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/u256.hpp"
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+/// Scalar in Z_n, always reduced (< n), plain representation.
+class Scalar {
+ public:
+  Scalar() = default;  ///< Zero.
+  static Scalar zero() { return Scalar(); }
+  static Scalar one() { return from_u64(1); }
+  static Scalar from_u64(std::uint64_t v);
+  /// Reduces an arbitrary 256-bit value mod n.
+  static Scalar from_u256(const U256& v);
+  /// Hash-to-scalar: SHA-256 of the input, widened and reduced mod n.
+  static Scalar hash_to_scalar(const util::Bytes& msg);
+  /// Derives a scalar from 64 bytes (wide reduction; negligible bias).
+  static Scalar from_wide_bytes(const std::uint8_t* data64);
+
+  bool is_zero() const { return v_.is_zero(); }
+  bool operator==(const Scalar& o) const = default;
+
+  Scalar operator+(const Scalar& o) const;
+  Scalar operator-(const Scalar& o) const;
+  Scalar operator*(const Scalar& o) const;
+  Scalar operator-() const;
+  /// Multiplicative inverse; throws std::domain_error on zero.
+  Scalar inverse() const;
+
+  const U256& raw() const { return v_; }
+  util::Bytes to_bytes() const;  ///< 32-byte big-endian encoding.
+  static std::optional<Scalar> from_bytes(const util::Bytes& b);
+  std::string to_hex() const { return v_.to_hex(); }
+
+ private:
+  explicit Scalar(const U256& v) : v_(v) {}
+  U256 v_;
+};
+
+/// Curve point (including the point at infinity).
+class Point {
+ public:
+  Point();  ///< Point at infinity.
+  static Point infinity() { return Point(); }
+  static const Point& generator();
+
+  bool is_infinity() const { return inf_; }
+
+  Point operator+(const Point& o) const;
+  Point operator-() const;
+  Point operator-(const Point& o) const { return *this + (-o); }
+  /// Scalar multiplication (double-and-add over the scalar's bits).
+  Point operator*(const Scalar& k) const;
+  bool operator==(const Point& o) const;
+
+  /// Convenience: k * G.
+  static Point mul_gen(const Scalar& k) { return generator() * k; }
+
+  /// True iff the (affine) point satisfies the curve equation.
+  bool on_curve() const;
+
+  /// 65-byte uncompressed SEC1-style encoding (0x04 || X || Y), or a single
+  /// 0x00 byte for infinity.
+  util::Bytes to_bytes() const;
+  /// Parses the encoding above; returns nullopt for malformed or off-curve
+  /// input (crucial: signatures deserialized from the network are validated
+  /// here before any use).
+  static std::optional<Point> from_bytes(const util::Bytes& b);
+
+  std::string to_hex() const { return util::to_hex(to_bytes()); }
+
+ private:
+  friend class GroupCtx;
+  // Jacobian coordinates in Montgomery form over F_p; (X/Z^2, Y/Z^3).
+  U256 x_, y_, z_;
+  bool inf_ = true;
+};
+
+/// Adds a scalar to a hash transcript (canonical 32-byte encoding).
+void absorb(Sha256& h, const Scalar& s);
+/// Adds a point to a hash transcript (canonical encoding).
+void absorb(Sha256& h, const Point& p);
+
+}  // namespace cicero::crypto

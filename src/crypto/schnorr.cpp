@@ -1,0 +1,68 @@
+#include "crypto/schnorr.hpp"
+
+#include "util/serialize.hpp"
+
+namespace cicero::crypto {
+
+namespace {
+/// Fiat–Shamir challenge e = H(R || PK || m) as a scalar.
+Scalar challenge(const Point& r, const Point& pk, const util::Bytes& msg) {
+  util::Writer w;
+  w.str("cicero/schnorr");
+  w.bytes(r.to_bytes());
+  w.bytes(pk.to_bytes());
+  w.bytes(msg);
+  return Scalar::hash_to_scalar(w.data());
+}
+}  // namespace
+
+util::Bytes SchnorrSignature::to_bytes() const {
+  util::Writer w;
+  w.bytes(r.to_bytes());
+  w.bytes(s.to_bytes());
+  return w.take();
+}
+
+std::optional<SchnorrSignature> SchnorrSignature::from_bytes(const util::Bytes& b) {
+  try {
+    util::Reader rd(b);
+    const auto rp = Point::from_bytes(rd.bytes());
+    const auto sv = Scalar::from_bytes(rd.bytes());
+    rd.expect_end();
+    if (!rp || !sv) return std::nullopt;
+    return SchnorrSignature{*rp, *sv};
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+SchnorrKeyPair SchnorrKeyPair::generate(Drbg& drbg) {
+  const Scalar sk = drbg.next_scalar();
+  return SchnorrKeyPair{sk, Point::mul_gen(sk)};
+}
+
+SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg) {
+  // Deterministic nonce: k = H2S(HMAC(sk, msg)); retry on the (negligible)
+  // zero case with a counter.
+  Scalar k;
+  for (std::uint8_t ctr = 0;; ++ctr) {
+    util::Bytes keyed = sk.to_bytes();
+    keyed.push_back(ctr);
+    const Digest d = hmac_sha256(keyed, msg);
+    util::Bytes db(d.begin(), d.end());
+    k = Scalar::hash_to_scalar(db);
+    if (!k.is_zero()) break;
+  }
+  const Point r = Point::mul_gen(k);
+  const Scalar e = challenge(r, Point::mul_gen(sk), msg);
+  const Scalar s = k + e * sk;
+  return SchnorrSignature{r, s};
+}
+
+bool schnorr_verify(const Point& pk, const util::Bytes& msg, const SchnorrSignature& sig) {
+  if (pk.is_infinity() || sig.r.is_infinity()) return false;
+  const Scalar e = challenge(sig.r, pk, msg);
+  return Point::mul_gen(sig.s) == sig.r + pk * e;
+}
+
+}  // namespace cicero::crypto

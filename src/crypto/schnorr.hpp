@@ -1,0 +1,42 @@
+// Single-signer Schnorr signatures over secp256k1.
+//
+// This is the paper's "PKI" layer (§3.2): every event source — switches,
+// controllers, administrators — holds a key pair and signs the events it
+// originates.  Signatures are (R, s) with the standard verification
+// equation s*G == R + H(R || PK || m)*PK.  Nonces are derived
+// deterministically from the secret key and message (RFC 6979 in spirit,
+// via HMAC-SHA256), so signing needs no randomness source.
+#pragma once
+
+#include <optional>
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+struct SchnorrSignature {
+  Point r;
+  Scalar s;
+
+  util::Bytes to_bytes() const;
+  static std::optional<SchnorrSignature> from_bytes(const util::Bytes& b);
+  bool operator==(const SchnorrSignature& o) const = default;
+};
+
+struct SchnorrKeyPair {
+  Scalar sk;
+  Point pk;
+
+  /// Deterministic key generation from a DRBG.
+  static SchnorrKeyPair generate(Drbg& drbg);
+};
+
+/// Signs `msg` with `sk` (deterministic nonce).
+SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg);
+
+/// Verifies a signature against `pk`.
+bool schnorr_verify(const Point& pk, const util::Bytes& msg, const SchnorrSignature& sig);
+
+}  // namespace cicero::crypto

@@ -1,0 +1,50 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for message digests, hash-to-scalar, commitment hashing, and the
+// deterministic DRBG.  Streaming interface plus one-shot helpers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs more input.
+  Sha256& update(const std::uint8_t* data, std::size_t len);
+  Sha256& update(const util::Bytes& data) { return update(data.data(), data.size()); }
+  Sha256& update(std::string_view s) {
+    return update(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalizes and returns the digest.  The object must not be reused after.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest hash(const util::Bytes& data);
+  static Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint64_t bit_len_ = 0;
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+/// HMAC-SHA256 (RFC 2104); used by the deterministic nonce derivation.
+Digest hmac_sha256(const util::Bytes& key, const util::Bytes& msg);
+
+/// Converts a digest to an owned byte string.
+util::Bytes digest_bytes(const Digest& d);
+
+}  // namespace cicero::crypto

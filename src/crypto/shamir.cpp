@@ -1,0 +1,94 @@
+#include "crypto/shamir.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace cicero::crypto {
+
+Polynomial Polynomial::random(const Scalar& constant, std::size_t threshold, Drbg& drbg) {
+  if (threshold == 0) throw std::invalid_argument("Polynomial: threshold must be >= 1");
+  std::vector<Scalar> coeffs;
+  coeffs.reserve(threshold);
+  coeffs.push_back(constant);
+  for (std::size_t j = 1; j < threshold; ++j) coeffs.push_back(drbg.next_scalar_any());
+  return Polynomial(std::move(coeffs));
+}
+
+Scalar Polynomial::eval(ShareIndex index) const {
+  if (index == 0) throw std::invalid_argument("Polynomial::eval: index 0 is the secret");
+  const Scalar x = Scalar::from_u64(index);
+  Scalar acc = Scalar::zero();
+  for (auto it = coeffs_.rbegin(); it != coeffs_.rend(); ++it) acc = acc * x + *it;
+  return acc;
+}
+
+std::vector<Point> Polynomial::commitments() const {
+  std::vector<Point> out;
+  out.reserve(coeffs_.size());
+  for (const auto& c : coeffs_) out.push_back(Point::mul_gen(c));
+  return out;
+}
+
+std::vector<SecretShare> shamir_split(const Scalar& secret, std::size_t t, std::size_t n,
+                                      Drbg& drbg) {
+  if (t == 0 || t > n) throw std::invalid_argument("shamir_split: need 1 <= t <= n");
+  const Polynomial poly = Polynomial::random(secret, t, drbg);
+  std::vector<SecretShare> shares;
+  shares.reserve(n);
+  for (std::size_t i = 1; i <= n; ++i) {
+    const auto idx = static_cast<ShareIndex>(i);
+    shares.push_back(SecretShare{idx, poly.eval(idx)});
+  }
+  return shares;
+}
+
+Scalar lagrange_at_zero(ShareIndex i, const std::vector<ShareIndex>& indices) {
+  Scalar num = Scalar::one();
+  Scalar den = Scalar::one();
+  const Scalar xi = Scalar::from_u64(i);
+  bool found = false;
+  for (const ShareIndex j : indices) {
+    if (j == i) {
+      found = true;
+      continue;
+    }
+    const Scalar xj = Scalar::from_u64(j);
+    num = num * xj;            // prod (0 - x_j) signs cancel pairwise with den
+    den = den * (xj - xi);
+  }
+  if (!found) throw std::invalid_argument("lagrange_at_zero: i not in index set");
+  // λ_i(0) = prod_j (x_j / (x_j - x_i))
+  return num * den.inverse();
+}
+
+Scalar shamir_reconstruct(const std::vector<SecretShare>& shares) {
+  if (shares.empty()) throw std::invalid_argument("shamir_reconstruct: no shares");
+  std::vector<ShareIndex> indices;
+  std::unordered_set<ShareIndex> seen;
+  indices.reserve(shares.size());
+  for (const auto& s : shares) {
+    if (s.index == 0) throw std::invalid_argument("shamir_reconstruct: zero index");
+    if (!seen.insert(s.index).second) {
+      throw std::invalid_argument("shamir_reconstruct: duplicate index");
+    }
+    indices.push_back(s.index);
+  }
+  Scalar secret = Scalar::zero();
+  for (const auto& s : shares) {
+    secret = secret + lagrange_at_zero(s.index, indices) * s.value;
+  }
+  return secret;
+}
+
+Point commitment_eval(const std::vector<Point>& commitments, ShareIndex index) {
+  if (commitments.empty()) throw std::invalid_argument("commitment_eval: empty commitments");
+  if (index == 0) throw std::invalid_argument("commitment_eval: index 0");
+  const Scalar x = Scalar::from_u64(index);
+  Point acc = Point::infinity();
+  for (auto it = commitments.rbegin(); it != commitments.rend(); ++it) {
+    acc = acc * x + *it;
+  }
+  return acc;
+}
+
+}  // namespace cicero::crypto

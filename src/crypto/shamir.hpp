@@ -1,0 +1,67 @@
+// Shamir secret sharing over the secp256k1 scalar field.
+//
+// Threshold key material in Cicero is a (t, n) sharing of the control
+// plane's group secret (paper §3.2).  Shares are indexed by nonzero
+// participant ids; any t shares reconstruct via Lagrange interpolation at
+// zero, any t-1 reveal nothing.  The same Lagrange machinery is reused by
+// the DKG, by resharing on membership change, and by threshold signature
+// aggregation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/drbg.hpp"
+#include "crypto/group.hpp"
+
+namespace cicero::crypto {
+
+/// Participant identifier; must be nonzero (0 is the secret's evaluation
+/// point).  Cicero uses the controller id + 1.
+using ShareIndex = std::uint32_t;
+
+struct SecretShare {
+  ShareIndex index = 0;
+  Scalar value;
+};
+
+/// A polynomial over Z_n of degree (threshold - 1), constant term = secret.
+class Polynomial {
+ public:
+  /// Random polynomial with the given constant term and degree t-1.
+  static Polynomial random(const Scalar& constant, std::size_t threshold, Drbg& drbg);
+
+  const Scalar& constant() const { return coeffs_.front(); }
+  std::size_t threshold() const { return coeffs_.size(); }
+  const std::vector<Scalar>& coefficients() const { return coeffs_; }
+
+  /// Horner evaluation at x = index.
+  Scalar eval(ShareIndex index) const;
+
+  /// Commitments A_j = a_j * G (Feldman), used by the DKG to let receivers
+  /// verify their shares.
+  std::vector<Point> commitments() const;
+
+ private:
+  explicit Polynomial(std::vector<Scalar> coeffs) : coeffs_(std::move(coeffs)) {}
+  std::vector<Scalar> coeffs_;
+};
+
+/// Splits `secret` into n shares with reconstruction threshold t.
+/// Indices are 1..n.  Requires 1 <= t <= n.
+std::vector<SecretShare> shamir_split(const Scalar& secret, std::size_t t, std::size_t n,
+                                      Drbg& drbg);
+
+/// Lagrange coefficient λ_i(0) for interpolation at zero over the index set
+/// `indices` (all distinct, nonzero); `i` must appear in `indices`.
+Scalar lagrange_at_zero(ShareIndex i, const std::vector<ShareIndex>& indices);
+
+/// Reconstructs the secret from >= t shares (throws on duplicate indices).
+Scalar shamir_reconstruct(const std::vector<SecretShare>& shares);
+
+/// Evaluates the Feldman commitment polynomial at `index`:
+/// sum_j index^j * commitments[j].  Equal to eval(index)*G for honest
+/// dealers; receivers use this to validate dealt shares.
+Point commitment_eval(const std::vector<Point>& commitments, ShareIndex index);
+
+}  // namespace cicero::crypto

@@ -1,0 +1,92 @@
+#include "crypto/simbls.hpp"
+
+#include <unordered_set>
+
+#include "util/serialize.hpp"
+
+namespace cicero::crypto {
+
+namespace {
+Scalar hash_scalar(const util::Bytes& msg) {
+  util::Writer w;
+  w.str("cicero/simbls");
+  w.bytes(msg);
+  return Scalar::hash_to_scalar(w.data());
+}
+}  // namespace
+
+util::Bytes PartialSignature::to_bytes() const {
+  util::Writer w;
+  w.u32(signer);
+  w.bytes(payload);
+  return w.take();
+}
+
+std::optional<PartialSignature> PartialSignature::from_bytes(const util::Bytes& b) {
+  try {
+    util::Reader r(b);
+    PartialSignature p;
+    p.signer = r.u32();
+    p.payload = r.bytes();
+    r.expect_end();
+    if (p.signer == 0) return std::nullopt;
+    return p;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+PartialSignature SimBlsScheme::partial_sign(const SecretShare& share,
+                                            const util::Bytes& msg) const {
+  const Point hash_point = Point::mul_gen(hash_scalar(msg));
+  const Point sig = hash_point * share.value;
+  return PartialSignature{share.index, sig.to_bytes()};
+}
+
+bool SimBlsScheme::verify_partial(const Point& verification_share, const util::Bytes& msg,
+                                  const PartialSignature& partial) const {
+  const auto sig = Point::from_bytes(partial.payload);
+  if (!sig || sig->is_infinity()) return false;
+  // share_i * (h*G) == h * (share_i * G)
+  return *sig == verification_share * hash_scalar(msg);
+}
+
+std::optional<util::Bytes> SimBlsScheme::aggregate(const util::Bytes& msg,
+                                                   const std::vector<PartialSignature>& partials,
+                                                   std::size_t threshold) const {
+  (void)msg;  // aggregation is message-independent, as in real BLS
+  // Deduplicate signers; take the first `threshold` distinct ones.
+  std::vector<const PartialSignature*> quorum;
+  std::unordered_set<ShareIndex> seen;
+  for (const auto& p : partials) {
+    if (p.signer != 0 && seen.insert(p.signer).second) quorum.push_back(&p);
+    if (quorum.size() == threshold) break;
+  }
+  if (quorum.size() < threshold || threshold == 0) return std::nullopt;
+
+  std::vector<ShareIndex> indices;
+  indices.reserve(quorum.size());
+  for (const auto* p : quorum) indices.push_back(p->signer);
+
+  Point agg = Point::infinity();
+  for (const auto* p : quorum) {
+    const auto sig = Point::from_bytes(p->payload);
+    if (!sig) return std::nullopt;
+    agg = agg + *sig * lagrange_at_zero(p->signer, indices);
+  }
+  return agg.to_bytes();
+}
+
+bool SimBlsScheme::verify(const Point& group_public_key, const util::Bytes& msg,
+                          const util::Bytes& signature) const {
+  const auto sig = Point::from_bytes(signature);
+  if (!sig || sig->is_infinity() || group_public_key.is_infinity()) return false;
+  return *sig == group_public_key * hash_scalar(msg);
+}
+
+const SimBlsScheme& SimBlsScheme::instance() {
+  static const SimBlsScheme scheme;
+  return scheme;
+}
+
+}  // namespace cicero::crypto

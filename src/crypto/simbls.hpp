@@ -1,0 +1,45 @@
+// SimBLS: BLS-shaped threshold signatures without a pairing group.
+//
+// The paper signs updates with BLS threshold signatures (PBC library).  No
+// pairing-friendly curve implementation is available offline, so SimBLS
+// reproduces the exact *structure* of threshold BLS over secp256k1:
+//
+//   H(m)      = hash-to-scalar h, hash point P_m = h * G
+//   partial_i = share_i * P_m                       (a group element)
+//   aggregate = sum over quorum Q of λ_i(Q) * partial_i = x * P_m
+//   verify    = aggregate == h * PK        (PK = x * G on every switch)
+//
+// The verification equation stands in for the pairing check
+// e(sig, g2) == e(H(m), PK).  Because the hash point's discrete log h is
+// public here, SimBLS is NOT unforgeable — anyone holding PK can compute
+// h*PK.  That is acceptable for this reproduction: the simulator's threat
+// model (DESIGN.md §4.3) lets Byzantine controllers mutate and replay
+// messages but not forge threshold signatures, exactly matching the
+// cryptographic assumption the paper makes of real BLS.  What SimBLS
+// preserves faithfully is everything the protocol and the evaluation
+// depend on: one partial per controller, any-t Lagrange aggregation, a
+// single fixed public key per control plane, and realistic EC costs for
+// signing/aggregating/verifying.
+#pragma once
+
+#include "crypto/threshold.hpp"
+
+namespace cicero::crypto {
+
+class SimBlsScheme final : public ThresholdScheme {
+ public:
+  PartialSignature partial_sign(const SecretShare& share,
+                                const util::Bytes& msg) const override;
+  bool verify_partial(const Point& verification_share, const util::Bytes& msg,
+                      const PartialSignature& partial) const override;
+  std::optional<util::Bytes> aggregate(const util::Bytes& msg,
+                                       const std::vector<PartialSignature>& partials,
+                                       std::size_t threshold) const override;
+  bool verify(const Point& group_public_key, const util::Bytes& msg,
+              const util::Bytes& signature) const override;
+
+  /// The shared scheme instance (stateless).
+  static const SimBlsScheme& instance();
+};
+
+}  // namespace cicero::crypto

@@ -1,0 +1,136 @@
+#include "crypto/u256.hpp"
+
+#include <stdexcept>
+
+namespace cicero::crypto {
+
+using u128 = unsigned __int128;
+
+unsigned U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] != 0) return static_cast<unsigned>(i * 64 + 64 - __builtin_clzll(w[i]));
+  }
+  return 0;
+}
+
+int U256::cmp(const U256& o) const {
+  for (int i = 3; i >= 0; --i) {
+    if (w[i] < o.w[i]) return -1;
+    if (w[i] > o.w[i]) return 1;
+  }
+  return 0;
+}
+
+std::uint64_t U256::add_assign(const U256& o) {
+  u128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 s = static_cast<u128>(w[i]) + o.w[i] + carry;
+    w[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t U256::sub_assign(const U256& o) {
+  u128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    u128 d = static_cast<u128>(w[i]) - o.w[i] - borrow;
+    w[i] = static_cast<std::uint64_t>(d);
+    borrow = (d >> 64) & 1;
+  }
+  return static_cast<std::uint64_t>(borrow);
+}
+
+U256 U256::shl(unsigned k) const {
+  U256 r;
+  if (k >= 256) return r;
+  const unsigned limb = k / 64, bits = k % 64;
+  for (int i = 3; i >= 0; --i) {
+    std::uint64_t v = 0;
+    const int src = i - static_cast<int>(limb);
+    if (src >= 0) {
+      v = w[src] << bits;
+      if (bits != 0 && src >= 1) v |= w[src - 1] >> (64 - bits);
+    }
+    r.w[i] = v;
+  }
+  return r;
+}
+
+U256 U256::shr(unsigned k) const {
+  U256 r;
+  if (k >= 256) return r;
+  const unsigned limb = k / 64, bits = k % 64;
+  for (unsigned i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    const unsigned src = i + limb;
+    if (src < 4) {
+      v = w[src] >> bits;
+      if (bits != 0 && src + 1 < 4) v |= w[src + 1] << (64 - bits);
+    }
+    r.w[i] = v;
+  }
+  return r;
+}
+
+std::array<std::uint8_t, 32> U256::to_bytes_be() const {
+  std::array<std::uint8_t, 32> out{};
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t limb = w[3 - i];
+    for (int b = 0; b < 8; ++b) {
+      out[static_cast<std::size_t>(i * 8 + b)] = static_cast<std::uint8_t>(limb >> (56 - 8 * b));
+    }
+  }
+  return out;
+}
+
+U256 U256::from_bytes_be(const std::uint8_t* data, std::size_t len) {
+  if (len > 32) throw std::invalid_argument("U256::from_bytes_be: more than 32 bytes");
+  U256 r;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t bit_pos = (len - 1 - i) * 8;
+    r.w[bit_pos / 64] |= static_cast<std::uint64_t>(data[i]) << (bit_pos % 64);
+  }
+  return r;
+}
+
+std::string U256::to_hex() const {
+  const auto b = to_bytes_be();
+  return util::to_hex(b.data(), b.size());
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  if (hex.size() > 64) throw std::invalid_argument("U256::from_hex: too long");
+  std::string padded(64 - hex.size(), '0');
+  padded.append(hex);
+  const auto bytes = util::from_hex(padded);
+  return from_bytes_be(bytes.data(), bytes.size());
+}
+
+U512 mul_wide(const U256& a, const U256& b) {
+  U512 r;
+  for (int i = 0; i < 4; ++i) {
+    u128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      u128 cur = static_cast<u128>(a.w[i]) * b.w[j] + r.w[i + j] + carry;
+      r.w[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    r.w[i + 4] = static_cast<std::uint64_t>(carry);
+  }
+  return r;
+}
+
+U256 add_wrap(const U256& a, const U256& b) {
+  U256 r = a;
+  r.add_assign(b);
+  return r;
+}
+
+U256 sub_wrap(const U256& a, const U256& b) {
+  U256 r = a;
+  r.sub_assign(b);
+  return r;
+}
+
+}  // namespace cicero::crypto

@@ -1,0 +1,82 @@
+// Fixed-width 256-bit unsigned integer arithmetic.
+//
+// This is the bottom layer of the from-scratch cryptography stack: four
+// 64-bit limbs, little-endian limb order, with the carry-propagating
+// primitives the Montgomery field layer needs (add/sub with carry, 256x256
+// -> 512 multiply, shifts, comparisons) plus big-endian byte/hex I/O used
+// by serialization and hashing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+
+/// 256-bit unsigned integer; limbs little-endian (w[0] least significant).
+struct U256 {
+  std::uint64_t w[4] = {0, 0, 0, 0};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t lo) : w{lo, 0, 0, 0} {}
+  constexpr U256(std::uint64_t w0, std::uint64_t w1, std::uint64_t w2, std::uint64_t w3)
+      : w{w0, w1, w2, w3} {}
+
+  static U256 zero() { return U256(); }
+  static U256 one() { return U256(1); }
+
+  bool is_zero() const { return (w[0] | w[1] | w[2] | w[3]) == 0; }
+  bool is_odd() const { return (w[0] & 1) != 0; }
+
+  /// Value of bit `i` (0 = least significant).  i must be < 256.
+  bool bit(unsigned i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+
+  /// Index of the highest set bit plus one (0 for zero).
+  unsigned bit_length() const;
+
+  bool operator==(const U256& o) const = default;
+
+  /// Three-way compare: negative, zero, positive like memcmp.
+  int cmp(const U256& o) const;
+  bool operator<(const U256& o) const { return cmp(o) < 0; }
+  bool operator<=(const U256& o) const { return cmp(o) <= 0; }
+  bool operator>(const U256& o) const { return cmp(o) > 0; }
+  bool operator>=(const U256& o) const { return cmp(o) >= 0; }
+
+  /// this += o; returns the carry-out (0 or 1).
+  std::uint64_t add_assign(const U256& o);
+  /// this -= o; returns the borrow-out (0 or 1).
+  std::uint64_t sub_assign(const U256& o);
+
+  /// Logical shift left/right by k bits, k in [0, 255].
+  U256 shl(unsigned k) const;
+  U256 shr(unsigned k) const;
+
+  /// Big-endian 32-byte encoding (network order, as used on the wire).
+  std::array<std::uint8_t, 32> to_bytes_be() const;
+  static U256 from_bytes_be(const std::uint8_t* data, std::size_t len);
+  static U256 from_bytes_be(const util::Bytes& b) { return from_bytes_be(b.data(), b.size()); }
+
+  std::string to_hex() const;
+  /// Parses up to 64 hex digits (no 0x prefix).  Throws on bad input.
+  static U256 from_hex(std::string_view hex);
+};
+
+/// 512-bit product type produced by mul_wide; limbs little-endian.
+struct U512 {
+  std::uint64_t w[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+};
+
+/// Schoolbook 256x256 -> 512 multiply.
+U512 mul_wide(const U256& a, const U256& b);
+
+/// a + b mod 2^256 (carry discarded).
+U256 add_wrap(const U256& a, const U256& b);
+
+/// a - b mod 2^256 (borrow discarded).
+U256 sub_wrap(const U256& a, const U256& b);
+
+}  // namespace cicero::crypto

@@ -1,0 +1,118 @@
+#include "net/checker.hpp"
+
+#include <set>
+#include <stdexcept>
+
+namespace cicero::net {
+
+TraceResult trace_flow(const Topology& topo, const TableMap& tables, NodeIndex src_host,
+                       NodeIndex dst_host) {
+  TraceResult result;
+  const FlowMatch match{src_host, dst_host};
+  NodeIndex current = topo.host_tor(src_host);
+  std::set<NodeIndex> visited;
+  bool first = true;
+
+  for (;;) {
+    if (visited.count(current) != 0) {
+      result.status = TraceStatus::kLoop;
+      return result;
+    }
+    visited.insert(current);
+    result.path.push_back(current);
+
+    const auto table_it = tables.find(current);
+    const std::optional<FlowRule> rule =
+        table_it == tables.end() ? std::nullopt : table_it->second->lookup(match);
+    if (!rule) {
+      result.status = first ? TraceStatus::kNoIngressRule : TraceStatus::kBlackHole;
+      return result;
+    }
+    first = false;
+
+    const NodeIndex next = rule->next_hop;
+    // Forwarding over a failed (or non-existent) link drops the packet.
+    bool link_ok = false;
+    try {
+      link_ok = topo.link_up(current, next);
+    } catch (const std::invalid_argument&) {
+    }
+    if (!link_ok) {
+      result.status = TraceStatus::kBlackHole;
+      return result;
+    }
+    if (next == dst_host) {
+      result.path.push_back(next);
+      result.status = TraceStatus::kDelivered;
+      return result;
+    }
+    if (next >= topo.node_count() || !topo.is_switch(next)) {
+      result.status = TraceStatus::kBlackHole;  // forwarding to a non-switch that
+      return result;                            // is not the destination
+    }
+    current = next;
+  }
+}
+
+bool passes_waypoint(const TraceResult& trace, NodeIndex waypoint) {
+  for (const NodeIndex n : trace.path) {
+    if (n == waypoint) return true;
+  }
+  return false;
+}
+
+std::map<std::size_t, double> link_reservations(const Topology& topo, const TableMap& tables) {
+  std::map<std::size_t, double> load;
+  for (const auto& [sw, table] : tables) {
+    for (const FlowRule& rule : table->rules()) {
+      if (rule.reserved_bps <= 0.0) continue;
+      // Ignore rules whose next hop is not adjacent (they black-hole; the
+      // trace checker reports those separately).
+      try {
+        load[topo.link_between(sw, rule.next_hop)] += rule.reserved_bps;
+      } catch (const std::invalid_argument&) {
+      }
+    }
+  }
+  return load;
+}
+
+std::vector<std::size_t> overloaded_links(const Topology& topo, const TableMap& tables) {
+  std::vector<std::size_t> out;
+  for (const auto& [link_id, load] : link_reservations(topo, tables)) {
+    if (load > topo.link(link_id).bandwidth_bps * (1.0 + 1e-9)) out.push_back(link_id);
+  }
+  return out;
+}
+
+std::vector<std::string> check_consistency(const Topology& topo, const TableMap& tables,
+                                           const std::vector<FlowMatch>& flows) {
+  std::vector<std::string> violations;
+  for (const FlowMatch& f : flows) {
+    const TraceResult t = trace_flow(topo, tables, f.src_host, f.dst_host);
+    switch (t.status) {
+      case TraceStatus::kDelivered:
+        break;
+      case TraceStatus::kLoop:
+        violations.push_back("loop for flow " + topo.node(f.src_host).name + " -> " +
+                             topo.node(f.dst_host).name);
+        break;
+      case TraceStatus::kBlackHole:
+        violations.push_back("black hole for flow " + topo.node(f.src_host).name + " -> " +
+                             topo.node(f.dst_host).name);
+        break;
+      case TraceStatus::kNoIngressRule:
+        violations.push_back("no ingress rule for flow " + topo.node(f.src_host).name +
+                             " -> " + topo.node(f.dst_host).name);
+        break;
+    }
+  }
+  for (const std::size_t link_id : overloaded_links(topo, tables)) {
+    const TopoLink& l = topo.link(link_id);
+    violations.push_back("overloaded link " + topo.node(l.a).name + " <-> " +
+                         topo.node(l.b).name);
+  }
+  return violations;
+}
+
+}  // namespace cicero::net

@@ -1,0 +1,60 @@
+// Data-plane consistency checker.
+//
+// Implements the paper's three update-consistency properties (Table 1) as
+// executable predicates over a topology plus the current flow tables:
+//
+//   * loop freedom / black-hole freedom — trace every flow from its
+//     ingress ToR and classify the walk (Fig. 2);
+//   * congestion freedom — per-link reserved bandwidth must not exceed
+//     capacity (Fig. 3);
+//   * waypoint (firewall) enforcement — a flow must traverse its required
+//     waypoint switch (Fig. 1).
+//
+// Integration tests run these predicates at EVERY simulated instant during
+// an update (by re-checking after each rule application), which is exactly
+// the transient-error freedom the paper's scheduler guarantees.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/flow_table.hpp"
+#include "net/topology.hpp"
+
+namespace cicero::net {
+
+/// Access to the per-switch flow tables, keyed by switch node index.
+using TableMap = std::map<NodeIndex, const FlowTable*>;
+
+enum class TraceStatus { kDelivered, kBlackHole, kLoop, kNoIngressRule };
+
+struct TraceResult {
+  TraceStatus status = TraceStatus::kNoIngressRule;
+  std::vector<NodeIndex> path;  ///< switches visited, in order (then dst host if delivered)
+};
+
+/// Follows the flow (src -> dst) from the source's ToR through the flow
+/// tables.  kNoIngressRule means the first switch has no rule (distinct
+/// from a mid-path black hole).
+TraceResult trace_flow(const Topology& topo, const TableMap& tables, NodeIndex src_host,
+                       NodeIndex dst_host);
+
+/// True iff the traced path visits `waypoint` (firewall check, Fig. 1).
+bool passes_waypoint(const TraceResult& trace, NodeIndex waypoint);
+
+/// Per-link reserved bandwidth implied by installed rules: for every rule
+/// (s -> next_hop) the rule's reservation is charged to that link.
+/// Returns link index -> reserved bps.
+std::map<std::size_t, double> link_reservations(const Topology& topo, const TableMap& tables);
+
+/// Links whose reservation exceeds capacity (congestion, Fig. 3).
+std::vector<std::size_t> overloaded_links(const Topology& topo, const TableMap& tables);
+
+/// Aggregate check used by property tests: every flow in `flows` traces to
+/// delivery, no loops, no overload.  Returns a human-readable list of
+/// violations (empty = consistent).
+std::vector<std::string> check_consistency(const Topology& topo, const TableMap& tables,
+                                           const std::vector<FlowMatch>& flows);
+
+}  // namespace cicero::net

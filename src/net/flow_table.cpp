@@ -1,0 +1,29 @@
+#include "net/flow_table.hpp"
+
+namespace cicero::net {
+
+void FlowTable::install(const FlowRule& rule) {
+  rules_[rule.match] = rule;
+  ++version_;
+}
+
+bool FlowTable::remove(const FlowMatch& match) {
+  const bool erased = rules_.erase(match) != 0;
+  if (erased) ++version_;
+  return erased;
+}
+
+std::optional<FlowRule> FlowTable::lookup(const FlowMatch& match) const {
+  const auto it = rules_.find(match);
+  if (it == rules_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<FlowRule> FlowTable::rules() const {
+  std::vector<FlowRule> out;
+  out.reserve(rules_.size());
+  for (const auto& [m, r] : rules_) out.push_back(r);
+  return out;
+}
+
+}  // namespace cicero::net

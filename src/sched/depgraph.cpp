@@ -1,0 +1,112 @@
+#include "sched/depgraph.hpp"
+
+#include <stdexcept>
+
+namespace cicero::sched {
+
+bool has_cycle(const UpdateSchedule& schedule) {
+  std::map<UpdateId, std::vector<UpdateId>> deps;
+  for (const auto& su : schedule.updates) deps[su.update.id] = su.deps;
+  for (const auto& su : schedule.updates) {
+    for (const UpdateId d : su.deps) {
+      if (deps.count(d) == 0) return true;  // dangling dependence
+    }
+  }
+  // Iterative DFS with colors.
+  enum class Color { kWhite, kGray, kBlack };
+  std::map<UpdateId, Color> color;
+  for (const auto& [id, d] : deps) color[id] = Color::kWhite;
+
+  for (const auto& [start, d0] : deps) {
+    if (color[start] != Color::kWhite) continue;
+    std::vector<std::pair<UpdateId, std::size_t>> stack{{start, 0}};
+    color[start] = Color::kGray;
+    while (!stack.empty()) {
+      auto& [id, next] = stack.back();
+      const auto& children = deps[id];
+      if (next < children.size()) {
+        const UpdateId child = children[next++];
+        if (color[child] == Color::kGray) return true;
+        if (color[child] == Color::kWhite) {
+          color[child] = Color::kGray;
+          stack.emplace_back(child, 0);
+        }
+      } else {
+        color[id] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<UpdateId> DependencyTracker::add(const UpdateSchedule& schedule) {
+  // Cycle detection considers only this schedule's internal dependence
+  // edges; a dependence on an update from an EARLIER schedule (known or
+  // already completed) is a legitimate cross-schedule ordering.
+  UpdateSchedule internal;
+  std::set<UpdateId> ids;
+  for (const auto& su : schedule.updates) ids.insert(su.update.id);
+  for (const auto& su : schedule.updates) {
+    ScheduledUpdate filtered{su.update, {}};
+    for (const UpdateId d : su.deps) {
+      if (ids.count(d) != 0) filtered.deps.push_back(d);
+    }
+    internal.updates.push_back(std::move(filtered));
+  }
+  if (has_cycle(internal)) {
+    throw std::invalid_argument("DependencyTracker::add: cyclic schedule");
+  }
+  for (const auto& su : schedule.updates) {
+    for (const UpdateId d : su.deps) {
+      if (ids.count(d) == 0 && updates_.count(d) == 0 && completed_.count(d) == 0) {
+        throw std::invalid_argument("DependencyTracker::add: unknown dependence");
+      }
+    }
+  }
+  for (const auto& su : schedule.updates) {
+    if (updates_.count(su.update.id) != 0) {
+      throw std::invalid_argument("DependencyTracker::add: duplicate update id");
+    }
+  }
+  std::vector<UpdateId> ready;
+  for (const auto& su : schedule.updates) {
+    updates_[su.update.id] = su.update;
+    std::set<UpdateId> unmet;
+    for (const UpdateId d : su.deps) {
+      if (completed_.count(d) == 0) unmet.insert(d);
+    }
+    if (unmet.empty()) {
+      ready.push_back(su.update.id);
+      ++in_flight_;
+    } else {
+      for (const UpdateId d : unmet) rdeps_[d].push_back(su.update.id);
+      blocked_[su.update.id] = std::move(unmet);
+    }
+  }
+  return ready;
+}
+
+std::vector<UpdateId> DependencyTracker::complete(UpdateId id) {
+  std::vector<UpdateId> ready;
+  if (updates_.count(id) == 0 || completed_.count(id) != 0) return ready;
+  completed_.insert(id);
+  if (blocked_.count(id) == 0 && in_flight_ > 0) --in_flight_;
+
+  const auto it = rdeps_.find(id);
+  if (it == rdeps_.end()) return ready;
+  for (const UpdateId dependent : it->second) {
+    const auto bit = blocked_.find(dependent);
+    if (bit == blocked_.end()) continue;
+    bit->second.erase(id);
+    if (bit->second.empty()) {
+      blocked_.erase(bit);
+      ready.push_back(dependent);
+      ++in_flight_;
+    }
+  }
+  rdeps_.erase(it);
+  return ready;
+}
+
+}  // namespace cicero::sched

@@ -1,0 +1,57 @@
+// Runtime dependency tracking for in-flight update schedules.
+//
+// Controllers feed schedules into a `DependencyTracker`; updates with
+// empty dependence sets are released immediately and, as switch
+// acknowledgements arrive, `complete()` returns the updates that become
+// ready — this is the release machinery behind the paper's intra-domain
+// update parallelism (§3.3): updates whose dependence sets are disjoint
+// flow through the tracker concurrently.
+//
+// `has_cycle` validates schedules (a cyclic schedule could never make
+// progress; the paper's optimal-order work shows such cases exist, and a
+// correct scheduler must fall back to packet-waits instead of emitting a
+// cycle).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sched/update.hpp"
+
+namespace cicero::sched {
+
+/// True if the schedule's dependence relation contains a cycle or a
+/// dependence on an id outside the schedule.
+bool has_cycle(const UpdateSchedule& schedule);
+
+class DependencyTracker {
+ public:
+  /// Adds a schedule; returns the ids that are immediately ready.
+  /// Throws std::invalid_argument on duplicate ids or cyclic schedules.
+  std::vector<UpdateId> add(const UpdateSchedule& schedule);
+
+  /// Marks `id` complete; returns newly ready ids.  Unknown or
+  /// already-complete ids return empty (idempotent, since duplicate acks
+  /// can arrive from a faulty network).
+  std::vector<UpdateId> complete(UpdateId id);
+
+  /// Updates released but not yet completed.
+  std::size_t in_flight() const { return in_flight_; }
+  /// Updates not yet released.
+  std::size_t blocked() const { return blocked_.size(); }
+  bool idle() const { return in_flight_ == 0 && blocked_.empty(); }
+
+  const Update& update(UpdateId id) const { return updates_.at(id); }
+  bool knows(UpdateId id) const { return updates_.count(id) != 0; }
+
+ private:
+  std::map<UpdateId, Update> updates_;
+  std::map<UpdateId, std::set<UpdateId>> blocked_;   ///< id -> unmet deps
+  std::map<UpdateId, std::vector<UpdateId>> rdeps_;  ///< dep -> dependents
+  std::set<UpdateId> completed_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace cicero::sched

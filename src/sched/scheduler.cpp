@@ -1,0 +1,163 @@
+#include "sched/scheduler.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace cicero::sched {
+
+std::vector<net::NodeIndex> switch_path(const RouteIntent& intent) {
+  if (intent.path.size() < 3) {
+    throw std::invalid_argument("RouteIntent: path must be host, switches..., host");
+  }
+  return std::vector<net::NodeIndex>(intent.path.begin() + 1, intent.path.end() - 1);
+}
+
+namespace {
+
+/// Emits one update per switch on the path; `next_hop` of switch i is
+/// path[i+1] (a switch or the destination host).
+std::vector<Update> path_updates(const RouteIntent& intent, UpdateId first_id) {
+  const auto switches = switch_path(intent);
+  std::vector<Update> updates;
+  updates.reserve(switches.size());
+  for (std::size_t i = 0; i < switches.size(); ++i) {
+    Update u;
+    u.id = first_id + i;
+    u.switch_node = switches[i];
+    u.op = intent.kind == RouteIntent::Kind::kEstablish ? UpdateOp::kInstall : UpdateOp::kRemove;
+    u.rule.match = intent.match;
+    // path[0] is the source host, so switches[i] == path[i+1]; its next hop
+    // is path[i+2].
+    u.rule.next_hop = intent.path[i + 2];
+    u.rule.reserved_bps = intent.reserved_bps;
+    updates.push_back(u);
+  }
+  return updates;
+}
+
+}  // namespace
+
+UpdateSchedule UpdateScheduler::build_batch(const std::vector<RouteIntent>& intents,
+                                            UpdateId first_id) const {
+  UpdateSchedule out;
+  UpdateId next = first_id;
+  for (const auto& intent : intents) {
+    UpdateSchedule s = build(intent, next);
+    for (auto& su : s.updates) {
+      next = std::max(next, su.update.id + 1);
+      out.updates.push_back(std::move(su));
+    }
+  }
+  return out;
+}
+
+UpdateSchedule ReversePathScheduler::build(const RouteIntent& intent, UpdateId first_id) const {
+  const std::vector<Update> updates = path_updates(intent, first_id);
+  UpdateSchedule schedule;
+  schedule.updates.reserve(updates.size());
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    ScheduledUpdate su;
+    su.update = updates[i];
+    if (intent.kind == RouteIntent::Kind::kEstablish) {
+      // Downstream first: switch i depends on switch i+1.
+      if (i + 1 < updates.size()) su.deps.push_back(updates[i + 1].id);
+    } else {
+      // Teardown in path order: switch i depends on switch i-1 (the
+      // ingress rule disappears first, so no packet is forwarded into a
+      // hole).
+      if (i > 0) su.deps.push_back(updates[i - 1].id);
+    }
+    schedule.updates.push_back(std::move(su));
+  }
+  return schedule;
+}
+
+UpdateSchedule NaiveScheduler::build(const RouteIntent& intent, UpdateId first_id) const {
+  UpdateSchedule schedule;
+  for (const Update& u : path_updates(intent, first_id)) {
+    schedule.updates.push_back(ScheduledUpdate{u, {}});
+  }
+  return schedule;
+}
+
+UpdateSchedule PacketWaitsScheduler::build(const RouteIntent& intent,
+                                           UpdateId first_id) const {
+  return ReversePathScheduler().build(intent, first_id);
+}
+
+UpdateSchedule PacketWaitsScheduler::build_batch(const std::vector<RouteIntent>& intents,
+                                                 UpdateId first_id) const {
+  // Phase 1: all teardowns (each internally ingress-first); phase 2: all
+  // establishes (each internally downstream-first), gated on phase 1.
+  UpdateSchedule out;
+  UpdateId next = first_id;
+  std::vector<UpdateId> removals;
+  const ReversePathScheduler reverse;
+  for (const auto& intent : intents) {
+    if (intent.kind != RouteIntent::Kind::kTeardown) continue;
+    for (auto& su : reverse.build(intent, next).updates) {
+      next = std::max(next, su.update.id + 1);
+      removals.push_back(su.update.id);
+      out.updates.push_back(std::move(su));
+    }
+  }
+  for (const auto& intent : intents) {
+    if (intent.kind != RouteIntent::Kind::kEstablish) continue;
+    for (auto& su : reverse.build(intent, next).updates) {
+      next = std::max(next, su.update.id + 1);
+      // The drain barrier: no install proceeds before every removal acked.
+      su.deps.insert(su.deps.end(), removals.begin(), removals.end());
+      out.updates.push_back(std::move(su));
+    }
+  }
+  return out;
+}
+
+UpdateSchedule DionysusLiteScheduler::build(const RouteIntent& intent,
+                                            UpdateId first_id) const {
+  return ReversePathScheduler().build(intent, first_id);
+}
+
+UpdateSchedule DionysusLiteScheduler::build_batch(const std::vector<RouteIntent>& intents,
+                                                  UpdateId first_id) const {
+  // Per-intent reverse-path chains...
+  UpdateSchedule out;
+  UpdateId next = first_id;
+  std::vector<std::pair<const RouteIntent*, std::vector<std::size_t>>> intent_updates;
+  for (const auto& intent : intents) {
+    UpdateSchedule s = build(intent, next);
+    std::vector<std::size_t> idxs;
+    for (auto& su : s.updates) {
+      next = std::max(next, su.update.id + 1);
+      idxs.push_back(out.updates.size());
+      out.updates.push_back(std::move(su));
+    }
+    intent_updates.emplace_back(&intent, std::move(idxs));
+  }
+
+  // ...plus cross-intent capacity edges: an ESTABLISH whose path shares a
+  // directed (switch -> next hop) link with a TEARDOWN in the same batch
+  // waits for that teardown's update on the shared switch, so the link's
+  // capacity is released before it is re-consumed (the Fig. 3 scenario).
+  std::map<std::pair<net::NodeIndex, net::NodeIndex>, std::vector<UpdateId>> released;
+  for (const auto& [intent, idxs] : intent_updates) {
+    if (intent->kind != RouteIntent::Kind::kTeardown) continue;
+    for (const std::size_t i : idxs) {
+      const Update& u = out.updates[i].update;
+      released[{u.switch_node, u.rule.next_hop}].push_back(u.id);
+    }
+  }
+  for (auto& [intent, idxs] : intent_updates) {
+    if (intent->kind != RouteIntent::Kind::kEstablish) continue;
+    for (const std::size_t i : idxs) {
+      ScheduledUpdate& su = out.updates[i];
+      const auto it = released.find({su.update.switch_node, su.update.rule.next_hop});
+      if (it != released.end()) {
+        for (const UpdateId dep : it->second) su.deps.push_back(dep);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace cicero::sched

@@ -1,0 +1,89 @@
+// Update schedulers.
+//
+// Cicero treats the scheduler as a pluggable module (paper §3.1: "we
+// assume the existence of a basic update scheduler implemented using any
+// of these approaches").  Three implementations are provided:
+//
+//   * `ReversePathScheduler` — the scheduler the paper's implementation
+//     uses (§5.1): to establish a flow s1 -> s2 -> s3, the update at s3
+//     must precede s2's, which must precede s1's, so downstream rules are
+//     always in place before traffic can reach them.  Teardowns run in
+//     path order (ingress first) so packets are never forwarded into a
+//     removed rule.
+//   * `NaiveScheduler` — no dependencies at all; exists to *demonstrate*
+//     the transient violations of Figs. 1–3 in tests and examples.
+//   * `DionysusLiteScheduler` — a batch scheduler in the spirit of
+//     Dionysus [Jin et al., SIGCOMM'14]: given several intents it builds
+//     one joint dependence graph, additionally ordering capacity-consuming
+//     installs after the teardowns that release the capacity they need.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/update.hpp"
+
+namespace cicero::sched {
+
+class UpdateScheduler {
+ public:
+  virtual ~UpdateScheduler() = default;
+  virtual std::string name() const = 0;
+
+  /// Expands one routing intent into updates + dependence sets.  Update
+  /// ids are assigned starting at `first_id` (callers keep ids globally
+  /// unique across intents).
+  virtual UpdateSchedule build(const RouteIntent& intent, UpdateId first_id) const = 0;
+
+  /// Batch version; the default concatenates independent per-intent
+  /// schedules (id-shifted), which keeps causally unrelated intents
+  /// dependency-disjoint so they can proceed in parallel.
+  virtual UpdateSchedule build_batch(const std::vector<RouteIntent>& intents,
+                                     UpdateId first_id) const;
+};
+
+class ReversePathScheduler final : public UpdateScheduler {
+ public:
+  std::string name() const override { return "reverse-path"; }
+  UpdateSchedule build(const RouteIntent& intent, UpdateId first_id) const override;
+};
+
+class NaiveScheduler final : public UpdateScheduler {
+ public:
+  std::string name() const override { return "naive"; }
+  UpdateSchedule build(const RouteIntent& intent, UpdateId first_id) const override;
+};
+
+/// Two-phase "packet-waits" scheduler in the spirit of Černý et al.'s
+/// optimal order updates: when a consistent in-place transition may not
+/// exist, first remove the old state entirely (ingress first, so traffic
+/// drains), then install the new state (downstream first).  The barrier is
+/// expressed purely through dependence sets — every install depends on
+/// every remove — so the same Cicero runtime executes it.
+class PacketWaitsScheduler final : public UpdateScheduler {
+ public:
+  std::string name() const override { return "packet-waits"; }
+  /// Establish intents degrade to reverse-path; teardown likewise.
+  UpdateSchedule build(const RouteIntent& intent, UpdateId first_id) const override;
+  /// The batch form realizes drain-then-install across the whole batch.
+  UpdateSchedule build_batch(const std::vector<RouteIntent>& intents,
+                             UpdateId first_id) const override;
+};
+
+class DionysusLiteScheduler final : public UpdateScheduler {
+ public:
+  std::string name() const override { return "dionysus-lite"; }
+  /// Single intents degrade to reverse-path behavior.
+  UpdateSchedule build(const RouteIntent& intent, UpdateId first_id) const override;
+  /// Joint graph across intents with capacity-release ordering.
+  UpdateSchedule build_batch(const std::vector<RouteIntent>& intents,
+                             UpdateId first_id) const override;
+};
+
+/// Extracts the switch-only portion of an intent path (drops the end
+/// hosts); validates the path shape.
+std::vector<net::NodeIndex> switch_path(const RouteIntent& intent);
+
+}  // namespace cicero::sched

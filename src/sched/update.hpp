@@ -1,0 +1,56 @@
+// Network update types shared by schedulers, controllers and switches.
+//
+// A network update u = (s, r) applies rule r at switch s (paper §3.1);
+// an update dependence (u, D) says every update in D must be applied (and
+// acknowledged) before u may be sent.  `UpdateSchedule` is a scheduler's
+// output: the full set of updates for one intent together with their
+// dependence sets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow_table.hpp"
+#include "util/serialize.hpp"
+
+namespace cicero::sched {
+
+using UpdateId = std::uint64_t;
+
+enum class UpdateOp : std::uint8_t { kInstall = 0, kRemove = 1 };
+
+struct Update {
+  UpdateId id = 0;
+  net::NodeIndex switch_node = net::kNoNode;
+  UpdateOp op = UpdateOp::kInstall;
+  net::FlowRule rule;  ///< for kRemove only rule.match is meaningful
+
+  void serialize(util::Writer& w) const;
+  static Update deserialize(util::Reader& r);
+  bool operator==(const Update&) const = default;
+};
+
+struct ScheduledUpdate {
+  Update update;
+  std::vector<UpdateId> deps;  ///< updates that must complete first
+};
+
+struct UpdateSchedule {
+  std::vector<ScheduledUpdate> updates;
+
+  bool empty() const { return updates.empty(); }
+  std::size_t size() const { return updates.size(); }
+};
+
+/// What a controller application wants done for one flow: establish a
+/// route along `path` (host, switches..., host) or tear it down.
+struct RouteIntent {
+  enum class Kind : std::uint8_t { kEstablish = 0, kTeardown = 1 };
+  Kind kind = Kind::kEstablish;
+  net::FlowMatch match;
+  std::vector<net::NodeIndex> path;  ///< src host, switch..., dst host
+  double reserved_bps = 0.0;
+};
+
+}  // namespace cicero::sched

@@ -1,0 +1,48 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cicero::sim {
+
+CpuServer::CpuServer(Simulator& simulator) : sim_(simulator) {}
+
+void CpuServer::execute(SimTime cost, std::function<void()> done) {
+  if (cost < 0) throw std::invalid_argument("CpuServer::execute: negative cost");
+  const SimTime start = std::max(sim_.now(), busy_until_);
+  const SimTime finish = start + cost;
+  busy_until_ = finish;
+  busy_total_ += cost;
+  if (cost > 0) {
+    // Coalesce back-to-back work into one interval to bound memory.
+    if (!intervals_.empty() &&
+        intervals_.back().first + intervals_.back().second == start) {
+      intervals_.back().second += cost;
+    } else {
+      intervals_.emplace_back(start, cost);
+    }
+  }
+  sim_.at(finish, std::move(done));
+}
+
+double CpuServer::utilisation(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  SimTime busy = 0;
+  for (const auto& [start, dur] : intervals_) {
+    const SimTime s = std::max(start, from);
+    const SimTime e = std::min(start + dur, to);
+    if (e > s) busy += e - s;
+  }
+  return static_cast<double>(busy) / static_cast<double>(to - from);
+}
+
+std::vector<double> CpuServer::utilisation_windows(SimTime window, SimTime horizon) const {
+  if (window <= 0) throw std::invalid_argument("utilisation_windows: window must be > 0");
+  std::vector<double> out;
+  for (SimTime t = 0; t < horizon; t += window) {
+    out.push_back(utilisation(t, std::min(t + window, horizon)));
+  }
+  return out;
+}
+
+}  // namespace cicero::sim

@@ -1,0 +1,52 @@
+// Per-node CPU modeling.
+//
+// Every simulated node (switch or controller) owns a `CpuServer`: a
+// single-server FIFO queue of work items.  Protocol code charges simulated
+// CPU cost for expensive operations (signature verification, aggregation,
+// flow-table updates); the server serializes them, so a busy switch
+// naturally delays later updates — this queueing is what produces the
+// paper's Fig. 11d CPU-utilisation curves and the latency inflation of
+// switch-side aggregation.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace cicero::sim {
+
+class CpuServer {
+ public:
+  explicit CpuServer(Simulator& simulator);
+
+  /// Enqueues `cost` nanoseconds of work; `done` fires when the work
+  /// completes (after queueing behind earlier work).  cost >= 0.
+  void execute(SimTime cost, std::function<void()> done);
+
+  /// Convenience: charge cost with no completion action.
+  void charge(SimTime cost) {
+    execute(cost, [] {});
+  }
+
+  /// Total busy nanoseconds so far.
+  SimTime busy_total() const { return busy_total_; }
+
+  /// Time the server will next be idle (>= now).
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Exact busy fraction over [from, to] (clips work intervals).
+  double utilisation(SimTime from, SimTime to) const;
+
+  /// Per-window busy fractions covering [0, horizon] with the given window
+  /// width; this is the Fig. 11d series for one node.
+  std::vector<double> utilisation_windows(SimTime window, SimTime horizon) const;
+
+ private:
+  Simulator& sim_;
+  SimTime busy_until_ = 0;
+  SimTime busy_total_ = 0;
+  std::vector<std::pair<SimTime, SimTime>> intervals_;  // (start, duration)
+};
+
+}  // namespace cicero::sim

@@ -1,0 +1,55 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace cicero::sim {
+
+NetworkSim::NetworkSim(Simulator& simulator) : sim_(simulator) {}
+
+NodeId NetworkSim::add_node(std::string name) {
+  const NodeId id = static_cast<NodeId>(names_.size());
+  names_.push_back(std::move(name));
+  handlers_.emplace_back();
+  return id;
+}
+
+void NetworkSim::set_handler(NodeId id, Handler handler) {
+  handlers_.at(id) = std::move(handler);
+}
+
+void NetworkSim::send(NodeId from, NodeId to, util::Bytes msg) {
+  if (to >= names_.size() || from >= names_.size()) {
+    throw std::invalid_argument("NetworkSim::send: unknown node");
+  }
+  ++messages_sent_;
+  bytes_sent_ += msg.size();
+
+  if (drop_fn_ && drop_fn_(from, to, msg)) {
+    ++messages_dropped_;
+    return;
+  }
+  if (mutate_fn_) mutate_fn_(from, to, msg);
+
+  const SimTime latency = latency_fn_ ? latency_fn_(from, to) : default_latency_;
+  if (latency == kNever) {
+    ++messages_dropped_;
+    return;
+  }
+  sim_.after(latency, [this, from, to, m = std::move(msg)]() {
+    ++messages_delivered_;
+    const Handler& h = handlers_.at(to);
+    if (h) {
+      h(from, m);
+    } else {
+      CICERO_LOG_DEBUG("network", "message to %s dropped: no handler", names_[to].c_str());
+    }
+  });
+}
+
+void NetworkSim::multicast(NodeId from, const std::vector<NodeId>& to, const util::Bytes& msg) {
+  for (const NodeId t : to) send(from, t, msg);
+}
+
+}  // namespace cicero::sim

@@ -1,0 +1,78 @@
+// Simulated message-passing network.
+//
+// Point-to-point, unicast message delivery between named nodes with a
+// pluggable latency function and fault injection (drops, partitions,
+// per-message mutation).  The Cicero control plane, the BFT library and
+// the switch runtimes all exchange serialized messages through this class;
+// the data-plane *payload* traffic is modeled analytically in the flow
+// driver (net/flows) rather than packet-by-packet — the paper's metrics
+// only need control-message timing plus flow transmission times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/bytes.hpp"
+
+namespace cicero::sim {
+
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = UINT32_MAX;
+
+class NetworkSim {
+ public:
+  using Handler = std::function<void(NodeId from, const util::Bytes& msg)>;
+  /// Latency between two nodes; return kNever to model "no route".
+  using LatencyFn = std::function<SimTime(NodeId from, NodeId to)>;
+  /// Fault hook: return true to drop this message.
+  using DropFn = std::function<bool(NodeId from, NodeId to, const util::Bytes& msg)>;
+  /// Fault hook: may mutate the message in flight (Byzantine network tests).
+  using MutateFn = std::function<void(NodeId from, NodeId to, util::Bytes& msg)>;
+
+  explicit NetworkSim(Simulator& simulator);
+
+  /// Registers a node; returns its id.  Names are for logging only.
+  NodeId add_node(std::string name);
+  std::size_t node_count() const { return names_.size(); }
+  const std::string& node_name(NodeId id) const { return names_.at(id); }
+
+  void set_handler(NodeId id, Handler handler);
+  void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
+  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+  void set_mutate_fn(MutateFn fn) { mutate_fn_ = std::move(fn); }
+
+  /// Uniform default latency when no latency function is installed.
+  void set_default_latency(SimTime latency) { default_latency_ = latency; }
+
+  /// Sends `msg` from `from` to `to`; delivery is scheduled at
+  /// now + latency unless dropped.  Messages between the same pair are NOT
+  /// forcibly ordered (like UDP); protocol layers must tolerate reordering,
+  /// though with a deterministic latency function FIFO order emerges.
+  void send(NodeId from, NodeId to, util::Bytes msg);
+
+  /// Convenience multicast (independent unicasts).
+  void multicast(NodeId from, const std::vector<NodeId>& to, const util::Bytes& msg);
+
+  std::uint64_t messages_sent() const { return messages_sent_; }
+  std::uint64_t messages_delivered() const { return messages_delivered_; }
+  std::uint64_t messages_dropped() const { return messages_dropped_; }
+  std::uint64_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  Simulator& sim_;
+  std::vector<std::string> names_;
+  std::vector<Handler> handlers_;
+  LatencyFn latency_fn_;
+  DropFn drop_fn_;
+  MutateFn mutate_fn_;
+  SimTime default_latency_ = microseconds(100);
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace cicero::sim

@@ -1,0 +1,38 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cicero::sim {
+
+void Simulator::at(SimTime t, Callback fn) {
+  if (t < now_) throw std::invalid_argument("Simulator::at: time in the past");
+  queue_.push(Entry{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  if (event_cap_ != 0 && events_processed_ >= event_cap_) {
+    throw std::runtime_error("Simulator: event cap exceeded (livelock?)");
+  }
+  // priority_queue::top returns const&; we need to move the callback out.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.time;
+  ++events_processed_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, std::min(t, now_));
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace cicero::sim

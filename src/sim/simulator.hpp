@@ -1,0 +1,70 @@
+// Discrete-event simulation core.
+//
+// A single-threaded, deterministic event loop: callbacks are executed in
+// (time, insertion-sequence) order, so two events scheduled for the same
+// instant run in the order they were scheduled — this tie-break is what
+// makes whole-protocol runs bit-reproducible.
+//
+// The simulator replaces the paper's DeterLab testbed (DESIGN.md §1): all
+// latency, bandwidth and CPU effects are modeled as scheduled events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cicero::sim {
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  void at(SimTime t, Callback fn);
+
+  /// Schedules `fn` `delay` nanoseconds from now (delay >= 0).
+  void after(SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Runs the next event; returns false if the queue is empty.
+  bool step();
+
+  /// Runs events until the queue empties or the next event is after `t`;
+  /// leaves now() at min(t, completion time).
+  void run_until(SimTime t);
+
+  /// Runs until the event queue is empty.
+  void run();
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  /// Hard cap on processed events to catch accidental livelock in tests;
+  /// 0 disables.  step() throws std::runtime_error past the cap.
+  void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::uint64_t event_cap_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace cicero::sim

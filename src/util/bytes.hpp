@@ -1,0 +1,37 @@
+// Byte-string helpers shared across the code base.
+//
+// Cicero moves opaque byte strings around constantly: serialized protocol
+// messages, signatures, hashes.  `Bytes` is the canonical owning type and
+// this header provides hex encoding/decoding plus small conveniences.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cicero::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Encodes `data` as lowercase hex ("deadbeef").
+std::string to_hex(const Bytes& data);
+
+/// Encodes an arbitrary buffer as lowercase hex.
+std::string to_hex(const std::uint8_t* data, std::size_t len);
+
+/// Decodes a hex string (case-insensitive, even length).  Throws
+/// std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Returns the bytes of a string_view, copied.
+Bytes to_bytes(std::string_view s);
+
+/// Returns the contents of a byte string as a std::string (for logging).
+std::string to_string(const Bytes& data);
+
+/// Constant-time equality over byte strings; used when comparing MACs or
+/// signatures so that comparison time does not leak the mismatch position.
+bool ct_equal(const Bytes& a, const Bytes& b);
+
+}  // namespace cicero::util

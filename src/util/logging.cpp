@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace cicero::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log(LogLevel level, const char* component, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %-10s ", level_name(level), component);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace cicero::util

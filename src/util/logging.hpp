@@ -1,0 +1,33 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded, so the logger is deliberately simple:
+// a global level, printf-style formatting, and a per-line prefix carrying
+// the simulated component name.  Tests set the level to `kError` to keep
+// ctest output quiet; examples crank it up to `kInfo`/`kDebug`.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace cicero::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global log level (default kWarn).
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Core log entry point; prefer the macros below.
+void log(LogLevel level, const char* component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+}  // namespace cicero::util
+
+#define CICERO_LOG_DEBUG(component, ...) \
+  ::cicero::util::log(::cicero::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define CICERO_LOG_INFO(component, ...) \
+  ::cicero::util::log(::cicero::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define CICERO_LOG_WARN(component, ...) \
+  ::cicero::util::log(::cicero::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define CICERO_LOG_ERROR(component, ...) \
+  ::cicero::util::log(::cicero::util::LogLevel::kError, component, __VA_ARGS__)

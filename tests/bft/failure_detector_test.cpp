@@ -1,0 +1,108 @@
+#include "bft/failure_detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace cicero::bft {
+namespace {
+
+class FdTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<sim::NetworkSim>(sim_);
+    for (int i = 0; i < 3; ++i) nodes_.push_back(net_->add_node("m" + std::to_string(i)));
+    for (int i = 0; i < 3; ++i) {
+      FailureDetector::Config cfg;
+      cfg.id = static_cast<FailureDetector::MemberId>(i);
+      cfg.group = nodes_;
+      cfg.period = sim::milliseconds(10);
+      cfg.miss_threshold = 3;
+      fds_.push_back(std::make_unique<FailureDetector>(
+          sim_, *net_, cfg,
+          [this, i](FailureDetector::MemberId m, bool suspected) {
+            transitions_.push_back({static_cast<FailureDetector::MemberId>(i), m, suspected});
+          }));
+      net_->set_handler(nodes_[static_cast<std::size_t>(i)],
+                        [this, i](sim::NodeId, const util::Bytes& wire) {
+                          FailureDetector::MemberId from;
+                          if (decode_heartbeat(wire, from)) {
+                            fds_[static_cast<std::size_t>(i)]->on_heartbeat(from);
+                          }
+                        });
+    }
+  }
+
+  struct Transition {
+    FailureDetector::MemberId observer;
+    FailureDetector::MemberId member;
+    bool suspected;
+  };
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::NetworkSim> net_;
+  std::vector<sim::NodeId> nodes_;
+  std::vector<std::unique_ptr<FailureDetector>> fds_;
+  std::vector<Transition> transitions_;
+};
+
+TEST_F(FdTest, NoSuspicionsWhileAllAlive) {
+  for (auto& fd : fds_) fd->start();
+  sim_.run_until(sim::milliseconds(500));
+  EXPECT_TRUE(transitions_.empty());
+  for (auto& fd : fds_) EXPECT_TRUE(fd->suspects().empty());
+}
+
+TEST_F(FdTest, SilentMemberSuspected) {
+  fds_[0]->start();
+  fds_[1]->start();  // member 2 never starts -> never emits heartbeats
+  sim_.run_until(sim::milliseconds(500));
+  EXPECT_TRUE(fds_[0]->suspected(2));
+  EXPECT_TRUE(fds_[1]->suspected(2));
+  EXPECT_FALSE(fds_[0]->suspected(1));
+}
+
+TEST_F(FdTest, StoppedMemberSuspectedAfterThreshold) {
+  for (auto& fd : fds_) fd->start();
+  sim_.run_until(sim::milliseconds(100));
+  EXPECT_FALSE(fds_[0]->suspected(2));
+  fds_[2]->stop();
+  sim_.run_until(sim::milliseconds(400));
+  EXPECT_TRUE(fds_[0]->suspected(2));
+  EXPECT_TRUE(fds_[1]->suspected(2));
+}
+
+TEST_F(FdTest, SuspicionRevokedOnReturn) {
+  fds_[0]->start();
+  fds_[1]->start();
+  sim_.run_until(sim::milliseconds(300));
+  ASSERT_TRUE(fds_[0]->suspected(2));
+  // Member 2 comes (back) to life.
+  fds_[2]->start();
+  sim_.run_until(sim::milliseconds(400));
+  EXPECT_FALSE(fds_[0]->suspected(2));
+  bool saw_revocation = false;
+  for (const auto& t : transitions_) {
+    if (t.member == 2 && !t.suspected) saw_revocation = true;
+  }
+  EXPECT_TRUE(saw_revocation);
+}
+
+TEST_F(FdTest, HeartbeatCodecRoundTrip) {
+  FailureDetector::MemberId id = 0;
+  EXPECT_TRUE(decode_heartbeat(encode_heartbeat(7), id));
+  EXPECT_EQ(id, 7u);
+  EXPECT_FALSE(decode_heartbeat({0x00, 0x01}, id));
+  EXPECT_FALSE(decode_heartbeat({}, id));
+}
+
+TEST_F(FdTest, IgnoresUnknownAndSelfHeartbeats) {
+  fds_[0]->start();
+  fds_[0]->on_heartbeat(99);  // unknown member: ignored
+  fds_[0]->on_heartbeat(0);   // self: ignored
+  sim_.run_until(sim::milliseconds(50));
+  EXPECT_FALSE(fds_[0]->suspected(99));
+}
+
+}  // namespace
+}  // namespace cicero::bft

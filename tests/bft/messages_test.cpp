@@ -1,0 +1,87 @@
+#include "bft/messages.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::bft {
+namespace {
+
+BftRequest sample_request() {
+  BftRequest r;
+  r.submitter = 3;
+  r.local_seq = 99;
+  r.payload = {1, 2, 3, 4};
+  return r;
+}
+
+TEST(BftMessages, RequestRoundTrip) {
+  const BftRequest r = sample_request();
+  const util::Bytes encoded = r.encode();
+  util::Reader rd(encoded);
+  const BftRequest back = BftRequest::decode(rd);
+  EXPECT_EQ(back, r);
+}
+
+TEST(BftMessages, RequestDigestStable) {
+  const BftRequest r = sample_request();
+  EXPECT_EQ(r.digest(), sample_request().digest());
+  BftRequest other = r;
+  other.payload.push_back(0);
+  EXPECT_NE(util::to_hex(r.digest().data(), 32), util::to_hex(other.digest().data(), 32));
+}
+
+TEST(BftMessages, FullMessageRoundTrip) {
+  BftMessage m;
+  m.type = BftMsgType::kPrePrepare;
+  m.sender = 2;
+  m.view = 7;
+  m.seq = 41;
+  m.request = sample_request();
+  m.digest = m.request->digest();
+  m.last_delivered = 40;
+  m.prepared.push_back(PreparedEntry{41, sample_request()});
+  m.new_view_entries[42] = sample_request();
+  m.new_view_next_seq = 43;
+
+  const util::Bytes sig = {9, 9, 9};
+  const auto decoded = BftMessage::decode(m.encode(sig));
+  ASSERT_TRUE(decoded.has_value());
+  const auto& [back, back_sig] = *decoded;
+  EXPECT_EQ(back.type, m.type);
+  EXPECT_EQ(back.sender, m.sender);
+  EXPECT_EQ(back.view, m.view);
+  EXPECT_EQ(back.seq, m.seq);
+  ASSERT_TRUE(back.request.has_value());
+  EXPECT_EQ(*back.request, *m.request);
+  EXPECT_EQ(back.last_delivered, 40u);
+  ASSERT_EQ(back.prepared.size(), 1u);
+  EXPECT_EQ(back.prepared[0].seq, 41u);
+  EXPECT_EQ(back.new_view_entries.at(42), sample_request());
+  EXPECT_EQ(back.new_view_next_seq, 43u);
+  EXPECT_EQ(back_sig, sig);
+}
+
+TEST(BftMessages, DecodeRejectsGarbage) {
+  EXPECT_FALSE(BftMessage::decode({}).has_value());
+  EXPECT_FALSE(BftMessage::decode({0x01, 0x02}).has_value());
+}
+
+TEST(BftMessages, DecodeRejectsWrongTag) {
+  BftMessage m;
+  util::Bytes wire = m.encode({});
+  wire[0] = 0x00;
+  EXPECT_FALSE(BftMessage::decode(wire).has_value());
+}
+
+TEST(BftMessages, DecodeRejectsBadType) {
+  BftMessage m;
+  m.type = static_cast<BftMsgType>(200);
+  EXPECT_FALSE(BftMessage::decode(m.encode({})).has_value());
+}
+
+TEST(BftMessages, WireStartsWithTag) {
+  BftMessage m;
+  EXPECT_EQ(m.encode({}).front(), kBftWireTag);
+}
+
+}  // namespace
+}  // namespace cicero::bft

@@ -1,0 +1,108 @@
+#include "core/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace cicero::core {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    crypto::Drbg d(77);
+    kp_ = crypto::SchnorrKeyPair::generate(d);
+  }
+  crypto::SchnorrKeyPair kp_;
+
+  AuditLog make_log(int entries) {
+    AuditLog log;
+    for (int i = 0; i < entries; ++i) {
+      log.append(EventId{1, static_cast<std::uint64_t>(i)},
+                 util::to_bytes("update-" + std::to_string(i)), kp_.sk);
+    }
+    return log;
+  }
+};
+
+TEST_F(AuditTest, ChainVerifies) {
+  const AuditLog log = make_log(5);
+  EXPECT_EQ(log.size(), 5u);
+  EXPECT_TRUE(AuditLog::verify_chain(log.entries(), kp_.pk));
+}
+
+TEST_F(AuditTest, EmptyChainVerifies) {
+  EXPECT_TRUE(AuditLog::verify_chain({}, kp_.pk));
+}
+
+TEST_F(AuditTest, TamperedDecisionDetected) {
+  AuditLog log = make_log(5);
+  auto entries = log.entries();
+  entries[2].update_digest[0] ^= 0x01;
+  EXPECT_FALSE(AuditLog::verify_chain(entries, kp_.pk));
+}
+
+TEST_F(AuditTest, RemovedEntryBreaksChain) {
+  AuditLog log = make_log(5);
+  auto entries = log.entries();
+  entries.erase(entries.begin() + 2);
+  EXPECT_FALSE(AuditLog::verify_chain(entries, kp_.pk));
+}
+
+TEST_F(AuditTest, ReorderedEntriesDetected) {
+  AuditLog log = make_log(4);
+  auto entries = log.entries();
+  std::swap(entries[1], entries[2]);
+  EXPECT_FALSE(AuditLog::verify_chain(entries, kp_.pk));
+}
+
+TEST_F(AuditTest, WrongKeyRejected) {
+  const AuditLog log = make_log(3);
+  crypto::Drbg d(78);
+  const auto other = crypto::SchnorrKeyPair::generate(d);
+  EXPECT_FALSE(AuditLog::verify_chain(log.entries(), other.pk));
+}
+
+TEST_F(AuditTest, ForgedSignatureDetected) {
+  AuditLog log = make_log(3);
+  auto entries = log.entries();
+  entries[1].sig[10] ^= 0xFF;
+  EXPECT_FALSE(AuditLog::verify_chain(entries, kp_.pk));
+}
+
+TEST_F(AuditTest, HonestLogsAgree) {
+  // Two controllers emitting the same decisions (possibly in different
+  // per-event order) have no divergence.
+  crypto::Drbg d(79);
+  const auto kp2 = crypto::SchnorrKeyPair::generate(d);
+  AuditLog a, b;
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
+  a.append(EventId{1, 1}, util::to_bytes("u2"), kp_.sk);
+  a.append(EventId{1, 2}, util::to_bytes("u3"), kp_.sk);
+  b.append(EventId{1, 1}, util::to_bytes("u2"), kp2.sk);  // different order
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp2.sk);
+  b.append(EventId{1, 2}, util::to_bytes("u3"), kp2.sk);
+  EXPECT_FALSE(AuditLog::first_divergence(a.entries(), b.entries()).has_value());
+}
+
+TEST_F(AuditTest, DivergenceLocatesEvent) {
+  AuditLog a, b;
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
+  a.append(EventId{1, 2}, util::to_bytes("honest"), kp_.sk);
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
+  b.append(EventId{1, 2}, util::to_bytes("corrupted"), kp_.sk);
+  const auto div = AuditLog::first_divergence(a.entries(), b.entries());
+  ASSERT_TRUE(div.has_value());
+  EXPECT_EQ(*div, (EventId{1, 2}));
+}
+
+TEST_F(AuditTest, LaggingLogIsNotDivergence) {
+  AuditLog a, b;
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
+  a.append(EventId{1, 2}, util::to_bytes("u2"), kp_.sk);
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);  // b is behind
+  EXPECT_FALSE(AuditLog::first_divergence(a.entries(), b.entries()).has_value());
+}
+
+}  // namespace
+}  // namespace cicero::core

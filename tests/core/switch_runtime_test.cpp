@@ -1,0 +1,242 @@
+// Message-level unit tests for the switch runtime (no Deployment): quorum
+// counting, body bucketing, signature rejection, dedup, acks, retries.
+#include "core/switch_runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pki.hpp"
+#include "crypto/dkg.hpp"
+
+namespace cicero::core {
+namespace {
+
+class SwitchRuntimeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<sim::NetworkSim>(sim_);
+    switch_node_ = net_->add_node("sw");
+    for (int i = 0; i < 4; ++i) ctrl_nodes_.push_back(net_->add_node("c" + std::to_string(i)));
+
+    // Threshold material: 4 members, quorum 2.
+    drbg_ = std::make_unique<crypto::Drbg>(55);
+    results_ = crypto::run_dkg({1, 2, 3, 4}, 2, *drbg_);
+
+    SwitchRuntime::Config cfg;
+    cfg.topo_index = 7;
+    cfg.node = switch_node_;
+    cfg.framework = FrameworkKind::kCicero;
+    cfg.key = crypto::SchnorrKeyPair::generate(*drbg_);
+    cfg.group_pk = results_.front().group_public_key;
+    cfg.quorum = 2;
+    cfg.controllers = ctrl_nodes_;
+    cfg.real_crypto = true;
+    switch_pk_ = cfg.key.pk;
+    rt_ = std::make_unique<SwitchRuntime>(sim_, *net_, cfg);
+    net_->set_handler(switch_node_, [this](sim::NodeId from, const util::Bytes& wire) {
+      rt_->handle_message(from, wire);
+    });
+    // Capture control-plane-bound traffic (events + acks).
+    for (int i = 0; i < 4; ++i) {
+      net_->set_handler(ctrl_nodes_[static_cast<std::size_t>(i)],
+                        [this](sim::NodeId, const util::Bytes& wire) {
+                          to_controllers_.push_back(wire);
+                        });
+    }
+  }
+
+  sched::Update make_update(sched::UpdateId id, net::NodeIndex next_hop = 9) {
+    sched::Update u;
+    u.id = id;
+    u.switch_node = 7;
+    u.op = sched::UpdateOp::kInstall;
+    u.rule = {{100, 200}, next_hop, 1e6};
+    return u;
+  }
+
+  /// Sends a signed UpdateMsg from share-holder `signer_pos`.
+  void send_partial(const sched::Update& u, std::size_t signer_pos) {
+    UpdateMsg m;
+    m.update = u;
+    m.cause = EventId{7, 1};
+    m.partial = crypto::SimBlsScheme::instance().partial_sign(results_[signer_pos].share,
+                                                              update_signing_bytes(u));
+    net_->send(ctrl_nodes_[signer_pos], switch_node_, m.encode());
+    sim_.run_until(sim_.now() + sim::milliseconds(50));
+  }
+
+  std::size_t acks_received() const {
+    std::size_t n = 0;
+    for (const auto& w : to_controllers_) {
+      if (AckMsg::decode(w)) ++n;
+    }
+    return n;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<sim::NetworkSim> net_;
+  std::unique_ptr<crypto::Drbg> drbg_;
+  std::vector<crypto::DkgParticipant::Result> results_;
+  sim::NodeId switch_node_ = 0;
+  std::vector<sim::NodeId> ctrl_nodes_;
+  crypto::Point switch_pk_;
+  std::unique_ptr<SwitchRuntime> rt_;
+  std::vector<util::Bytes> to_controllers_;
+};
+
+TEST_F(SwitchRuntimeTest, AppliesAfterQuorum) {
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  EXPECT_EQ(rt_->updates_applied(), 0u);  // one partial < quorum of 2
+  EXPECT_FALSE(rt_->table().has({100, 200}));
+  send_partial(u, 1);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_TRUE(rt_->table().has({100, 200}));
+}
+
+TEST_F(SwitchRuntimeTest, DuplicateSignerDoesNotCount) {
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  send_partial(u, 0);  // same share again
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+}
+
+TEST_F(SwitchRuntimeTest, AcksSignedAndSentToAllControllers) {
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  send_partial(u, 1);
+  // One ack per controller (4), verifiable under the switch key.
+  EXPECT_EQ(acks_received(), 4u);
+  PkiDirectory pki;
+  pki.register_origin(7, switch_pk_);
+  for (const auto& w : to_controllers_) {
+    if (const auto ack = AckMsg::decode(w)) {
+      EXPECT_EQ(ack->update_id, 1u);
+      EXPECT_TRUE(pki.verify_ack(*ack));
+    }
+  }
+}
+
+TEST_F(SwitchRuntimeTest, ConflictingBodiesBucketSeparately) {
+  // A corrupted body (different next hop) from signer 0 must not merge
+  // with honest copies; the honest bucket completes on signers 1+2.
+  send_partial(make_update(1, /*next_hop=*/7), 0);  // corrupt
+  send_partial(make_update(1), 1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+  send_partial(make_update(1), 2);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_EQ(rt_->table().lookup({100, 200})->next_hop, 9u);  // honest rule won
+}
+
+TEST_F(SwitchRuntimeTest, AppliedUpdateIsIdempotent) {
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  send_partial(u, 1);
+  send_partial(u, 2);  // late third partial
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_EQ(acks_received(), 4u);  // no duplicate acks
+}
+
+TEST_F(SwitchRuntimeTest, RemoveOpDeletesRule) {
+  auto ins = make_update(1);
+  send_partial(ins, 0);
+  send_partial(ins, 1);
+  ASSERT_TRUE(rt_->table().has({100, 200}));
+  auto rem = make_update(2);
+  rem.op = sched::UpdateOp::kRemove;
+  send_partial(rem, 0);
+  send_partial(rem, 1);
+  EXPECT_FALSE(rt_->table().has({100, 200}));
+}
+
+TEST_F(SwitchRuntimeTest, ForgedAggregateRejected) {
+  // An AggUpdateMsg whose signature does not verify must be ignored.
+  AggUpdateMsg m;
+  m.update = make_update(1);
+  m.cause = EventId{7, 1};
+  m.agg_sig = crypto::Point::mul_gen(drbg_->next_scalar()).to_bytes();  // junk
+  net_->send(ctrl_nodes_[0], switch_node_, m.encode());
+  sim_.run_until(sim::milliseconds(50));
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+  EXPECT_GE(rt_->updates_rejected(), 1u);
+}
+
+TEST_F(SwitchRuntimeTest, ValidAggregateApplied) {
+  const auto u = make_update(1);
+  const auto bytes = update_signing_bytes(u);
+  const auto& scheme = crypto::SimBlsScheme::instance();
+  std::vector<crypto::PartialSignature> partials = {
+      scheme.partial_sign(results_[0].share, bytes),
+      scheme.partial_sign(results_[1].share, bytes)};
+  AggUpdateMsg m;
+  m.update = u;
+  m.cause = EventId{7, 1};
+  m.agg_sig = *scheme.aggregate(bytes, partials, 2);
+  net_->send(ctrl_nodes_[0], switch_node_, m.encode());
+  sim_.run_until(sim::milliseconds(50));
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+}
+
+TEST_F(SwitchRuntimeTest, PacketInEmitsSignedEventOnce) {
+  sim_.at(sim_.now(), [this] {
+    EXPECT_FALSE(rt_->packet_in({100, 200}, 1e6));
+    EXPECT_FALSE(rt_->packet_in({100, 200}, 1e6));  // dup miss, no new event
+  });
+  sim_.run_until(sim_.now() + sim::milliseconds(100));
+  std::size_t events = 0;
+  PkiDirectory pki;
+  pki.register_origin(7, switch_pk_);
+  for (const auto& w : to_controllers_) {
+    if (const auto e = Event::decode(w)) {
+      ++events;
+      EXPECT_TRUE(pki.verify_event(*e));
+      EXPECT_EQ(e->kind, EventKind::kFlowRequest);
+    }
+  }
+  EXPECT_EQ(events, 4u);  // one multicast to all 4 controllers
+  EXPECT_EQ(rt_->events_emitted(), 1u);
+}
+
+TEST_F(SwitchRuntimeTest, EventRetriedWhileUnanswered) {
+  sim_.at(sim_.now(), [this] { rt_->packet_in({100, 200}, 1e6); });
+  sim_.run_until(sim_.now() + sim::seconds(5));  // two retry periods
+  EXPECT_GE(rt_->events_emitted(), 2u);
+}
+
+TEST_F(SwitchRuntimeTest, RetryStopsOnceRuleInstalled) {
+  sim_.at(sim_.now(), [this] { rt_->packet_in({100, 200}, 1e6); });
+  sim_.run_until(sim_.now() + sim::milliseconds(10));
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  send_partial(u, 1);
+  const auto emitted = rt_->events_emitted();
+  sim_.run_until(sim_.now() + sim::seconds(6));
+  EXPECT_EQ(rt_->events_emitted(), emitted);  // no retries after install
+}
+
+TEST_F(SwitchRuntimeTest, AggregatorNotifyUpdatesConfig) {
+  AggregatorNotifyMsg m;
+  m.phase = 2;
+  m.aggregator = ctrl_nodes_[2];
+  m.quorum = 3;
+  m.controllers = {ctrl_nodes_[1], ctrl_nodes_[2], ctrl_nodes_[3]};
+  net_->send(ctrl_nodes_[0], switch_node_, m.encode());
+  sim_.run_until(sim::milliseconds(10));
+  EXPECT_EQ(rt_->config().quorum, 3u);
+  EXPECT_EQ(rt_->config().aggregator, ctrl_nodes_[2]);
+  EXPECT_EQ(rt_->config().controllers.size(), 3u);
+}
+
+TEST_F(SwitchRuntimeTest, TeardownRequestEmitsEvent) {
+  sim_.at(sim_.now(), [this] { rt_->request_teardown({100, 200}); });
+  sim_.run_until(sim_.now() + sim::milliseconds(50));
+  bool saw = false;
+  for (const auto& w : to_controllers_) {
+    if (const auto e = Event::decode(w)) {
+      saw |= (e->kind == EventKind::kFlowTeardown);
+    }
+  }
+  EXPECT_TRUE(saw);
+}
+
+}  // namespace
+}  // namespace cicero::core

@@ -1,0 +1,213 @@
+#include "crypto/dkg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::crypto {
+namespace {
+
+class DkgParam : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+ protected:
+  Drbg drbg_{7};
+};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DkgParam,
+                         ::testing::Values(std::make_pair(2u, 4u), std::make_pair(2u, 5u),
+                                           std::make_pair(3u, 7u), std::make_pair(4u, 10u)));
+
+TEST_P(DkgParam, HonestRunAgreesOnKey) {
+  const auto [t, n] = GetParam();
+  std::vector<ShareIndex> members;
+  for (std::size_t i = 1; i <= n; ++i) members.push_back(static_cast<ShareIndex>(i));
+  const auto results = run_dkg(members, t, drbg_);
+  ASSERT_EQ(results.size(), n);
+  for (const auto& r : results) {
+    EXPECT_EQ(r.group_public_key, results.front().group_public_key);
+    EXPECT_EQ(r.verification_shares.size(), n);
+  }
+}
+
+TEST_P(DkgParam, SharesReconstructToKeySecret) {
+  const auto [t, n] = GetParam();
+  std::vector<ShareIndex> members;
+  for (std::size_t i = 1; i <= n; ++i) members.push_back(static_cast<ShareIndex>(i));
+  const auto results = run_dkg(members, t, drbg_);
+  std::vector<SecretShare> quorum;
+  for (std::size_t i = 0; i < t; ++i) quorum.push_back(results[i].share);
+  const Scalar secret = shamir_reconstruct(quorum);
+  EXPECT_EQ(Point::mul_gen(secret), results.front().group_public_key);
+}
+
+TEST_P(DkgParam, VerificationSharesMatchShares) {
+  const auto [t, n] = GetParam();
+  std::vector<ShareIndex> members;
+  for (std::size_t i = 1; i <= n; ++i) members.push_back(static_cast<ShareIndex>(i));
+  const auto results = run_dkg(members, t, drbg_);
+  for (const auto& r : results) {
+    EXPECT_EQ(Point::mul_gen(r.share.value),
+              results.front().verification_shares.at(r.share.index));
+  }
+}
+
+TEST(Dkg, BadDealIsRejected) {
+  Drbg d(11);
+  std::vector<ShareIndex> members = {1, 2, 3, 4};
+  DkgParticipant alice(1, members, 2, d);
+  DkgParticipant mallory(2, members, 2, d);
+  DkgDeal deal = mallory.make_deal();
+  deal.shares[1] = deal.shares[1] + Scalar::one();  // corrupt Alice's share
+  EXPECT_FALSE(alice.receive_deal(deal));           // complaint
+}
+
+TEST(Dkg, WrongCommitmentCountRejected) {
+  Drbg d(12);
+  std::vector<ShareIndex> members = {1, 2, 3, 4};
+  DkgParticipant alice(1, members, 2, d);
+  DkgParticipant bob(2, members, 2, d);
+  DkgDeal deal = bob.make_deal();
+  deal.commitments.pop_back();
+  EXPECT_FALSE(alice.receive_deal(deal));
+}
+
+TEST(Dkg, MissingShareRejected) {
+  Drbg d(13);
+  std::vector<ShareIndex> members = {1, 2, 3, 4};
+  DkgParticipant alice(1, members, 2, d);
+  DkgParticipant bob(2, members, 2, d);
+  DkgDeal deal = bob.make_deal();
+  deal.shares.erase(1);
+  EXPECT_FALSE(alice.receive_deal(deal));
+}
+
+TEST(Dkg, ExcludingBadDealerStillWorks) {
+  // Full protocol with one misbehaving dealer excluded from QUAL.
+  Drbg d(14);
+  std::vector<ShareIndex> members = {1, 2, 3, 4, 5};
+  std::vector<DkgParticipant> parts;
+  for (const ShareIndex m : members) parts.emplace_back(m, members, 2, d);
+  std::vector<DkgDeal> deals;
+  for (auto& p : parts) deals.push_back(p.make_deal());
+  // Dealer 3 corrupts everyone's shares.
+  for (auto& [recv, share] : deals[2].shares) share = share + Scalar::one();
+
+  std::vector<ShareIndex> qualified;
+  for (const ShareIndex m : members) {
+    if (m != 3) qualified.push_back(m);
+  }
+  for (auto& p : parts) {
+    for (const auto& deal : deals) {
+      const bool ok = p.receive_deal(deal);
+      EXPECT_EQ(ok, deal.dealer != 3);
+    }
+  }
+  std::vector<DkgParticipant::Result> results;
+  for (auto& p : parts) results.push_back(p.finalize(qualified));
+  for (const auto& r : results) {
+    EXPECT_EQ(r.group_public_key, results.front().group_public_key);
+  }
+  std::vector<SecretShare> quorum = {results[0].share, results[3].share};
+  EXPECT_EQ(Point::mul_gen(shamir_reconstruct(quorum)), results.front().group_public_key);
+}
+
+TEST(Dkg, FinalizeRequiresQuorum) {
+  Drbg d(15);
+  std::vector<ShareIndex> members = {1, 2, 3, 4};
+  DkgParticipant p(1, members, 3, d);
+  p.make_deal();
+  EXPECT_THROW(p.finalize({1, 2}), std::invalid_argument);
+}
+
+TEST(Dkg, ConstructorValidation) {
+  Drbg d(16);
+  std::vector<ShareIndex> members = {1, 2, 3};
+  EXPECT_THROW(DkgParticipant(0, members, 2, d), std::invalid_argument);
+  EXPECT_THROW(DkgParticipant(9, members, 2, d), std::invalid_argument);
+  EXPECT_THROW(DkgParticipant(1, members, 4, d), std::invalid_argument);
+}
+
+// --- resharing (§4.3's membership-change primitive) ---
+
+class ReshareTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    members_ = {1, 2, 3, 4};
+    results_ = run_dkg(members_, 2, drbg_);
+  }
+  Drbg drbg_{21};
+  std::vector<ShareIndex> members_;
+  std::vector<DkgParticipant::Result> results_;
+};
+
+TEST_F(ReshareTest, AddMemberPreservesPublicKey) {
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {1, 2, 3, 4, 5};
+  std::vector<ReshareDeal> deals;
+  for (int i : {0, 1}) {
+    deals.push_back(
+        make_reshare_deal(results_[i].share, quorum, new_members, 2, drbg_));
+  }
+  for (const ShareIndex m : new_members) {
+    const auto r = reshare_finalize(deals, m, new_members);
+    EXPECT_EQ(r.group_public_key, results_.front().group_public_key);
+  }
+  // New shares reconstruct the original secret.
+  std::vector<SecretShare> collected;
+  for (const ShareIndex m : {1u, 5u}) {
+    collected.push_back(reshare_finalize(deals, m, new_members).share);
+  }
+  EXPECT_EQ(Point::mul_gen(shamir_reconstruct(collected)),
+            results_.front().group_public_key);
+}
+
+TEST_F(ReshareTest, RemoveMemberPreservesPublicKey) {
+  const std::vector<ShareIndex> quorum = {2, 3};
+  const std::vector<ShareIndex> new_members = {2, 3, 4};  // member 1 removed
+  std::vector<ReshareDeal> deals;
+  for (int i : {1, 2}) {
+    deals.push_back(make_reshare_deal(results_[i].share, quorum, new_members, 2, drbg_));
+  }
+  const auto r = reshare_finalize(deals, 2, new_members);
+  EXPECT_EQ(r.group_public_key, results_.front().group_public_key);
+}
+
+TEST_F(ReshareTest, ThresholdCanChange) {
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<ReshareDeal> deals;
+  for (int i : {0, 1}) {
+    deals.push_back(make_reshare_deal(results_[i].share, quorum, new_members, 3, drbg_));
+  }
+  std::vector<SecretShare> three;
+  for (const ShareIndex m : {2u, 4u, 7u}) {
+    three.push_back(reshare_finalize(deals, m, new_members).share);
+  }
+  EXPECT_EQ(Point::mul_gen(shamir_reconstruct(three)), results_.front().group_public_key);
+}
+
+TEST_F(ReshareTest, DealVerification) {
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {1, 2, 3, 4, 5};
+  ReshareDeal deal = make_reshare_deal(results_[0].share, quorum, new_members, 2, drbg_);
+  const Point vshare = results_[0].verification_shares.at(1);
+  EXPECT_TRUE(verify_reshare_deal(deal, vshare, quorum, 5));
+  // Tampered sub-share fails.
+  ReshareDeal bad = deal;
+  bad.shares[5] = bad.shares[5] + Scalar::one();
+  EXPECT_FALSE(verify_reshare_deal(bad, vshare, quorum, 5));
+  // Wrong dealer verification share fails (binding to the old share).
+  EXPECT_FALSE(verify_reshare_deal(deal, results_[1].verification_shares.at(2), quorum, 5));
+}
+
+TEST_F(ReshareTest, NewVerificationSharesMatch) {
+  const std::vector<ShareIndex> quorum = {1, 3};
+  const std::vector<ShareIndex> new_members = {1, 3, 5, 6};
+  std::vector<ReshareDeal> deals;
+  deals.push_back(make_reshare_deal(results_[0].share, quorum, new_members, 2, drbg_));
+  deals.push_back(make_reshare_deal(results_[2].share, quorum, new_members, 2, drbg_));
+  const auto r5 = reshare_finalize(deals, 5, new_members);
+  const auto r6 = reshare_finalize(deals, 6, new_members);
+  EXPECT_EQ(Point::mul_gen(r5.share.value), r6.verification_shares.at(5));
+  EXPECT_EQ(Point::mul_gen(r6.share.value), r5.verification_shares.at(6));
+}
+
+}  // namespace
+}  // namespace cicero::crypto

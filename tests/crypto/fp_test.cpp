@@ -1,0 +1,128 @@
+#include "crypto/fp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace cicero::crypto {
+namespace {
+
+// Small prime for exhaustive-ish checks plus the secp256k1 primes.
+const U256 kSmallPrime(1009);
+const U256 kSecpP =
+    U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kSecpN =
+    U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+
+class FpParam : public ::testing::TestWithParam<U256> {};
+
+INSTANTIATE_TEST_SUITE_P(Moduli, FpParam,
+                         ::testing::Values(kSmallPrime, kSecpP, kSecpN));
+
+TEST_P(FpParam, MontRoundTrip) {
+  MontgomeryCtx f(GetParam());
+  Drbg d(1);
+  for (int i = 0; i < 20; ++i) {
+    const U256 a = f.reduce(U256(d.next_scalar().raw()));
+    EXPECT_EQ(f.from_mont(f.to_mont(a)), a);
+  }
+}
+
+TEST_P(FpParam, AdditionIsModular) {
+  MontgomeryCtx f(GetParam());
+  const U256 one = f.to_mont(U256::one());
+  // (m-1) + 1 == 0
+  U256 m_minus_1 = GetParam();
+  m_minus_1.sub_assign(U256::one());
+  const U256 big = f.to_mont(m_minus_1);
+  EXPECT_TRUE(f.from_mont(f.add(big, one)).is_zero());
+}
+
+TEST_P(FpParam, SubWrapAround) {
+  MontgomeryCtx f(GetParam());
+  const U256 zero;
+  const U256 one = f.to_mont(U256::one());
+  U256 m_minus_1 = GetParam();
+  m_minus_1.sub_assign(U256::one());
+  EXPECT_EQ(f.from_mont(f.sub(zero, one)), m_minus_1);
+}
+
+TEST_P(FpParam, MulMatchesRepeatedAdd) {
+  MontgomeryCtx f(GetParam());
+  const U256 a = f.to_mont(f.reduce(U256(123456789)));
+  const U256 five = f.to_mont(U256(5));
+  U256 sum;  // zero
+  for (int i = 0; i < 5; ++i) sum = f.add(sum, a);
+  EXPECT_EQ(f.mul(a, five), sum);
+}
+
+TEST_P(FpParam, InverseProperty) {
+  MontgomeryCtx f(GetParam());
+  Drbg d(2);
+  const U256 one_m = f.one_mont();
+  for (int i = 0; i < 10; ++i) {
+    U256 a = f.reduce(U256(d.next_scalar().raw()));
+    if (a.is_zero()) a = U256::one();
+    const U256 am = f.to_mont(a);
+    EXPECT_EQ(f.mul(am, f.inv(am)), one_m);
+  }
+}
+
+TEST_P(FpParam, PowFermat) {
+  // a^(p-1) == 1 for prime modulus and a != 0.
+  MontgomeryCtx f(GetParam());
+  U256 e = GetParam();
+  e.sub_assign(U256::one());
+  const U256 a = f.to_mont(f.reduce(U256(987654321)));
+  EXPECT_EQ(f.pow(a, e), f.one_mont());
+}
+
+TEST_P(FpParam, NegIsAdditiveInverse) {
+  MontgomeryCtx f(GetParam());
+  const U256 a = f.to_mont(f.reduce(U256(31337)));
+  EXPECT_TRUE(f.from_mont(f.add(a, f.neg(a))).is_zero());
+  EXPECT_TRUE(f.neg(U256::zero()).is_zero());
+}
+
+TEST_P(FpParam, ReduceWideMatchesMul) {
+  // reduce_wide(a*b) == from_mont(mul(to_mont(a), to_mont(b)))
+  MontgomeryCtx f(GetParam());
+  Drbg d(3);
+  for (int i = 0; i < 10; ++i) {
+    const U256 a = f.reduce(U256(d.next_scalar().raw()));
+    const U256 b = f.reduce(U256(d.next_scalar().raw()));
+    const U256 expect = f.from_mont(f.mul(f.to_mont(a), f.to_mont(b)));
+    EXPECT_EQ(f.reduce_wide(mul_wide(a, b)), expect);
+  }
+}
+
+TEST(Fp, SmallPrimeExhaustiveMul) {
+  // Against naive arithmetic over a tiny modulus.
+  MontgomeryCtx f(U256(97));
+  for (std::uint64_t a = 0; a < 97; a += 7) {
+    for (std::uint64_t b = 0; b < 97; b += 5) {
+      const U256 got = f.from_mont(f.mul(f.to_mont(U256(a)), f.to_mont(U256(b))));
+      EXPECT_EQ(got, U256((a * b) % 97));
+    }
+  }
+}
+
+TEST(Fp, RejectsEvenModulus) {
+  EXPECT_THROW(MontgomeryCtx(U256(10)), std::invalid_argument);
+  EXPECT_THROW(MontgomeryCtx(U256(1)), std::invalid_argument);
+}
+
+TEST(Fp, InvZeroThrows) {
+  MontgomeryCtx f(kSmallPrime);
+  EXPECT_THROW(f.inv(U256::zero()), std::domain_error);
+}
+
+TEST(Fp, ReduceLargeValue) {
+  MontgomeryCtx f(kSecpN);
+  U256 over = kSecpN;
+  over.add_assign(U256(5));
+  EXPECT_EQ(f.reduce(over), U256(5));
+}
+
+}  // namespace
+}  // namespace cicero::crypto

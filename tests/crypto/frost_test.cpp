@@ -1,0 +1,126 @@
+#include "crypto/frost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/dkg.hpp"
+
+namespace cicero::crypto {
+namespace {
+
+class FrostTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    members_ = {1, 2, 3, 4};
+    results_ = run_dkg(members_, 3, drbg_);
+    pk_ = results_.front().group_public_key;
+    for (const auto& r : results_) signers_.emplace_back(r.share, pk_);
+    msg_ = util::to_bytes("update: s2 -> rule 17");
+  }
+
+  /// Runs one full signing session with the given signer positions.
+  FrostSignature sign_with(const std::vector<std::size_t>& who) {
+    std::vector<FrostCommitment> session;
+    for (const std::size_t i : who) session.push_back(signers_[i].commit(drbg_));
+    std::map<ShareIndex, Scalar> partials;
+    for (const std::size_t i : who) {
+      partials[signers_[i].id()] = signers_[i].sign(msg_, session);
+    }
+    const auto sig = frost_aggregate(msg_, session, pk_, partials);
+    EXPECT_TRUE(sig.has_value());
+    return *sig;
+  }
+
+  Drbg drbg_{31};
+  std::vector<ShareIndex> members_;
+  std::vector<DkgParticipant::Result> results_;
+  Point pk_;
+  std::vector<FrostSigner> signers_;
+  util::Bytes msg_;
+};
+
+TEST_F(FrostTest, ThresholdSignatureVerifies) {
+  const FrostSignature sig = sign_with({0, 1, 2});
+  EXPECT_TRUE(frost_verify(pk_, msg_, sig));
+}
+
+TEST_F(FrostTest, AnySignerSubsetWorks) {
+  EXPECT_TRUE(frost_verify(pk_, msg_, sign_with({1, 2, 3})));
+  EXPECT_TRUE(frost_verify(pk_, msg_, sign_with({0, 2, 3})));
+}
+
+TEST_F(FrostTest, AllSignersWork) {
+  EXPECT_TRUE(frost_verify(pk_, msg_, sign_with({0, 1, 2, 3})));
+}
+
+TEST_F(FrostTest, WrongMessageRejected) {
+  const FrostSignature sig = sign_with({0, 1, 2});
+  EXPECT_FALSE(frost_verify(pk_, util::to_bytes("other"), sig));
+}
+
+TEST_F(FrostTest, WrongKeyRejected) {
+  const FrostSignature sig = sign_with({0, 1, 2});
+  EXPECT_FALSE(frost_verify(Point::mul_gen(drbg_.next_scalar()), msg_, sig));
+}
+
+TEST_F(FrostTest, TamperedZRejected) {
+  FrostSignature sig = sign_with({0, 1, 2});
+  sig.z = sig.z + Scalar::one();
+  EXPECT_FALSE(frost_verify(pk_, msg_, sig));
+}
+
+TEST_F(FrostTest, PartialVerificationAttributesBadSigner) {
+  std::vector<FrostCommitment> session;
+  for (const std::size_t i : {0, 1, 2}) session.push_back(signers_[i].commit(drbg_));
+  const Scalar z0 = signers_[0].sign(msg_, session);
+  const Point vs0 = results_[0].verification_shares.at(signers_[0].id());
+  EXPECT_TRUE(frost_verify_partial(msg_, session, pk_, signers_[0].id(), vs0, z0));
+  EXPECT_FALSE(
+      frost_verify_partial(msg_, session, pk_, signers_[0].id(), vs0, z0 + Scalar::one()));
+}
+
+TEST_F(FrostTest, NonceReuseForbidden) {
+  std::vector<FrostCommitment> session;
+  for (const std::size_t i : {0, 1, 2}) session.push_back(signers_[i].commit(drbg_));
+  (void)signers_[0].sign(msg_, session);
+  // The same session (hence the same nonce pair) cannot be signed twice.
+  EXPECT_THROW(signers_[0].sign(msg_, session), std::invalid_argument);
+}
+
+TEST_F(FrostTest, SignerNotInSessionThrows) {
+  std::vector<FrostCommitment> session;
+  for (const std::size_t i : {1, 2, 3}) session.push_back(signers_[i].commit(drbg_));
+  EXPECT_THROW(signers_[0].sign(msg_, session), std::invalid_argument);
+}
+
+TEST_F(FrostTest, MissingPartialFailsAggregation) {
+  std::vector<FrostCommitment> session;
+  for (const std::size_t i : {0, 1, 2}) session.push_back(signers_[i].commit(drbg_));
+  std::map<ShareIndex, Scalar> partials;
+  partials[signers_[0].id()] = signers_[0].sign(msg_, session);
+  EXPECT_FALSE(frost_aggregate(msg_, session, pk_, partials).has_value());
+}
+
+TEST_F(FrostTest, CommitmentSerializationRoundTrip) {
+  const FrostCommitment c = signers_[0].commit(drbg_);
+  const auto back = FrostCommitment::from_bytes(c.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->signer, c.signer);
+  EXPECT_EQ(back->d, c.d);
+  EXPECT_EQ(back->e, c.e);
+}
+
+TEST_F(FrostTest, SignatureSerializationRoundTrip) {
+  const FrostSignature sig = sign_with({0, 1, 2});
+  const auto back = FrostSignature::from_bytes(sig.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(frost_verify(pk_, msg_, *back));
+}
+
+TEST_F(FrostTest, SessionsProduceDistinctNonces) {
+  const FrostSignature s1 = sign_with({0, 1, 2});
+  const FrostSignature s2 = sign_with({0, 1, 2});
+  EXPECT_FALSE(s1.r == s2.r);
+}
+
+}  // namespace
+}  // namespace cicero::crypto

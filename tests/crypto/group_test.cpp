@@ -1,0 +1,145 @@
+#include "crypto/group.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+
+namespace cicero::crypto {
+namespace {
+
+TEST(Scalar, ArithmeticBasics) {
+  const Scalar a = Scalar::from_u64(5), b = Scalar::from_u64(7);
+  EXPECT_EQ(a + b, Scalar::from_u64(12));
+  EXPECT_EQ(b - a, Scalar::from_u64(2));
+  EXPECT_EQ(a * b, Scalar::from_u64(35));
+  EXPECT_EQ(a - b, -Scalar::from_u64(2));
+}
+
+TEST(Scalar, AdditiveInverse) {
+  Drbg d(1);
+  for (int i = 0; i < 10; ++i) {
+    const Scalar x = d.next_scalar();
+    EXPECT_TRUE((x + (-x)).is_zero());
+  }
+  EXPECT_TRUE((-Scalar::zero()).is_zero());
+}
+
+TEST(Scalar, MultiplicativeInverse) {
+  Drbg d(2);
+  for (int i = 0; i < 10; ++i) {
+    const Scalar x = d.next_scalar();
+    EXPECT_EQ(x * x.inverse(), Scalar::one());
+  }
+}
+
+TEST(Scalar, InverseOfZeroThrows) {
+  EXPECT_THROW(Scalar::zero().inverse(), std::domain_error);
+}
+
+TEST(Scalar, BytesRoundTrip) {
+  Drbg d(3);
+  const Scalar x = d.next_scalar();
+  const auto back = Scalar::from_bytes(x.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, x);
+}
+
+TEST(Scalar, FromBytesRejectsOversized) {
+  // n itself (>= modulus) must be rejected.
+  const U256 n =
+      U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  const auto bytes = n.to_bytes_be();
+  EXPECT_FALSE(Scalar::from_bytes(util::Bytes(bytes.begin(), bytes.end())).has_value());
+  EXPECT_FALSE(Scalar::from_bytes(util::Bytes{1, 2, 3}).has_value());
+}
+
+TEST(Scalar, HashToScalarDeterministicAndSpread) {
+  const Scalar a = Scalar::hash_to_scalar({1, 2, 3});
+  const Scalar b = Scalar::hash_to_scalar({1, 2, 3});
+  const Scalar c = Scalar::hash_to_scalar({1, 2, 4});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(Point, GeneratorOnCurve) {
+  EXPECT_TRUE(Point::generator().on_curve());
+  EXPECT_FALSE(Point::generator().is_infinity());
+}
+
+TEST(Point, GroupLaws) {
+  Drbg d(4);
+  const Point& g = Point::generator();
+  const Scalar a = d.next_scalar(), b = d.next_scalar();
+  const Point pa = g * a, pb = g * b;
+  // Commutativity and distributivity over scalar addition.
+  EXPECT_EQ(pa + pb, pb + pa);
+  EXPECT_EQ(g * (a + b), pa + pb);
+  EXPECT_EQ(g * (a * b), (g * a) * b);
+}
+
+TEST(Point, DoubleEqualsAdd) {
+  const Point& g = Point::generator();
+  EXPECT_EQ(g + g, g * Scalar::from_u64(2));
+  EXPECT_EQ(g + g + g, g * Scalar::from_u64(3));
+}
+
+TEST(Point, IdentityBehaviour) {
+  const Point inf = Point::infinity();
+  const Point& g = Point::generator();
+  EXPECT_EQ(inf + g, g);
+  EXPECT_EQ(g + inf, g);
+  EXPECT_EQ(g + (-g), inf);
+  EXPECT_EQ(g * Scalar::zero(), inf);
+  EXPECT_TRUE(inf.on_curve());
+}
+
+TEST(Point, OrderAnnihilates) {
+  // (n-1)*G + G == infinity.
+  const Point& g = Point::generator();
+  EXPECT_EQ(g * (-Scalar::one()) + g, Point::infinity());
+}
+
+TEST(Point, SerializationRoundTrip) {
+  Drbg d(5);
+  for (int i = 0; i < 5; ++i) {
+    const Point p = Point::mul_gen(d.next_scalar());
+    const auto back = Point::from_bytes(p.to_bytes());
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+  const auto inf = Point::from_bytes(Point::infinity().to_bytes());
+  ASSERT_TRUE(inf.has_value());
+  EXPECT_TRUE(inf->is_infinity());
+}
+
+TEST(Point, FromBytesRejectsOffCurve) {
+  util::Bytes bad = Point::generator().to_bytes();
+  bad[40] ^= 0x01;  // corrupt a coordinate byte
+  EXPECT_FALSE(Point::from_bytes(bad).has_value());
+}
+
+TEST(Point, FromBytesRejectsMalformed) {
+  EXPECT_FALSE(Point::from_bytes({}).has_value());
+  EXPECT_FALSE(Point::from_bytes({0x05}).has_value());
+  util::Bytes short_enc(10, 0x04);
+  EXPECT_FALSE(Point::from_bytes(short_enc).has_value());
+}
+
+TEST(Point, KnownMultiple) {
+  // 2*G for secp256k1 (public test vector).
+  const Point p2 = Point::generator() * Scalar::from_u64(2);
+  const auto enc = util::to_hex(p2.to_bytes());
+  EXPECT_EQ(enc,
+            "04"
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Point, NegationInvolution) {
+  Drbg d(6);
+  const Point p = Point::mul_gen(d.next_scalar());
+  EXPECT_EQ(-(-p), p);
+}
+
+}  // namespace
+}  // namespace cicero::crypto

@@ -1,0 +1,83 @@
+#include "crypto/schnorr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::crypto {
+namespace {
+
+class SchnorrTest : public ::testing::Test {
+ protected:
+  Drbg drbg_{42};
+};
+
+TEST_F(SchnorrTest, SignVerifyRoundTrip) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("network update #1");
+  const auto sig = schnorr_sign(kp.sk, msg);
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, sig));
+}
+
+TEST_F(SchnorrTest, RejectsWrongMessage) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const auto sig = schnorr_sign(kp.sk, util::to_bytes("a"));
+  EXPECT_FALSE(schnorr_verify(kp.pk, util::to_bytes("b"), sig));
+}
+
+TEST_F(SchnorrTest, RejectsWrongKey) {
+  const auto kp1 = SchnorrKeyPair::generate(drbg_);
+  const auto kp2 = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("m");
+  EXPECT_FALSE(schnorr_verify(kp2.pk, msg, schnorr_sign(kp1.sk, msg)));
+}
+
+TEST_F(SchnorrTest, RejectsTamperedSignature) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("m");
+  auto sig = schnorr_sign(kp.sk, msg);
+  sig.s = sig.s + Scalar::one();
+  EXPECT_FALSE(schnorr_verify(kp.pk, msg, sig));
+}
+
+TEST_F(SchnorrTest, DeterministicNonce) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("m");
+  EXPECT_EQ(schnorr_sign(kp.sk, msg), schnorr_sign(kp.sk, msg));
+}
+
+TEST_F(SchnorrTest, DifferentMessagesDifferentNonces) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const auto s1 = schnorr_sign(kp.sk, util::to_bytes("m1"));
+  const auto s2 = schnorr_sign(kp.sk, util::to_bytes("m2"));
+  EXPECT_FALSE(s1.r == s2.r);  // nonce reuse would leak the key
+}
+
+TEST_F(SchnorrTest, SerializationRoundTrip) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("m");
+  const auto sig = schnorr_sign(kp.sk, msg);
+  const auto back = SchnorrSignature::from_bytes(sig.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, sig);
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, *back));
+}
+
+TEST_F(SchnorrTest, FromBytesRejectsGarbage) {
+  EXPECT_FALSE(SchnorrSignature::from_bytes({}).has_value());
+  EXPECT_FALSE(SchnorrSignature::from_bytes({1, 2, 3}).has_value());
+}
+
+TEST_F(SchnorrTest, RejectsInfinityKey) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg = util::to_bytes("m");
+  const auto sig = schnorr_sign(kp.sk, msg);
+  EXPECT_FALSE(schnorr_verify(Point::infinity(), msg, sig));
+}
+
+TEST_F(SchnorrTest, EmptyMessageSupported) {
+  const auto kp = SchnorrKeyPair::generate(drbg_);
+  const util::Bytes msg;
+  EXPECT_TRUE(schnorr_verify(kp.pk, msg, schnorr_sign(kp.sk, msg)));
+}
+
+}  // namespace
+}  // namespace cicero::crypto

@@ -1,0 +1,96 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+
+namespace cicero::crypto {
+namespace {
+
+using util::from_hex;
+using util::to_hex;
+
+std::string hash_hex(std::string_view s) {
+  const Digest d = Sha256::hash(s);
+  return to_hex(d.data(), d.size());
+}
+
+// FIPS 180-4 / NIST CAVP known-answer vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(hash_hex(""), "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(hash_hex("abc"), "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(hash_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const Digest d = h.finish();
+  EXPECT_EQ(to_hex(d.data(), d.size()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64-byte input exercises the padding-into-new-block path.
+  const std::string input(64, 'x');
+  EXPECT_EQ(hash_hex(input), hash_hex(input));  // deterministic
+  Sha256 split;
+  split.update(input.substr(0, 13));
+  split.update(input.substr(13));
+  const Digest d = split.finish();
+  EXPECT_EQ(to_hex(d.data(), d.size()), hash_hex(input));
+}
+
+TEST(Sha256, StreamingEqualsOneShot) {
+  const util::Bytes data = from_hex("00112233445566778899aabbccddeeff");
+  Sha256 h;
+  for (const auto b : data) h.update(&b, 1);
+  const Digest streamed = h.finish();
+  const Digest oneshot = Sha256::hash(data);
+  EXPECT_EQ(to_hex(streamed.data(), streamed.size()), to_hex(oneshot.data(), oneshot.size()));
+}
+
+// RFC 4231 HMAC-SHA256 test case 2.
+TEST(HmacSha256, Rfc4231Case2) {
+  const util::Bytes key = util::to_bytes("Jefe");
+  const util::Bytes msg = util::to_bytes("what do ya want for nothing?");
+  const Digest d = hmac_sha256(key, msg);
+  EXPECT_EQ(to_hex(d.data(), d.size()),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 1.
+TEST(HmacSha256, Rfc4231Case1) {
+  const util::Bytes key(20, 0x0b);
+  const util::Bytes msg = util::to_bytes("Hi There");
+  const Digest d = hmac_sha256(key, msg);
+  EXPECT_EQ(to_hex(d.data(), d.size()),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 6: key longer than one block (hashed first).
+TEST(HmacSha256, LongKey) {
+  const util::Bytes key(131, 0xaa);
+  const util::Bytes msg = util::to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  const Digest d = hmac_sha256(key, msg);
+  EXPECT_EQ(to_hex(d.data(), d.size()),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Sha256, DigestBytesCopies) {
+  const Digest d = Sha256::hash("x");
+  const util::Bytes b = digest_bytes(d);
+  ASSERT_EQ(b.size(), 32u);
+  EXPECT_TRUE(std::equal(b.begin(), b.end(), d.begin()));
+}
+
+}  // namespace
+}  // namespace cicero::crypto

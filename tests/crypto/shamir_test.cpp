@@ -1,0 +1,131 @@
+#include "crypto/shamir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cicero::crypto {
+namespace {
+
+/// Property sweep over (t, n) pairs the protocol actually uses:
+/// t = floor((n-1)/3) + 1 for n in 4..13, plus corner cases.
+class ShamirParam : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {
+ protected:
+  Drbg drbg_{99};
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdSweep, ShamirParam,
+    ::testing::Values(std::make_pair(1u, 1u), std::make_pair(1u, 4u), std::make_pair(2u, 4u),
+                      std::make_pair(2u, 5u), std::make_pair(3u, 7u), std::make_pair(4u, 10u),
+                      std::make_pair(4u, 13u), std::make_pair(5u, 5u)));
+
+TEST_P(ShamirParam, AnyTSubsetReconstructs) {
+  const auto [t, n] = GetParam();
+  const Scalar secret = drbg_.next_scalar();
+  const auto shares = shamir_split(secret, t, n, drbg_);
+  ASSERT_EQ(shares.size(), n);
+
+  // First t, last t, and a strided subset must all reconstruct.
+  std::vector<SecretShare> first(shares.begin(), shares.begin() + t);
+  EXPECT_EQ(shamir_reconstruct(first), secret);
+  std::vector<SecretShare> last(shares.end() - t, shares.end());
+  EXPECT_EQ(shamir_reconstruct(last), secret);
+  std::vector<SecretShare> strided;
+  for (std::size_t i = 0; strided.size() < t; i = (i + 2) % n) {
+    if (std::none_of(strided.begin(), strided.end(),
+                     [&](const SecretShare& s) { return s.index == shares[i].index; })) {
+      strided.push_back(shares[i]);
+    }
+  }
+  EXPECT_EQ(shamir_reconstruct(strided), secret);
+}
+
+TEST_P(ShamirParam, TMinusOneSharesDoNotDetermineSecret) {
+  const auto [t, n] = GetParam();
+  if (t < 2) GTEST_SKIP() << "t-1 == 0 has no information by construction";
+  const Scalar secret = drbg_.next_scalar();
+  const auto shares = shamir_split(secret, t, n, drbg_);
+  // With t-1 shares, ANY candidate secret is consistent with some degree
+  // t-1 polynomial: interpolating (0, candidate) plus the t-1 shares stays
+  // within degree t-1.  We verify the reconstruction of t-1 shares plus a
+  // forged share for a different secret succeeds, i.e. t-1 shares cannot
+  // pin down the real secret.
+  std::vector<SecretShare> partial(shares.begin(), shares.begin() + (t - 1));
+  const Scalar forged_secret = secret + Scalar::one();
+  // Interpolate the unique degree t-1 polynomial through (0, forged) and
+  // the partial shares, evaluate it at a fresh index -> a consistent forged
+  // share set of size t.
+  std::vector<SecretShare> forged = partial;
+  forged.push_back(SecretShare{static_cast<ShareIndex>(n + 1), Scalar::zero()});
+  // Solve for the last share value so that reconstruction yields forged_secret:
+  // sum_i λ_i y_i = forged  =>  y_last = (forged - sum_known λ_i y_i) / λ_last.
+  std::vector<ShareIndex> indices;
+  for (const auto& s : forged) indices.push_back(s.index);
+  Scalar acc = Scalar::zero();
+  for (std::size_t i = 0; i + 1 < forged.size(); ++i) {
+    acc = acc + lagrange_at_zero(forged[i].index, indices) * forged[i].value;
+  }
+  const Scalar lambda_last = lagrange_at_zero(indices.back(), indices);
+  forged.back().value = (forged_secret - acc) * lambda_last.inverse();
+  EXPECT_EQ(shamir_reconstruct(forged), forged_secret);
+}
+
+TEST(Shamir, RejectsBadParams) {
+  Drbg d(1);
+  const Scalar s = d.next_scalar();
+  EXPECT_THROW(shamir_split(s, 0, 3, d), std::invalid_argument);
+  EXPECT_THROW(shamir_split(s, 4, 3, d), std::invalid_argument);
+}
+
+TEST(Shamir, ReconstructRejectsDuplicates) {
+  Drbg d(2);
+  const auto shares = shamir_split(d.next_scalar(), 2, 4, d);
+  std::vector<SecretShare> dup = {shares[0], shares[0]};
+  EXPECT_THROW(shamir_reconstruct(dup), std::invalid_argument);
+}
+
+TEST(Shamir, ReconstructRejectsEmptyAndZeroIndex) {
+  EXPECT_THROW(shamir_reconstruct({}), std::invalid_argument);
+  std::vector<SecretShare> zero = {SecretShare{0, Scalar::one()}};
+  EXPECT_THROW(shamir_reconstruct(zero), std::invalid_argument);
+}
+
+TEST(Shamir, LagrangeCoefficientsSumToOne) {
+  // sum_i λ_i(0) = 1 (interpolation of the constant polynomial 1).
+  const std::vector<ShareIndex> indices = {1, 3, 7, 9};
+  Scalar sum = Scalar::zero();
+  for (const ShareIndex i : indices) sum = sum + lagrange_at_zero(i, indices);
+  EXPECT_EQ(sum, Scalar::one());
+}
+
+TEST(Shamir, LagrangeRequiresMembership) {
+  EXPECT_THROW(lagrange_at_zero(5, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Shamir, PolynomialEvalMatchesCommitments) {
+  Drbg d(3);
+  const Polynomial poly = Polynomial::random(d.next_scalar(), 3, d);
+  const auto commitments = poly.commitments();
+  for (ShareIndex x : {1u, 2u, 9u}) {
+    EXPECT_EQ(Point::mul_gen(poly.eval(x)), commitment_eval(commitments, x));
+  }
+}
+
+TEST(Shamir, PolynomialEvalAtZeroForbidden) {
+  Drbg d(4);
+  const Polynomial poly = Polynomial::random(d.next_scalar(), 2, d);
+  EXPECT_THROW(poly.eval(0), std::invalid_argument);
+  EXPECT_THROW(commitment_eval(poly.commitments(), 0), std::invalid_argument);
+}
+
+TEST(Shamir, MoreThanTSharesAlsoReconstruct) {
+  Drbg d(5);
+  const Scalar secret = d.next_scalar();
+  const auto shares = shamir_split(secret, 3, 8, d);
+  std::vector<SecretShare> five(shares.begin(), shares.begin() + 5);
+  EXPECT_EQ(shamir_reconstruct(five), secret);
+}
+
+}  // namespace
+}  // namespace cicero::crypto

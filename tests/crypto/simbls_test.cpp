@@ -1,0 +1,153 @@
+#include "crypto/simbls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/dkg.hpp"
+
+namespace cicero::crypto {
+namespace {
+
+class SimBlsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    members_ = {1, 2, 3, 4};
+    results_ = run_dkg(members_, 2, drbg_);
+    msg_ = util::to_bytes("install rule r on switch s");
+  }
+  const SimBlsScheme& scheme_ = SimBlsScheme::instance();
+  Drbg drbg_{5};
+  std::vector<ShareIndex> members_;
+  std::vector<DkgParticipant::Result> results_;
+  util::Bytes msg_;
+
+  PartialSignature sign_as(std::size_t i) {
+    return scheme_.partial_sign(results_[i].share, msg_);
+  }
+  Point vshare(std::size_t i) {
+    return results_[i].verification_shares.at(results_[i].share.index);
+  }
+};
+
+TEST_F(SimBlsTest, QuorumAggregatesAndVerifies) {
+  std::vector<PartialSignature> partials = {sign_as(0), sign_as(2)};
+  const auto agg = scheme_.aggregate(msg_, partials, 2);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_TRUE(scheme_.verify(results_.front().group_public_key, msg_, *agg));
+}
+
+TEST_F(SimBlsTest, AnyQuorumGivesSameSignature) {
+  // BLS-like determinism: the aggregated signature does not depend on
+  // which t signers contributed.
+  const auto agg12 = scheme_.aggregate(msg_, {sign_as(0), sign_as(1)}, 2);
+  const auto agg34 = scheme_.aggregate(msg_, {sign_as(2), sign_as(3)}, 2);
+  ASSERT_TRUE(agg12 && agg34);
+  EXPECT_EQ(util::to_hex(*agg12), util::to_hex(*agg34));
+}
+
+TEST_F(SimBlsTest, SubThresholdFails) {
+  const auto agg = scheme_.aggregate(msg_, {sign_as(0)}, 2);
+  EXPECT_FALSE(agg.has_value());
+}
+
+TEST_F(SimBlsTest, DuplicateSignersDoNotCount) {
+  std::vector<PartialSignature> dup = {sign_as(0), sign_as(0)};
+  EXPECT_FALSE(scheme_.aggregate(msg_, dup, 2).has_value());
+}
+
+TEST_F(SimBlsTest, PartialVerification) {
+  const auto p = sign_as(1);
+  EXPECT_TRUE(scheme_.verify_partial(vshare(1), msg_, p));
+  EXPECT_FALSE(scheme_.verify_partial(vshare(2), msg_, p));  // wrong signer share
+  PartialSignature bad = p;
+  bad.payload[10] ^= 0x01;
+  EXPECT_FALSE(scheme_.verify_partial(vshare(1), msg_, bad));
+}
+
+TEST_F(SimBlsTest, WrongMessageFailsVerification) {
+  const auto agg = scheme_.aggregate(msg_, {sign_as(0), sign_as(1)}, 2);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_FALSE(scheme_.verify(results_.front().group_public_key,
+                              util::to_bytes("another update"), *agg));
+}
+
+TEST_F(SimBlsTest, WrongKeyFailsVerification) {
+  const auto agg = scheme_.aggregate(msg_, {sign_as(0), sign_as(1)}, 2);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_FALSE(scheme_.verify(Point::mul_gen(drbg_.next_scalar()), msg_, *agg));
+}
+
+TEST_F(SimBlsTest, CorruptedPartialBreaksAggregate) {
+  auto p1 = sign_as(0);
+  p1.payload[20] ^= 0xFF;
+  const auto agg = scheme_.aggregate(msg_, {p1, sign_as(1)}, 2);
+  // Either aggregation fails to parse or the result fails verification —
+  // a switch never applies the update.
+  if (agg.has_value()) {
+    EXPECT_FALSE(scheme_.verify(results_.front().group_public_key, msg_, *agg));
+  }
+}
+
+TEST_F(SimBlsTest, ExcessPartialsStillAggregate) {
+  std::vector<PartialSignature> all = {sign_as(0), sign_as(1), sign_as(2), sign_as(3)};
+  const auto agg = scheme_.aggregate(msg_, all, 2);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_TRUE(scheme_.verify(results_.front().group_public_key, msg_, *agg));
+}
+
+TEST_F(SimBlsTest, PartialSerializationRoundTrip) {
+  const auto p = sign_as(0);
+  const auto back = PartialSignature::from_bytes(p.to_bytes());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, p);
+}
+
+TEST_F(SimBlsTest, PartialFromBytesRejectsZeroSigner) {
+  PartialSignature p = sign_as(0);
+  p.signer = 0;
+  EXPECT_FALSE(PartialSignature::from_bytes(p.to_bytes()).has_value());
+}
+
+TEST_F(SimBlsTest, ResharedSharesSignUnderSamePublicKey) {
+  // The membership-change composition property (§3.2 + §4.3): after a
+  // re-deal to a NEW member set, partials from the new shares aggregate to
+  // a signature the OLD public key verifies — switches never re-key.
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {2, 3, 4, 5, 6};
+  std::vector<ReshareDeal> deals;
+  deals.push_back(make_reshare_deal(results_[0].share, quorum, new_members, 2, drbg_));
+  deals.push_back(make_reshare_deal(results_[1].share, quorum, new_members, 2, drbg_));
+  std::vector<PartialSignature> partials;
+  for (const ShareIndex m : {5u, 6u}) {
+    const auto r = reshare_finalize(deals, m, new_members);
+    partials.push_back(scheme_.partial_sign(r.share, msg_));
+  }
+  const auto agg = scheme_.aggregate(msg_, partials, 2);
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_TRUE(scheme_.verify(results_.front().group_public_key, msg_, *agg));
+}
+
+TEST_F(SimBlsTest, MixedOldAndNewSharesDoNotAggregate) {
+  // Shares from different sharings of the same secret are NOT
+  // interchangeable (different polynomials): mixing an old share with a
+  // reshared one fails verification — the §4.3 rationale for queueing
+  // events until the change completes.
+  const std::vector<ShareIndex> quorum = {1, 2};
+  const std::vector<ShareIndex> new_members = {5, 6, 7, 8};
+  std::vector<ReshareDeal> deals;
+  deals.push_back(make_reshare_deal(results_[0].share, quorum, new_members, 2, drbg_));
+  deals.push_back(make_reshare_deal(results_[1].share, quorum, new_members, 2, drbg_));
+  const auto fresh = reshare_finalize(deals, 5, new_members);
+  std::vector<PartialSignature> mixed = {sign_as(0),
+                                         scheme_.partial_sign(fresh.share, msg_)};
+  const auto agg = scheme_.aggregate(msg_, mixed, 2);
+  ASSERT_TRUE(agg.has_value());  // aggregation is oblivious...
+  EXPECT_FALSE(scheme_.verify(results_.front().group_public_key, msg_, *agg));  // ...verification is not
+}
+
+TEST_F(SimBlsTest, InfinityRejected) {
+  EXPECT_FALSE(scheme_.verify(results_.front().group_public_key, msg_,
+                              Point::infinity().to_bytes()));
+}
+
+}  // namespace
+}  // namespace cicero::crypto

@@ -1,0 +1,127 @@
+#include "crypto/u256.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::crypto {
+namespace {
+
+TEST(U256, BasicComparisons) {
+  const U256 a(5), b(7);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_EQ(a.cmp(b), -1);
+  EXPECT_EQ(b.cmp(a), 1);
+  EXPECT_EQ(a.cmp(a), 0);
+}
+
+TEST(U256, HighLimbComparison) {
+  const U256 lo(UINT64_MAX, 0, 0, 0);
+  const U256 hi(0, 0, 0, 1);
+  EXPECT_TRUE(lo < hi);
+}
+
+TEST(U256, AddCarryChain) {
+  U256 a(UINT64_MAX, UINT64_MAX, UINT64_MAX, 0);
+  EXPECT_EQ(a.add_assign(U256(1)), 0u);
+  EXPECT_EQ(a, U256(0, 0, 0, 1));
+}
+
+TEST(U256, AddOverflowReturnsCarry) {
+  U256 a(UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX);
+  EXPECT_EQ(a.add_assign(U256(1)), 1u);
+  EXPECT_TRUE(a.is_zero());
+}
+
+TEST(U256, SubBorrowChain) {
+  U256 a(0, 0, 0, 1);
+  EXPECT_EQ(a.sub_assign(U256(1)), 0u);
+  EXPECT_EQ(a, U256(UINT64_MAX, UINT64_MAX, UINT64_MAX, 0));
+}
+
+TEST(U256, SubUnderflowReturnsBorrow) {
+  U256 a(0);
+  EXPECT_EQ(a.sub_assign(U256(1)), 1u);
+  EXPECT_EQ(a, U256(UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX));
+}
+
+TEST(U256, ShiftRoundTrip) {
+  const U256 v = U256::from_hex("123456789abcdef0fedcba9876543210");
+  for (unsigned k : {0u, 1u, 7u, 63u, 64u, 65u, 127u}) {
+    EXPECT_EQ(v.shl(k).shr(k), v) << "k=" << k;
+  }
+}
+
+TEST(U256, ShiftBeyondWidthIsZero) {
+  const U256 v(123);
+  EXPECT_TRUE(v.shl(256).is_zero());
+  EXPECT_TRUE(v.shr(256).is_zero());
+}
+
+TEST(U256, BitAccess) {
+  const U256 v = U256(1).shl(100);
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_FALSE(v.bit(99));
+  EXPECT_EQ(v.bit_length(), 101u);
+  EXPECT_EQ(U256::zero().bit_length(), 0u);
+  EXPECT_EQ(U256::one().bit_length(), 1u);
+}
+
+TEST(U256, HexRoundTrip) {
+  const std::string hex = "00000000000000000000000000000000123456789abcdef000000000deadbeef";
+  const U256 v = U256::from_hex(hex);
+  EXPECT_EQ(v.to_hex(), hex);
+}
+
+TEST(U256, BytesRoundTrip) {
+  const U256 v = U256::from_hex("0102030405060708090a0b0c0d0e0f10");
+  const auto bytes = v.to_bytes_be();
+  EXPECT_EQ(U256::from_bytes_be(bytes.data(), bytes.size()), v);
+  EXPECT_EQ(bytes[31], 0x10);
+  EXPECT_EQ(bytes[16], 0x01);
+}
+
+TEST(U256, FromBytesTooLongThrows) {
+  std::vector<std::uint8_t> data(33, 0);
+  EXPECT_THROW(U256::from_bytes_be(data.data(), data.size()), std::invalid_argument);
+}
+
+TEST(U256, MulWideSmall) {
+  const U512 p = mul_wide(U256(7), U256(9));
+  EXPECT_EQ(p.w[0], 63u);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(p.w[i], 0u);
+}
+
+TEST(U256, MulWideCross) {
+  // (2^64 + 1) * (2^64 + 1) = 2^128 + 2^65 + ... check structure.
+  const U256 a(1, 1, 0, 0);
+  const U512 p = mul_wide(a, a);
+  EXPECT_EQ(p.w[0], 1u);
+  EXPECT_EQ(p.w[1], 2u);
+  EXPECT_EQ(p.w[2], 1u);
+  EXPECT_EQ(p.w[3], 0u);
+}
+
+TEST(U256, MulWideMax) {
+  // (2^256 - 1)^2 = 2^512 - 2^257 + 1.
+  const U256 max(UINT64_MAX, UINT64_MAX, UINT64_MAX, UINT64_MAX);
+  const U512 p = mul_wide(max, max);
+  EXPECT_EQ(p.w[0], 1u);
+  for (int i = 1; i < 4; ++i) EXPECT_EQ(p.w[i], 0u);
+  EXPECT_EQ(p.w[4], UINT64_MAX - 1);
+  for (int i = 5; i < 8; ++i) EXPECT_EQ(p.w[i], UINT64_MAX);
+}
+
+TEST(U256, WrapArithmetic) {
+  EXPECT_EQ(add_wrap(U256(5), U256(7)), U256(12));
+  EXPECT_EQ(sub_wrap(U256(5), U256(7)),
+            U256(UINT64_MAX - 1, UINT64_MAX, UINT64_MAX, UINT64_MAX));
+}
+
+TEST(U256, OddEven) {
+  EXPECT_TRUE(U256(1).is_odd());
+  EXPECT_FALSE(U256(2).is_odd());
+}
+
+}  // namespace
+}  // namespace cicero::crypto

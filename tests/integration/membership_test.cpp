@@ -1,0 +1,115 @@
+// Control-plane membership changes against live deployments (§4.3).
+#include <gtest/gtest.h>
+
+#include "integration/helpers.hpp"
+
+namespace cicero {
+namespace {
+
+using core::FrameworkKind;
+using testing::completed_count;
+using testing::make_deployment;
+using testing::small_pod;
+using testing::small_workload;
+
+TEST(Membership, AddControllerKeepsGroupPublicKey) {
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()));
+  const auto pk_before = dep->group_pk(0);
+  dep->simulator().at(sim::milliseconds(10), [&] { dep->add_controller(0); });
+  dep->run(sim::seconds(5));
+  EXPECT_EQ(dep->domain_controller_ids(0).size(), 5u);
+  // The key switches verify against never changes (§3.2's DKG property) —
+  // asserted internally during resharing and re-checked here.
+  EXPECT_EQ(dep->group_pk(0), pk_before);
+}
+
+TEST(Membership, AddedControllerParticipates) {
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()));
+  std::uint32_t new_id = 0;
+  dep->simulator().at(sim::milliseconds(10), [&] { new_id = dep->add_controller(0); });
+  dep->run(sim::seconds(5));
+
+  const auto flows = small_workload(dep->topology(), 15);
+  dep->inject(flows);  // arrivals start at ~0 but sim time has advanced; re-run below
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+  // The new member signs updates like everyone else.
+  EXPECT_GT(dep->controller(new_id).updates_sent(), 0u);
+}
+
+TEST(Membership, FlowsDuringChangeAreQueuedNotLost) {
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()));
+  const auto flows = small_workload(dep->topology(), 30);
+  dep->inject(flows);
+  // Trigger the change in the middle of the workload.
+  dep->simulator().at(flows[10].arrival, [&] { dep->add_controller(0); });
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+TEST(Membership, RemoveControllerQuorumShrinks) {
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()),
+                             /*real_crypto=*/true, /*teardown=*/false, /*controllers=*/5);
+  const auto pk_before = dep->group_pk(0);
+  const auto victim = dep->domain_controller_ids(0).back();
+  dep->simulator().at(sim::milliseconds(10), [&] { dep->remove_controller(victim); });
+  dep->run(sim::seconds(5));
+  EXPECT_EQ(dep->domain_controller_ids(0).size(), 4u);
+  EXPECT_EQ(dep->group_pk(0), pk_before);
+
+  const auto flows = small_workload(dep->topology(), 15);
+  dep->inject(flows);
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+TEST(Membership, RemovedControllerStopsParticipating) {
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()),
+                             true, false, 5);
+  const auto victim = dep->domain_controller_ids(0).back();
+  dep->simulator().at(sim::milliseconds(10), [&] { dep->remove_controller(victim); });
+  dep->run(sim::seconds(5));
+  const auto updates_at_removal = dep->controller(victim).updates_sent();
+  dep->inject(small_workload(dep->topology(), 10));
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(dep->controller(victim).updates_sent(), updates_at_removal);
+}
+
+TEST(Membership, SequentialAddAndRemove) {
+  // Lock-step phases (§4.3): one change at a time, each a full reshare.
+  auto dep = make_deployment(FrameworkKind::kCicero, net::build_pod(small_pod()));
+  const auto pk = dep->group_pk(0);
+  std::uint32_t added = 0;
+  dep->simulator().at(sim::milliseconds(10), [&] { added = dep->add_controller(0); });
+  dep->simulator().at(sim::seconds(2), [&] {
+    dep->remove_controller(dep->domain_controller_ids(0).front());
+  });
+  dep->run(sim::seconds(6));
+  EXPECT_EQ(dep->domain_controller_ids(0).size(), 4u);
+  EXPECT_EQ(dep->group_pk(0), pk);
+
+  const auto flows = small_workload(dep->topology(), 15);
+  dep->inject(flows);
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+TEST(Membership, AggregatorReassignedAfterRemoval) {
+  auto dep = make_deployment(FrameworkKind::kCiceroAgg, net::build_pod(small_pod()), true,
+                             false, 5);
+  const auto old_agg = dep->domain_controller_ids(0).front();  // lowest id
+  EXPECT_TRUE(dep->controller(old_agg).is_aggregator());
+  dep->simulator().at(sim::milliseconds(10), [&] { dep->remove_controller(old_agg); });
+  dep->run(sim::seconds(5));
+  const auto new_agg = dep->domain_controller_ids(0).front();
+  EXPECT_NE(new_agg, old_agg);
+  EXPECT_TRUE(dep->controller(new_agg).is_aggregator());
+
+  const auto flows = small_workload(dep->topology(), 10);
+  dep->inject(flows);
+  dep->run(sim::seconds(60));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+}  // namespace
+}  // namespace cicero

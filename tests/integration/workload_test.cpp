@@ -1,0 +1,139 @@
+// Workload generator properties (§6.1 methodology).
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+#include "workload/workload.hpp"
+
+namespace cicero::workload {
+namespace {
+
+net::Topology big_fabric() {
+  net::FabricParams p;
+  p.racks_per_pod = 4;
+  p.hosts_per_rack = 3;
+  p.pods_per_dc = 2;
+  p.data_centers = 3;
+  return net::build_multi_dc(p);
+}
+
+WorkloadParams params(WorkloadKind kind, std::size_t flows = 4000) {
+  WorkloadParams wp;
+  wp.kind = kind;
+  wp.flow_count = flows;
+  wp.arrival_rate_per_sec = 500;
+  wp.seed = 9;
+  return wp;
+}
+
+TEST(Workload, GeneratesRequestedCountSorted) {
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kHadoop, 500)).generate();
+  ASSERT_EQ(flows.size(), 500u);
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_LE(flows[i - 1].arrival, flows[i].arrival);
+  }
+}
+
+TEST(Workload, EndpointsAreDistinctHosts) {
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kWebServer, 500)).generate();
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src_host, f.dst_host);
+    EXPECT_EQ(topo.node(f.src_host).kind, net::NodeKind::kHost);
+    EXPECT_EQ(topo.node(f.dst_host).kind, net::NodeKind::kHost);
+    EXPECT_GT(f.size_bytes, 0.0);
+  }
+}
+
+TEST(Workload, DeterministicFromSeed) {
+  const auto topo = big_fabric();
+  const auto a = WorkloadGenerator(topo, params(WorkloadKind::kHadoop, 200)).generate();
+  const auto b = WorkloadGenerator(topo, params(WorkloadKind::kHadoop, 200)).generate();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_host, b[i].src_host);
+    EXPECT_EQ(a[i].dst_host, b[i].dst_host);
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+  }
+}
+
+TEST(Workload, PoissonArrivalRate) {
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kHadoop, 5000)).generate();
+  const double duration = sim::to_sec(flows.back().arrival);
+  EXPECT_NEAR(5000.0 / duration, 500.0, 25.0);
+}
+
+/// Measures the locality mix a generated workload actually exhibits.
+struct Mix {
+  double cross_pod = 0.0;
+  double cross_dc = 0.0;
+};
+Mix measure(const net::Topology& topo, const std::vector<Flow>& flows) {
+  Mix m;
+  for (const auto& f : flows) {
+    const auto& a = topo.node(f.src_host).placement;
+    const auto& b = topo.node(f.dst_host).placement;
+    if (a.dc != b.dc) {
+      m.cross_dc += 1;
+    } else if (a.pod != b.pod) {
+      m.cross_pod += 1;
+    }
+  }
+  m.cross_pod /= static_cast<double>(flows.size());
+  m.cross_dc /= static_cast<double>(flows.size());
+  return m;
+}
+
+TEST(Workload, HadoopLocalityMatchesPaper) {
+  // Paper: 3.3 % cross-pod, 2.5 % cross-DC for Hadoop.
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kHadoop)).generate();
+  const Mix m = measure(topo, flows);
+  EXPECT_NEAR(m.cross_pod, 0.033, 0.012);
+  EXPECT_NEAR(m.cross_dc, 0.025, 0.012);
+}
+
+TEST(Workload, WebServerLocalityMatchesPaper) {
+  // Paper: 15.7 % cross-pod, 15.9 % cross-DC for web traffic.
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kWebServer)).generate();
+  const Mix m = measure(topo, flows);
+  EXPECT_NEAR(m.cross_pod, 0.157, 0.03);
+  EXPECT_NEAR(m.cross_dc, 0.159, 0.03);
+}
+
+TEST(Workload, SinglePodFallsBackGracefully) {
+  // Cross-DC picks are impossible in one pod; the generator must still
+  // produce valid flows.
+  net::FabricParams p;
+  p.racks_per_pod = 3;
+  p.hosts_per_rack = 2;
+  const auto topo = net::build_pod(p);
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kWebServer, 300)).generate();
+  for (const auto& f : flows) EXPECT_NE(f.src_host, f.dst_host);
+}
+
+TEST(Workload, FlowSizesWithinBounds) {
+  const auto topo = big_fabric();
+  const auto flows = WorkloadGenerator(topo, params(WorkloadKind::kHadoop, 2000)).generate();
+  for (const auto& f : flows) {
+    EXPECT_GE(f.size_bytes, 5e3);
+    EXPECT_LE(f.size_bytes, 20e6);
+  }
+}
+
+TEST(Workload, RejectsTinyTopology) {
+  net::Topology t;
+  t.add_host("h", {}, 0);
+  EXPECT_THROW(WorkloadGenerator(t, params(WorkloadKind::kHadoop, 1)),
+               std::invalid_argument);
+}
+
+TEST(Workload, Names) {
+  EXPECT_STREQ(workload_name(WorkloadKind::kHadoop), "hadoop");
+  EXPECT_STREQ(workload_name(WorkloadKind::kWebServer), "webserver");
+}
+
+}  // namespace
+}  // namespace cicero::workload

@@ -1,0 +1,157 @@
+#include "net/checker.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::net {
+namespace {
+
+/// The paper's Figs. 1-3 five-switch fabric: s1, s2, s3 on top, s4, s5
+/// below, with hosts on s1, s2 and s5.
+///
+///      h1 - s1 --- s2 --- s3 - h3
+///             \    |     /
+///              s4--+----/
+///               \  |
+///                \ s5 - h5
+struct Diamond {
+  Topology topo;
+  NodeIndex s1, s2, s3, s4, s5, h1, h2, h5;
+
+  Diamond() {
+    s1 = topo.add_switch("s1", {}, 0);
+    s2 = topo.add_switch("s2", {}, 0);
+    s3 = topo.add_switch("s3", {}, 0);
+    s4 = topo.add_switch("s4", {}, 0);
+    s5 = topo.add_switch("s5", {}, 0);
+    h1 = topo.add_host("h1", {}, 0);
+    h2 = topo.add_host("h2", {}, 0);
+    h5 = topo.add_host("h5", {}, 0);
+    const double bw = 10e6;  // 10 Mb links so congestion is reachable
+    topo.add_link(s1, s2, bw, sim::microseconds(10));
+    topo.add_link(s2, s3, bw, sim::microseconds(10));
+    topo.add_link(s1, s4, bw, sim::microseconds(10));
+    topo.add_link(s2, s4, bw, sim::microseconds(10));
+    topo.add_link(s3, s5, bw, sim::microseconds(10));
+    topo.add_link(s4, s5, bw, sim::microseconds(10));
+    topo.add_link(h1, s1, bw, sim::microseconds(5));
+    topo.add_link(h2, s2, bw, sim::microseconds(5));
+    topo.add_link(h5, s5, bw, sim::microseconds(5));
+  }
+};
+
+class CheckerTest : public ::testing::Test {
+ protected:
+  Diamond d_;
+  FlowTable t1_, t2_, t3_, t4_, t5_;
+
+  TableMap tables() {
+    return TableMap{{d_.s1, &t1_}, {d_.s2, &t2_}, {d_.s3, &t3_}, {d_.s4, &t4_}, {d_.s5, &t5_}};
+  }
+};
+
+TEST_F(CheckerTest, DeliveredTrace) {
+  const FlowMatch m{d_.h1, d_.h5};
+  t1_.install({m, d_.s4, 1e6});
+  t4_.install({m, d_.s5, 1e6});
+  t5_.install({m, d_.h5, 1e6});
+  const auto trace = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_EQ(trace.status, TraceStatus::kDelivered);
+  EXPECT_EQ(trace.path, (std::vector<NodeIndex>{d_.s1, d_.s4, d_.s5, d_.h5}));
+}
+
+TEST_F(CheckerTest, NoIngressRule) {
+  const auto trace = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_EQ(trace.status, TraceStatus::kNoIngressRule);
+}
+
+TEST_F(CheckerTest, BlackHoleMidPath) {
+  const FlowMatch m{d_.h1, d_.h5};
+  t1_.install({m, d_.s4, 1e6});
+  // s4 has no rule: packets die there (the Fig. 2 failure mode).
+  const auto trace = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_EQ(trace.status, TraceStatus::kBlackHole);
+  EXPECT_EQ(trace.path.back(), d_.s4);
+}
+
+TEST_F(CheckerTest, LoopDetected) {
+  // The Fig. 2 loop: s2 -> s3 -> s2 during a partially applied update.
+  const FlowMatch m{d_.h2, d_.h5};
+  t2_.install({m, d_.s3, 1e6});
+  t3_.install({m, d_.s2, 1e6});
+  const auto trace = trace_flow(d_.topo, tables(), d_.h2, d_.h5);
+  EXPECT_EQ(trace.status, TraceStatus::kLoop);
+}
+
+TEST_F(CheckerTest, WaypointEnforcement) {
+  // Fig. 1: the firewall sits at s4; a compliant route passes it.
+  const FlowMatch m{d_.h1, d_.h5};
+  t1_.install({m, d_.s4, 1e6});
+  t4_.install({m, d_.s5, 1e6});
+  t5_.install({m, d_.h5, 1e6});
+  const auto good = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_TRUE(passes_waypoint(good, d_.s4));
+
+  // A route bypassing the firewall via s2/s3 violates the waypoint.
+  t1_.install({m, d_.s2, 1e6});
+  t2_.install({m, d_.s3, 1e6});
+  t3_.install({m, d_.s5, 1e6});
+  const auto bad = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_EQ(bad.status, TraceStatus::kDelivered);
+  EXPECT_FALSE(passes_waypoint(bad, d_.s4));
+}
+
+TEST_F(CheckerTest, CongestionDetection) {
+  // Fig. 3: two flows both reserve 6 Mb on the 10 Mb s4-s5 link.
+  t4_.install({{d_.h1, d_.h5}, d_.s5, 6e6});
+  t2_.install({{d_.h2, d_.h5}, d_.s4, 6e6});
+  auto map = tables();
+  EXPECT_TRUE(overloaded_links(d_.topo, map).empty());  // only one rule on s4-s5 so far
+  t4_.install({{d_.h2, d_.h5}, d_.s5, 6e6});            // second flow joins the link
+  const auto overloaded = overloaded_links(d_.topo, map);
+  ASSERT_EQ(overloaded.size(), 1u);
+  const TopoLink& l = d_.topo.link(overloaded[0]);
+  EXPECT_TRUE((l.a == d_.s4 && l.b == d_.s5) || (l.a == d_.s5 && l.b == d_.s4));
+}
+
+TEST_F(CheckerTest, LinkReservationsAggregate) {
+  t4_.install({{d_.h1, d_.h5}, d_.s5, 2e6});
+  t4_.install({{d_.h2, d_.h5}, d_.s5, 3e6});
+  auto map = tables();
+  const auto res = link_reservations(d_.topo, map);
+  const std::size_t link = d_.topo.link_between(d_.s4, d_.s5);
+  EXPECT_DOUBLE_EQ(res.at(link), 5e6);
+}
+
+TEST_F(CheckerTest, CheckConsistencyReportsAll) {
+  const FlowMatch ok{d_.h1, d_.h5};
+  t1_.install({ok, d_.s4, 1e6});
+  t4_.install({ok, d_.s5, 1e6});
+  t5_.install({ok, d_.h5, 1e6});
+  const FlowMatch looped{d_.h2, d_.h5};
+  t2_.install({looped, d_.s3, 1e6});
+  t3_.install({looped, d_.s2, 1e6});
+  auto map = tables();
+  const auto violations = check_consistency(d_.topo, map, {ok, looped});
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("loop"), std::string::npos);
+}
+
+TEST_F(CheckerTest, RuleToMissingNeighborIsBlackHole) {
+  const FlowMatch m{d_.h1, d_.h5};
+  t1_.install({m, d_.s3, 1e6});  // s1 and s3 are NOT adjacent: packets die
+  const auto trace = trace_flow(d_.topo, tables(), d_.h1, d_.h5);
+  EXPECT_EQ(trace.status, TraceStatus::kBlackHole);
+}
+
+TEST_F(CheckerTest, DownLinkIsBlackHole) {
+  const FlowMatch m{d_.h1, d_.h5};
+  t1_.install({m, d_.s4, 1e6});
+  t4_.install({m, d_.s5, 1e6});
+  t5_.install({m, d_.h5, 1e6});
+  ASSERT_EQ(trace_flow(d_.topo, tables(), d_.h1, d_.h5).status, TraceStatus::kDelivered);
+  d_.topo.set_link_up(d_.topo.link_between(d_.s4, d_.s5), false);
+  EXPECT_EQ(trace_flow(d_.topo, tables(), d_.h1, d_.h5).status, TraceStatus::kBlackHole);
+}
+
+}  // namespace
+}  // namespace cicero::net

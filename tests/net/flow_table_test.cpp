@@ -1,0 +1,62 @@
+#include "net/flow_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::net {
+namespace {
+
+TEST(FlowTable, InstallLookup) {
+  FlowTable t;
+  const FlowRule r{{1, 2}, 5, 1e6};
+  t.install(r);
+  const auto got = t.lookup({1, 2});
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, r);
+  EXPECT_TRUE(t.has({1, 2}));
+  EXPECT_FALSE(t.has({2, 1}));  // direction matters
+}
+
+TEST(FlowTable, OverwriteReplaces) {
+  FlowTable t;
+  t.install({{1, 2}, 5, 1e6});
+  t.install({{1, 2}, 9, 2e6});
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup({1, 2})->next_hop, 9u);
+}
+
+TEST(FlowTable, RemoveReportsPresence) {
+  FlowTable t;
+  t.install({{1, 2}, 5, 1e6});
+  EXPECT_TRUE(t.remove({1, 2}));
+  EXPECT_FALSE(t.remove({1, 2}));
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(FlowTable, VersionBumpsOnChange) {
+  FlowTable t;
+  const auto v0 = t.version();
+  t.install({{1, 2}, 5, 1e6});
+  const auto v1 = t.version();
+  EXPECT_GT(v1, v0);
+  t.remove({1, 2});
+  EXPECT_GT(t.version(), v1);
+  // Removing a missing rule does not bump.
+  const auto v2 = t.version();
+  t.remove({3, 4});
+  EXPECT_EQ(t.version(), v2);
+}
+
+TEST(FlowTable, RulesSnapshot) {
+  FlowTable t;
+  t.install({{1, 2}, 5, 1e6});
+  t.install({{3, 4}, 6, 2e6});
+  EXPECT_EQ(t.rules().size(), 2u);
+}
+
+TEST(FlowTable, LookupMissIsEmpty) {
+  FlowTable t;
+  EXPECT_FALSE(t.lookup({7, 8}).has_value());
+}
+
+}  // namespace
+}  // namespace cicero::net

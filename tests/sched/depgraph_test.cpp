@@ -1,0 +1,139 @@
+#include "sched/depgraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cicero::sched {
+namespace {
+
+ScheduledUpdate make(UpdateId id, std::vector<UpdateId> deps) {
+  ScheduledUpdate su;
+  su.update.id = id;
+  su.update.switch_node = static_cast<net::NodeIndex>(id);
+  return ScheduledUpdate{su.update, std::move(deps)};
+}
+
+TEST(HasCycle, DetectsCycles) {
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {1})};
+  EXPECT_TRUE(has_cycle(s));
+}
+
+TEST(HasCycle, DetectsSelfLoop) {
+  UpdateSchedule s;
+  s.updates = {make(1, {1})};
+  EXPECT_TRUE(has_cycle(s));
+}
+
+TEST(HasCycle, DetectsDanglingDependency) {
+  UpdateSchedule s;
+  s.updates = {make(1, {42})};
+  EXPECT_TRUE(has_cycle(s));
+}
+
+TEST(HasCycle, AcceptsDag) {
+  UpdateSchedule s;
+  s.updates = {make(1, {2, 3}), make(2, {3}), make(3, {})};
+  EXPECT_FALSE(has_cycle(s));
+}
+
+TEST(DependencyTracker, ChainReleasesInOrder) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {3}), make(3, {})};
+  auto ready = t.add(s);
+  EXPECT_EQ(ready, (std::vector<UpdateId>{3}));
+  EXPECT_EQ(t.in_flight(), 1u);
+  EXPECT_EQ(t.blocked(), 2u);
+
+  ready = t.complete(3);
+  EXPECT_EQ(ready, (std::vector<UpdateId>{2}));
+  ready = t.complete(2);
+  EXPECT_EQ(ready, (std::vector<UpdateId>{1}));
+  ready = t.complete(1);
+  EXPECT_TRUE(ready.empty());
+  EXPECT_TRUE(t.idle());
+}
+
+TEST(DependencyTracker, DiamondReleasesWhenAllDepsDone) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2, 3}), make(2, {}), make(3, {})};
+  auto ready = t.add(s);
+  std::sort(ready.begin(), ready.end());
+  EXPECT_EQ(ready, (std::vector<UpdateId>{2, 3}));
+  EXPECT_TRUE(t.complete(2).empty());  // 1 still blocked on 3
+  EXPECT_EQ(t.complete(3), (std::vector<UpdateId>{1}));
+}
+
+TEST(DependencyTracker, DisjointChainsProgressIndependently) {
+  // The intra-domain parallelism property (§3.3): disjoint dependence
+  // sets never block each other.
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {}), make(11, {12}), make(12, {})};
+  auto ready = t.add(s);
+  std::sort(ready.begin(), ready.end());
+  EXPECT_EQ(ready, (std::vector<UpdateId>{2, 12}));
+  EXPECT_EQ(t.complete(12), (std::vector<UpdateId>{11}));  // chain B advances
+  EXPECT_EQ(t.blocked(), 1u);                              // chain A untouched
+  EXPECT_EQ(t.complete(2), (std::vector<UpdateId>{1}));
+}
+
+TEST(DependencyTracker, DuplicateCompleteIsIdempotent) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {})};
+  t.add(s);
+  EXPECT_EQ(t.complete(2), (std::vector<UpdateId>{1}));
+  EXPECT_TRUE(t.complete(2).empty());  // duplicate ack
+}
+
+TEST(DependencyTracker, UnknownCompleteIgnored) {
+  DependencyTracker t;
+  EXPECT_TRUE(t.complete(99).empty());
+}
+
+TEST(DependencyTracker, DependencyAlreadyCompleted) {
+  DependencyTracker t;
+  UpdateSchedule a;
+  a.updates = {make(1, {})};
+  t.add(a);
+  t.complete(1);
+  // A later schedule depending on the already-complete update is
+  // immediately ready.
+  UpdateSchedule b;
+  b.updates = {make(2, {1})};
+  EXPECT_EQ(t.add(b), (std::vector<UpdateId>{2}));
+}
+
+TEST(DependencyTracker, RejectsDuplicateIds) {
+  DependencyTracker t;
+  UpdateSchedule a;
+  a.updates = {make(1, {})};
+  t.add(a);
+  UpdateSchedule b;
+  b.updates = {make(1, {})};
+  EXPECT_THROW(t.add(b), std::invalid_argument);
+}
+
+TEST(DependencyTracker, RejectsCyclicSchedule) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {1})};
+  EXPECT_THROW(t.add(s), std::invalid_argument);
+}
+
+TEST(DependencyTracker, UpdateAccessor) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(7, {})};
+  t.add(s);
+  EXPECT_TRUE(t.knows(7));
+  EXPECT_FALSE(t.knows(8));
+  EXPECT_EQ(t.update(7).switch_node, 7u);
+}
+
+}  // namespace
+}  // namespace cicero::sched

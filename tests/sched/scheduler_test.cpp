@@ -1,0 +1,197 @@
+#include "sched/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sched/depgraph.hpp"
+
+namespace cicero::sched {
+namespace {
+
+RouteIntent establish_intent() {
+  RouteIntent intent;
+  intent.kind = RouteIntent::Kind::kEstablish;
+  intent.match = {100, 101};
+  intent.path = {100, 1, 2, 3, 101};  // host, s1, s2, s3, host
+  intent.reserved_bps = 1e6;
+  return intent;
+}
+
+TEST(ReversePathScheduler, EstablishDependsDownstream) {
+  ReversePathScheduler sched;
+  const auto schedule = sched.build(establish_intent(), 10);
+  ASSERT_EQ(schedule.size(), 3u);
+  // Updates in path order s1, s2, s3 with ids 10, 11, 12.
+  EXPECT_EQ(schedule.updates[0].update.switch_node, 1u);
+  EXPECT_EQ(schedule.updates[2].update.switch_node, 3u);
+  // s1 waits on s2, s2 waits on s3, s3 is free.
+  EXPECT_EQ(schedule.updates[0].deps, (std::vector<UpdateId>{11}));
+  EXPECT_EQ(schedule.updates[1].deps, (std::vector<UpdateId>{12}));
+  EXPECT_TRUE(schedule.updates[2].deps.empty());
+}
+
+TEST(ReversePathScheduler, NextHopsFollowPath) {
+  ReversePathScheduler sched;
+  const auto schedule = sched.build(establish_intent(), 0);
+  EXPECT_EQ(schedule.updates[0].update.rule.next_hop, 2u);
+  EXPECT_EQ(schedule.updates[1].update.rule.next_hop, 3u);
+  EXPECT_EQ(schedule.updates[2].update.rule.next_hop, 101u);  // egress host
+  for (const auto& su : schedule.updates) {
+    EXPECT_EQ(su.update.op, UpdateOp::kInstall);
+    EXPECT_EQ(su.update.rule.match, (net::FlowMatch{100, 101}));
+    EXPECT_DOUBLE_EQ(su.update.rule.reserved_bps, 1e6);
+  }
+}
+
+TEST(ReversePathScheduler, TeardownDependsUpstream) {
+  RouteIntent intent = establish_intent();
+  intent.kind = RouteIntent::Kind::kTeardown;
+  ReversePathScheduler sched;
+  const auto schedule = sched.build(intent, 0);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_TRUE(schedule.updates[0].deps.empty());  // ingress goes first
+  EXPECT_EQ(schedule.updates[1].deps, (std::vector<UpdateId>{0}));
+  EXPECT_EQ(schedule.updates[2].deps, (std::vector<UpdateId>{1}));
+  for (const auto& su : schedule.updates) EXPECT_EQ(su.update.op, UpdateOp::kRemove);
+}
+
+TEST(ReversePathScheduler, SingleSwitchPath) {
+  RouteIntent intent = establish_intent();
+  intent.path = {100, 7, 101};
+  ReversePathScheduler sched;
+  const auto schedule = sched.build(intent, 5);
+  ASSERT_EQ(schedule.size(), 1u);
+  EXPECT_TRUE(schedule.updates[0].deps.empty());
+  EXPECT_EQ(schedule.updates[0].update.id, 5u);
+}
+
+TEST(ReversePathScheduler, RejectsDegeneratePath) {
+  RouteIntent intent = establish_intent();
+  intent.path = {100, 101};
+  ReversePathScheduler sched;
+  EXPECT_THROW(sched.build(intent, 0), std::invalid_argument);
+}
+
+TEST(NaiveScheduler, NoDependencies) {
+  NaiveScheduler sched;
+  const auto schedule = sched.build(establish_intent(), 0);
+  ASSERT_EQ(schedule.size(), 3u);
+  for (const auto& su : schedule.updates) EXPECT_TRUE(su.deps.empty());
+}
+
+TEST(BuildBatch, DefaultConcatenatesDisjointIds) {
+  ReversePathScheduler sched;
+  RouteIntent a = establish_intent();
+  RouteIntent b = establish_intent();
+  b.path = {200, 4, 5, 201};
+  b.match = {200, 201};
+  const auto schedule = sched.build_batch({a, b}, 0);
+  ASSERT_EQ(schedule.size(), 5u);
+  std::set<UpdateId> ids;
+  for (const auto& su : schedule.updates) ids.insert(su.update.id);
+  EXPECT_EQ(ids.size(), 5u);  // all unique
+  // No dependency crosses the two intents.
+  std::set<UpdateId> a_ids = {schedule.updates[0].update.id, schedule.updates[1].update.id,
+                              schedule.updates[2].update.id};
+  for (std::size_t i = 3; i < 5; ++i) {
+    for (const UpdateId d : schedule.updates[i].deps) EXPECT_EQ(a_ids.count(d), 0u);
+  }
+}
+
+TEST(DionysusLite, SingleIntentMatchesReversePath) {
+  DionysusLiteScheduler dio;
+  ReversePathScheduler rev;
+  const auto a = dio.build(establish_intent(), 3);
+  const auto b = rev.build(establish_intent(), 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.updates[i].update, b.updates[i].update);
+    EXPECT_EQ(a.updates[i].deps, b.updates[i].deps);
+  }
+}
+
+TEST(DionysusLite, EstablishWaitsForCapacityRelease) {
+  // Teardown frees link (2 -> 3); a new route over the same directed link
+  // must wait for that teardown (the Fig. 3 congestion scenario).
+  DionysusLiteScheduler dio;
+  RouteIntent down = establish_intent();
+  down.kind = RouteIntent::Kind::kTeardown;  // removes rules along 1,2,3
+  RouteIntent up;
+  up.kind = RouteIntent::Kind::kEstablish;
+  up.match = {102, 103};
+  up.path = {102, 2, 3, 103};  // shares directed link 2 -> 3
+  const auto schedule = dio.build_batch({down, up}, 0);
+  ASSERT_EQ(schedule.size(), 5u);
+
+  // Find the establish update on switch 2 and the teardown update on
+  // switch 2 (which forwards to 3).
+  UpdateId teardown_on_2 = 0, establish_on_2 = 0;
+  std::vector<UpdateId> establish_deps;
+  for (const auto& su : schedule.updates) {
+    if (su.update.op == UpdateOp::kRemove && su.update.switch_node == 2 &&
+        su.update.rule.next_hop == 3) {
+      teardown_on_2 = su.update.id;
+    }
+    if (su.update.op == UpdateOp::kInstall && su.update.switch_node == 2) {
+      establish_on_2 = su.update.id;
+      establish_deps = su.deps;
+    }
+  }
+  ASSERT_NE(establish_on_2, 0u);
+  EXPECT_NE(std::find(establish_deps.begin(), establish_deps.end(), teardown_on_2),
+            establish_deps.end());
+}
+
+TEST(PacketWaits, SingleIntentMatchesReversePath) {
+  PacketWaitsScheduler pw;
+  ReversePathScheduler rev;
+  const auto a = pw.build(establish_intent(), 3);
+  const auto b = rev.build(establish_intent(), 3);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.updates[i].deps, b.updates[i].deps);
+}
+
+TEST(PacketWaits, BatchDrainsBeforeInstalling) {
+  PacketWaitsScheduler pw;
+  RouteIntent down = establish_intent();
+  down.kind = RouteIntent::Kind::kTeardown;
+  RouteIntent up;
+  up.kind = RouteIntent::Kind::kEstablish;
+  up.match = {102, 103};
+  up.path = {102, 4, 5, 103};
+  const auto schedule = pw.build_batch({down, up}, 1);
+  ASSERT_EQ(schedule.size(), 5u);
+
+  std::set<UpdateId> removal_ids;
+  for (const auto& su : schedule.updates) {
+    if (su.update.op == UpdateOp::kRemove) removal_ids.insert(su.update.id);
+  }
+  ASSERT_EQ(removal_ids.size(), 3u);
+  // Every install waits for every removal (the drain barrier).
+  for (const auto& su : schedule.updates) {
+    if (su.update.op != UpdateOp::kInstall) continue;
+    for (const UpdateId r : removal_ids) {
+      EXPECT_NE(std::find(su.deps.begin(), su.deps.end(), r), su.deps.end());
+    }
+  }
+}
+
+TEST(PacketWaits, BatchScheduleIsAcyclic) {
+  PacketWaitsScheduler pw;
+  RouteIntent down = establish_intent();
+  down.kind = RouteIntent::Kind::kTeardown;
+  RouteIntent up = establish_intent();
+  const auto schedule = pw.build_batch({down, up}, 1);
+  EXPECT_FALSE(has_cycle(schedule));
+}
+
+TEST(SwitchPath, StripsHosts) {
+  const auto sw = switch_path(establish_intent());
+  EXPECT_EQ(sw, (std::vector<net::NodeIndex>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace cicero::sched

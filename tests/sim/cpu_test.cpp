@@ -1,0 +1,80 @@
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::sim {
+namespace {
+
+TEST(CpuServer, SerializesWork) {
+  Simulator s;
+  CpuServer cpu(s);
+  std::vector<std::pair<int, SimTime>> done;
+  s.at(0, [&] {
+    cpu.execute(milliseconds(10), [&] { done.emplace_back(1, s.now()); });
+    cpu.execute(milliseconds(5), [&] { done.emplace_back(2, s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], std::make_pair(1, milliseconds(10)));
+  EXPECT_EQ(done[1], std::make_pair(2, milliseconds(15)));  // queued behind
+}
+
+TEST(CpuServer, IdleGapsNotBusy) {
+  Simulator s;
+  CpuServer cpu(s);
+  s.at(0, [&] { cpu.execute(milliseconds(10), [] {}); });
+  s.at(milliseconds(30), [&] { cpu.execute(milliseconds(10), [] {}); });
+  s.run();
+  EXPECT_EQ(cpu.busy_total(), milliseconds(20));
+  EXPECT_DOUBLE_EQ(cpu.utilisation(0, milliseconds(40)), 0.5);
+  EXPECT_DOUBLE_EQ(cpu.utilisation(milliseconds(10), milliseconds(30)), 0.0);
+}
+
+TEST(CpuServer, UtilisationWindows) {
+  Simulator s;
+  CpuServer cpu(s);
+  s.at(0, [&] { cpu.execute(milliseconds(5), [] {}); });
+  s.run();
+  const auto w = cpu.utilisation_windows(milliseconds(10), milliseconds(20));
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w[0], 0.5);
+  EXPECT_DOUBLE_EQ(w[1], 0.0);
+}
+
+TEST(CpuServer, ZeroCostCompletesImmediately) {
+  Simulator s;
+  CpuServer cpu(s);
+  bool fired = false;
+  s.at(milliseconds(3), [&] { cpu.execute(0, [&] { fired = true; }); });
+  s.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), milliseconds(3));
+  EXPECT_EQ(cpu.busy_total(), 0);
+}
+
+TEST(CpuServer, NegativeCostThrows) {
+  Simulator s;
+  CpuServer cpu(s);
+  EXPECT_THROW(cpu.execute(-1, [] {}), std::invalid_argument);
+}
+
+TEST(CpuServer, ChargeAccumulates) {
+  Simulator s;
+  CpuServer cpu(s);
+  s.at(0, [&] {
+    cpu.charge(milliseconds(2));
+    cpu.charge(milliseconds(3));
+  });
+  s.run();
+  EXPECT_EQ(cpu.busy_total(), milliseconds(5));
+  EXPECT_EQ(cpu.busy_until(), milliseconds(5));
+}
+
+TEST(CpuServer, WindowValidation) {
+  Simulator s;
+  CpuServer cpu(s);
+  EXPECT_THROW(cpu.utilisation_windows(0, milliseconds(10)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cicero::sim

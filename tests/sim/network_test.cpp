@@ -1,0 +1,104 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::sim {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<NetworkSim>(sim_);
+    a_ = net_->add_node("a");
+    b_ = net_->add_node("b");
+    net_->set_handler(b_, [this](NodeId from, const util::Bytes& m) {
+      received_.emplace_back(from, m);
+      recv_time_ = sim_.now();
+    });
+  }
+  Simulator sim_;
+  std::unique_ptr<NetworkSim> net_;
+  NodeId a_ = 0, b_ = 0;
+  std::vector<std::pair<NodeId, util::Bytes>> received_;
+  SimTime recv_time_ = 0;
+};
+
+TEST_F(NetworkTest, DeliversWithDefaultLatency) {
+  net_->set_default_latency(microseconds(70));
+  net_->send(a_, b_, {1, 2, 3});
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].first, a_);
+  EXPECT_EQ(received_[0].second, (util::Bytes{1, 2, 3}));
+  EXPECT_EQ(recv_time_, microseconds(70));
+}
+
+TEST_F(NetworkTest, LatencyFunctionApplies) {
+  net_->set_latency_fn([](NodeId, NodeId) { return milliseconds(3); });
+  net_->send(a_, b_, {9});
+  sim_.run();
+  EXPECT_EQ(recv_time_, milliseconds(3));
+}
+
+TEST_F(NetworkTest, DropFunctionDropsAndCounts) {
+  net_->set_drop_fn([](NodeId, NodeId, const util::Bytes&) { return true; });
+  net_->send(a_, b_, {1});
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_->messages_dropped(), 1u);
+  EXPECT_EQ(net_->messages_delivered(), 0u);
+}
+
+TEST_F(NetworkTest, NeverLatencyDrops) {
+  net_->set_latency_fn([](NodeId, NodeId) { return kNever; });
+  net_->send(a_, b_, {1});
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_->messages_dropped(), 1u);
+}
+
+TEST_F(NetworkTest, MutationAppliesInFlight) {
+  net_->set_mutate_fn([](NodeId, NodeId, util::Bytes& m) { m.push_back(0xFF); });
+  net_->send(a_, b_, {1});
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].second, (util::Bytes{1, 0xFF}));
+}
+
+TEST_F(NetworkTest, MulticastFansOut) {
+  const NodeId c = net_->add_node("c");
+  int c_count = 0;
+  net_->set_handler(c, [&](NodeId, const util::Bytes&) { ++c_count; });
+  net_->multicast(a_, {b_, c}, {7});
+  sim_.run();
+  EXPECT_EQ(received_.size(), 1u);
+  EXPECT_EQ(c_count, 1);
+  EXPECT_EQ(net_->messages_sent(), 2u);
+}
+
+TEST_F(NetworkTest, NoHandlerIsSilentlyDropped) {
+  const NodeId d = net_->add_node("d");
+  net_->send(a_, d, {1});
+  EXPECT_NO_THROW(sim_.run());
+}
+
+TEST_F(NetworkTest, UnknownNodeThrows) {
+  EXPECT_THROW(net_->send(a_, 999, {1}), std::invalid_argument);
+}
+
+TEST_F(NetworkTest, ByteAccounting) {
+  net_->send(a_, b_, {1, 2, 3, 4});
+  net_->send(a_, b_, {5});
+  sim_.run();
+  EXPECT_EQ(net_->bytes_sent(), 5u);
+  EXPECT_EQ(net_->messages_sent(), 2u);
+  EXPECT_EQ(net_->messages_delivered(), 2u);
+}
+
+TEST_F(NetworkTest, NodeNames) {
+  EXPECT_EQ(net_->node_name(a_), "a");
+  EXPECT_EQ(net_->node_count(), 2u);
+}
+
+}  // namespace
+}  // namespace cicero::sim

@@ -1,0 +1,87 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::sim {
+namespace {
+
+TEST(Simulator, RunsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(milliseconds(30), [&] { order.push_back(3); });
+  s.at(milliseconds(10), [&] { order.push_back(1); });
+  s.at(milliseconds(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), milliseconds(30));
+}
+
+TEST(Simulator, TiesBreakByInsertionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    s.at(milliseconds(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator s;
+  int fired = 0;
+  s.at(milliseconds(1), [&] {
+    s.after(milliseconds(1), [&] {
+      ++fired;
+      s.after(milliseconds(1), [&] { ++fired; });
+    });
+  });
+  s.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(s.now(), milliseconds(3));
+}
+
+TEST(Simulator, PastSchedulingThrows) {
+  Simulator s;
+  s.at(milliseconds(10), [] {});
+  s.run();
+  EXPECT_THROW(s.at(milliseconds(5), [] {}), std::invalid_argument);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator s;
+  int fired = 0;
+  s.at(milliseconds(10), [&] { ++fired; });
+  s.at(milliseconds(30), [&] { ++fired; });
+  s.run_until(milliseconds(20));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(s.now(), milliseconds(20));
+  s.run_until(milliseconds(40));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.at(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, EventCapThrows) {
+  Simulator s;
+  s.set_event_cap(10);
+  // Self-perpetuating event chain: must trip the cap, not hang.
+  std::function<void()> loop = [&] { s.after(1, loop); };
+  s.after(1, loop);
+  EXPECT_THROW(s.run(), std::runtime_error);
+}
+
+TEST(Simulator, CountsEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.at(i, [] {});
+  s.run();
+  EXPECT_EQ(s.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace cicero::sim

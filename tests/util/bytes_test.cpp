@@ -1,0 +1,41 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::util {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Bytes, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(Bytes, ToBytesAndBack) {
+  EXPECT_EQ(to_string(to_bytes("hello")), "hello");
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal({1, 2, 3}, {1, 2, 3}));
+  EXPECT_FALSE(ct_equal({1, 2, 3}, {1, 2, 4}));
+  EXPECT_FALSE(ct_equal({1, 2, 3}, {1, 2}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+}  // namespace
+}  // namespace cicero::util

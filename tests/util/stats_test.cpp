@@ -1,0 +1,108 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::util {
+namespace {
+
+TEST(RunningStats, Moments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  RunningStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = i * 0.37;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(CdfCollector, Quantiles) {
+  CdfCollector c;
+  for (int i = 1; i <= 100; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+  EXPECT_NEAR(c.median(), 50.5, 1e-9);
+  EXPECT_NEAR(c.p99(), 99.01, 0.01);
+}
+
+TEST(CdfCollector, QuantileOutOfRangeThrows) {
+  CdfCollector c;
+  c.add(1.0);
+  EXPECT_THROW(c.quantile(-0.1), std::invalid_argument);
+  EXPECT_THROW(c.quantile(1.1), std::invalid_argument);
+}
+
+TEST(CdfCollector, EmptyQuantileThrows) {
+  CdfCollector c;
+  EXPECT_THROW(c.quantile(0.5), std::logic_error);
+}
+
+TEST(CdfCollector, FractionBelow) {
+  CdfCollector c;
+  for (int i = 1; i <= 10; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.fraction_below(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(c.fraction_below(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.fraction_below(100.0), 1.0);
+}
+
+TEST(CdfCollector, SeriesMonotone) {
+  CdfCollector c;
+  for (int i = 0; i < 57; ++i) c.add((i * 31) % 100);
+  const auto series = c.cdf_series(20);
+  ASSERT_EQ(series.size(), 20u);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i - 1].first, series[i].first);
+    EXPECT_LE(series[i - 1].second, series[i].second);
+  }
+  EXPECT_DOUBLE_EQ(series.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(series.back().second, 1.0);
+}
+
+TEST(TimeSeries, WindowsAccumulate) {
+  TimeSeries ts(1.0);
+  ts.add(0.5, 2.0);
+  ts.add(0.9, 3.0);
+  ts.add(2.5, 7.0);
+  const auto w = ts.windows();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].sum, 5.0);
+  EXPECT_EQ(w[0].count, 2u);
+  EXPECT_DOUBLE_EQ(w[1].sum, 0.0);
+  EXPECT_DOUBLE_EQ(w[2].sum, 7.0);
+}
+
+TEST(TimeSeries, RejectsBadWidth) {
+  EXPECT_THROW(TimeSeries(0.0), std::invalid_argument);
+}
+
+TEST(FormatCdf, ContainsLabelAndCount) {
+  CdfCollector c;
+  c.add(1.0);
+  c.add(2.0);
+  const std::string out = format_cdf(c, "demo", 5);
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("n=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cicero::util
