@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11a_hadoop_fct.dir/bench_fig11a_hadoop_fct.cpp.o"
+  "CMakeFiles/bench_fig11a_hadoop_fct.dir/bench_fig11a_hadoop_fct.cpp.o.d"
+  "bench_fig11a_hadoop_fct"
+  "bench_fig11a_hadoop_fct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11a_hadoop_fct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11c_unamortized.dir/bench_fig11c_unamortized.cpp.o"
+  "CMakeFiles/bench_fig11c_unamortized.dir/bench_fig11c_unamortized.cpp.o.d"
+  "bench_fig11c_unamortized"
+  "bench_fig11c_unamortized.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11c_unamortized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12b_event_locality.dir/bench_fig12b_event_locality.cpp.o"
+  "CMakeFiles/bench_fig12b_event_locality.dir/bench_fig12b_event_locality.cpp.o.d"
+  "bench_fig12b_event_locality"
+  "bench_fig12b_event_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12b_event_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

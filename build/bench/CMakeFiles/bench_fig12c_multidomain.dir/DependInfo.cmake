@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig12c_multidomain.cpp" "bench/CMakeFiles/bench_fig12c_multidomain.dir/bench_fig12c_multidomain.cpp.o" "gcc" "bench/CMakeFiles/bench_fig12c_multidomain.dir/bench_fig12c_multidomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cicero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cicero_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/cicero_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cicero_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cicero_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cicero_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cicero_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cicero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

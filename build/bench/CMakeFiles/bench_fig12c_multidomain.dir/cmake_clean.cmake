@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12c_multidomain.dir/bench_fig12c_multidomain.cpp.o"
+  "CMakeFiles/bench_fig12c_multidomain.dir/bench_fig12c_multidomain.cpp.o.d"
+  "bench_fig12c_multidomain"
+  "bench_fig12c_multidomain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12c_multidomain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12d_multidc.dir/bench_fig12d_multidc.cpp.o"
+  "CMakeFiles/bench_fig12d_multidc.dir/bench_fig12d_multidc.cpp.o.d"
+  "bench_fig12d_multidc"
+  "bench_fig12d_multidc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12d_multidc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12d_multidc.
+# This may be replaced when dependencies are built.

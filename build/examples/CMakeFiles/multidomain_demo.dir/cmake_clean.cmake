@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multidomain_demo.dir/multidomain_demo.cpp.o"
+  "CMakeFiles/multidomain_demo.dir/multidomain_demo.cpp.o.d"
+  "multidomain_demo"
+  "multidomain_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multidomain_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bft/failure_detector.cpp" "src/bft/CMakeFiles/cicero_bft.dir/failure_detector.cpp.o" "gcc" "src/bft/CMakeFiles/cicero_bft.dir/failure_detector.cpp.o.d"
+  "/root/repo/src/bft/messages.cpp" "src/bft/CMakeFiles/cicero_bft.dir/messages.cpp.o" "gcc" "src/bft/CMakeFiles/cicero_bft.dir/messages.cpp.o.d"
+  "/root/repo/src/bft/pbft.cpp" "src/bft/CMakeFiles/cicero_bft.dir/pbft.cpp.o" "gcc" "src/bft/CMakeFiles/cicero_bft.dir/pbft.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cicero_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cicero_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cicero_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_bft.dir/failure_detector.cpp.o"
+  "CMakeFiles/cicero_bft.dir/failure_detector.cpp.o.d"
+  "CMakeFiles/cicero_bft.dir/messages.cpp.o"
+  "CMakeFiles/cicero_bft.dir/messages.cpp.o.d"
+  "CMakeFiles/cicero_bft.dir/pbft.cpp.o"
+  "CMakeFiles/cicero_bft.dir/pbft.cpp.o.d"
+  "libcicero_bft.a"
+  "libcicero_bft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_bft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/audit.cpp" "src/core/CMakeFiles/cicero_core.dir/audit.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/audit.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/cicero_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/deployment.cpp" "src/core/CMakeFiles/cicero_core.dir/deployment.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/deployment.cpp.o.d"
+  "/root/repo/src/core/framework.cpp" "src/core/CMakeFiles/cicero_core.dir/framework.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/framework.cpp.o.d"
+  "/root/repo/src/core/messages.cpp" "src/core/CMakeFiles/cicero_core.dir/messages.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/messages.cpp.o.d"
+  "/root/repo/src/core/pki.cpp" "src/core/CMakeFiles/cicero_core.dir/pki.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/pki.cpp.o.d"
+  "/root/repo/src/core/switch_runtime.cpp" "src/core/CMakeFiles/cicero_core.dir/switch_runtime.cpp.o" "gcc" "src/core/CMakeFiles/cicero_core.dir/switch_runtime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cicero_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cicero_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cicero_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cicero_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cicero_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/cicero_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cicero_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_core.dir/audit.cpp.o"
+  "CMakeFiles/cicero_core.dir/audit.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/controller.cpp.o"
+  "CMakeFiles/cicero_core.dir/controller.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/deployment.cpp.o"
+  "CMakeFiles/cicero_core.dir/deployment.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/framework.cpp.o"
+  "CMakeFiles/cicero_core.dir/framework.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/messages.cpp.o"
+  "CMakeFiles/cicero_core.dir/messages.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/pki.cpp.o"
+  "CMakeFiles/cicero_core.dir/pki.cpp.o.d"
+  "CMakeFiles/cicero_core.dir/switch_runtime.cpp.o"
+  "CMakeFiles/cicero_core.dir/switch_runtime.cpp.o.d"
+  "libcicero_core.a"
+  "libcicero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

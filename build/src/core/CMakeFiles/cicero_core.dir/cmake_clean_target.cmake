@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcicero_core.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/dkg.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/dkg.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/dkg.cpp.o.d"
+  "/root/repo/src/crypto/drbg.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/drbg.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/drbg.cpp.o.d"
+  "/root/repo/src/crypto/fp.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/fp.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/fp.cpp.o.d"
+  "/root/repo/src/crypto/frost.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/frost.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/frost.cpp.o.d"
+  "/root/repo/src/crypto/group.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/group.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/group.cpp.o.d"
+  "/root/repo/src/crypto/schnorr.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/schnorr.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/schnorr.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/shamir.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/shamir.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/shamir.cpp.o.d"
+  "/root/repo/src/crypto/simbls.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/simbls.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/simbls.cpp.o.d"
+  "/root/repo/src/crypto/u256.cpp" "src/crypto/CMakeFiles/cicero_crypto.dir/u256.cpp.o" "gcc" "src/crypto/CMakeFiles/cicero_crypto.dir/u256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cicero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

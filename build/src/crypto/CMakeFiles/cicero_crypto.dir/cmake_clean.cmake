@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_crypto.dir/dkg.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/dkg.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/fp.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/fp.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/frost.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/frost.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/group.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/group.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/simbls.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/simbls.cpp.o.d"
+  "CMakeFiles/cicero_crypto.dir/u256.cpp.o"
+  "CMakeFiles/cicero_crypto.dir/u256.cpp.o.d"
+  "libcicero_crypto.a"
+  "libcicero_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_net.dir/checker.cpp.o"
+  "CMakeFiles/cicero_net.dir/checker.cpp.o.d"
+  "CMakeFiles/cicero_net.dir/flow_table.cpp.o"
+  "CMakeFiles/cicero_net.dir/flow_table.cpp.o.d"
+  "CMakeFiles/cicero_net.dir/topology.cpp.o"
+  "CMakeFiles/cicero_net.dir/topology.cpp.o.d"
+  "libcicero_net.a"
+  "libcicero_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

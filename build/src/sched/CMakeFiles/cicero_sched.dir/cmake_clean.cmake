@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_sched.dir/depgraph.cpp.o"
+  "CMakeFiles/cicero_sched.dir/depgraph.cpp.o.d"
+  "CMakeFiles/cicero_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/cicero_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/cicero_sched.dir/update.cpp.o"
+  "CMakeFiles/cicero_sched.dir/update.cpp.o.d"
+  "libcicero_sched.a"
+  "libcicero_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_sim.dir/cpu.cpp.o"
+  "CMakeFiles/cicero_sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/cicero_sim.dir/network.cpp.o"
+  "CMakeFiles/cicero_sim.dir/network.cpp.o.d"
+  "CMakeFiles/cicero_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cicero_sim.dir/simulator.cpp.o.d"
+  "libcicero_sim.a"
+  "libcicero_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

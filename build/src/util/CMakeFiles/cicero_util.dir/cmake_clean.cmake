@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_util.dir/bytes.cpp.o"
+  "CMakeFiles/cicero_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/cicero_util.dir/logging.cpp.o"
+  "CMakeFiles/cicero_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cicero_util.dir/rng.cpp.o"
+  "CMakeFiles/cicero_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cicero_util.dir/serialize.cpp.o"
+  "CMakeFiles/cicero_util.dir/serialize.cpp.o.d"
+  "CMakeFiles/cicero_util.dir/stats.cpp.o"
+  "CMakeFiles/cicero_util.dir/stats.cpp.o.d"
+  "libcicero_util.a"
+  "libcicero_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

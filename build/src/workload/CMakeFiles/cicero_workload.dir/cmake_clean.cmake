@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cicero_workload.dir/workload.cpp.o"
+  "CMakeFiles/cicero_workload.dir/workload.cpp.o.d"
+  "libcicero_workload.a"
+  "libcicero_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cicero_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bft/failure_detector_test.cpp" "tests/CMakeFiles/cicero_tests.dir/bft/failure_detector_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/bft/failure_detector_test.cpp.o.d"
+  "/root/repo/tests/bft/messages_test.cpp" "tests/CMakeFiles/cicero_tests.dir/bft/messages_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/bft/messages_test.cpp.o.d"
+  "/root/repo/tests/bft/pbft_test.cpp" "tests/CMakeFiles/cicero_tests.dir/bft/pbft_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/bft/pbft_test.cpp.o.d"
+  "/root/repo/tests/core/audit_test.cpp" "tests/CMakeFiles/cicero_tests.dir/core/audit_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/core/audit_test.cpp.o.d"
+  "/root/repo/tests/core/framework_test.cpp" "tests/CMakeFiles/cicero_tests.dir/core/framework_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/core/framework_test.cpp.o.d"
+  "/root/repo/tests/core/messages_test.cpp" "tests/CMakeFiles/cicero_tests.dir/core/messages_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/core/messages_test.cpp.o.d"
+  "/root/repo/tests/core/switch_runtime_test.cpp" "tests/CMakeFiles/cicero_tests.dir/core/switch_runtime_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/core/switch_runtime_test.cpp.o.d"
+  "/root/repo/tests/crypto/dkg_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/dkg_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/dkg_test.cpp.o.d"
+  "/root/repo/tests/crypto/drbg_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/drbg_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/drbg_test.cpp.o.d"
+  "/root/repo/tests/crypto/fp_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/fp_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/fp_test.cpp.o.d"
+  "/root/repo/tests/crypto/frost_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/frost_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/frost_test.cpp.o.d"
+  "/root/repo/tests/crypto/group_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/group_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/group_test.cpp.o.d"
+  "/root/repo/tests/crypto/schnorr_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/schnorr_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/schnorr_test.cpp.o.d"
+  "/root/repo/tests/crypto/sha256_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/sha256_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/sha256_test.cpp.o.d"
+  "/root/repo/tests/crypto/shamir_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/shamir_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/shamir_test.cpp.o.d"
+  "/root/repo/tests/crypto/simbls_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/simbls_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/simbls_test.cpp.o.d"
+  "/root/repo/tests/crypto/u256_test.cpp" "tests/CMakeFiles/cicero_tests.dir/crypto/u256_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/crypto/u256_test.cpp.o.d"
+  "/root/repo/tests/integration/byzantine_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/byzantine_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/byzantine_test.cpp.o.d"
+  "/root/repo/tests/integration/consistency_scenarios_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/consistency_scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/consistency_scenarios_test.cpp.o.d"
+  "/root/repo/tests/integration/crash_tolerance_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/crash_tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/crash_tolerance_test.cpp.o.d"
+  "/root/repo/tests/integration/deployment_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/deployment_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/deployment_test.cpp.o.d"
+  "/root/repo/tests/integration/frost_backend_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/frost_backend_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/frost_backend_test.cpp.o.d"
+  "/root/repo/tests/integration/link_failure_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/link_failure_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/link_failure_test.cpp.o.d"
+  "/root/repo/tests/integration/membership_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/membership_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/membership_test.cpp.o.d"
+  "/root/repo/tests/integration/multidomain_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/multidomain_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/multidomain_test.cpp.o.d"
+  "/root/repo/tests/integration/workload_test.cpp" "tests/CMakeFiles/cicero_tests.dir/integration/workload_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/integration/workload_test.cpp.o.d"
+  "/root/repo/tests/net/checker_test.cpp" "tests/CMakeFiles/cicero_tests.dir/net/checker_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/net/checker_test.cpp.o.d"
+  "/root/repo/tests/net/flow_table_test.cpp" "tests/CMakeFiles/cicero_tests.dir/net/flow_table_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/net/flow_table_test.cpp.o.d"
+  "/root/repo/tests/net/topology_test.cpp" "tests/CMakeFiles/cicero_tests.dir/net/topology_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/net/topology_test.cpp.o.d"
+  "/root/repo/tests/sched/depgraph_test.cpp" "tests/CMakeFiles/cicero_tests.dir/sched/depgraph_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/sched/depgraph_test.cpp.o.d"
+  "/root/repo/tests/sched/scheduler_test.cpp" "tests/CMakeFiles/cicero_tests.dir/sched/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/sched/scheduler_test.cpp.o.d"
+  "/root/repo/tests/sim/cpu_test.cpp" "tests/CMakeFiles/cicero_tests.dir/sim/cpu_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/sim/cpu_test.cpp.o.d"
+  "/root/repo/tests/sim/network_test.cpp" "tests/CMakeFiles/cicero_tests.dir/sim/network_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/sim/network_test.cpp.o.d"
+  "/root/repo/tests/sim/simulator_test.cpp" "tests/CMakeFiles/cicero_tests.dir/sim/simulator_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/sim/simulator_test.cpp.o.d"
+  "/root/repo/tests/util/bytes_test.cpp" "tests/CMakeFiles/cicero_tests.dir/util/bytes_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/util/bytes_test.cpp.o.d"
+  "/root/repo/tests/util/rng_test.cpp" "tests/CMakeFiles/cicero_tests.dir/util/rng_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/util/rng_test.cpp.o.d"
+  "/root/repo/tests/util/serialize_test.cpp" "tests/CMakeFiles/cicero_tests.dir/util/serialize_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/util/serialize_test.cpp.o.d"
+  "/root/repo/tests/util/stats_test.cpp" "tests/CMakeFiles/cicero_tests.dir/util/stats_test.cpp.o" "gcc" "tests/CMakeFiles/cicero_tests.dir/util/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cicero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/cicero_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bft/CMakeFiles/cicero_bft.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/cicero_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cicero_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cicero_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cicero_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cicero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
