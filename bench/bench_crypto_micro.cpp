@@ -54,6 +54,82 @@ void BM_PointMul(benchmark::State& state) {
 }
 BENCHMARK(BM_PointMul);
 
+void BM_PointMulNaive(benchmark::State& state) {
+  // The seed 4-bit fixed-window ladder, for the before/after ratio.
+  Drbg d(3);
+  const Scalar k = d.next_scalar();
+  const Point p = Point::mul_gen(d.next_scalar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.mul_naive(k));
+  }
+}
+BENCHMARK(BM_PointMulNaive);
+
+void BM_MulGen(benchmark::State& state) {
+  Drbg d(30);
+  const Scalar k = d.next_scalar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Point::mul_gen(k));
+  }
+}
+BENCHMARK(BM_MulGen);
+
+void BM_MulGenNaive(benchmark::State& state) {
+  // k*G through the seed ladder: the denominator of the mul_gen speedup.
+  Drbg d(30);
+  const Scalar k = d.next_scalar();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Point::generator().mul_naive(k));
+  }
+}
+BENCHMARK(BM_MulGenNaive);
+
+void BM_DoubleScalarMul(benchmark::State& state) {
+  // a*G + b*P via Strauss–Shamir: the signature-verification kernel.
+  Drbg d(31);
+  const Scalar a = d.next_scalar(), b = d.next_scalar();
+  const Point p = Point::mul_gen(d.next_scalar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Point::mul_gen_add(a, p, b));
+  }
+}
+BENCHMARK(BM_DoubleScalarMul);
+
+void BM_LagrangeAll(benchmark::State& state) {
+  const auto t = static_cast<std::size_t>(state.range(0));
+  std::vector<ShareIndex> indices;
+  for (std::size_t i = 1; i <= t; ++i) indices.push_back(static_cast<ShareIndex>(2 * i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lagrange_all_at_zero(indices));
+  }
+}
+BENCHMARK(BM_LagrangeAll)->Arg(3)->Arg(7)->Arg(13);
+
+void BM_LagrangeSerial(benchmark::State& state) {
+  // One lagrange_at_zero (and thus one inversion) per index: the pattern
+  // the seed aggregation loops used.
+  const auto t = static_cast<std::size_t>(state.range(0));
+  std::vector<ShareIndex> indices;
+  for (std::size_t i = 1; i <= t; ++i) indices.push_back(static_cast<ShareIndex>(2 * i));
+  for (auto _ : state) {
+    std::vector<Scalar> out;
+    for (const ShareIndex i : indices) out.push_back(lagrange_at_zero(i, indices));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_LagrangeSerial)->Arg(3)->Arg(7)->Arg(13);
+
+void BM_BatchToAffine(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Drbg d(32);
+  std::vector<Point> pts;
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(Point::mul_gen(d.next_scalar()) * d.next_scalar());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Point::batch_to_bytes(pts));
+  }
+}
+BENCHMARK(BM_BatchToAffine)->Arg(4)->Arg(16)->Arg(64);
+
 void BM_SchnorrSign(benchmark::State& state) {
   Drbg d(4);
   const auto kp = SchnorrKeyPair::generate(d);

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Runs the crypto micro-benchmarks and records the results as JSON.
+#
+# Usage: scripts/run_benches.sh [build-dir] [output-json]
+#   build-dir    defaults to ./build (configured+built already)
+#   output-json  defaults to BENCH_crypto.json in the repo root
+#
+# The JSON output is the calibration input for core::CostModel (see
+# EXPERIMENTS.md "Calibration"); re-run this after touching src/crypto.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_json="${2:-$repo_root/BENCH_crypto.json}"
+
+bench_bin="$build_dir/bench/bench_crypto_micro"
+if [[ ! -x "$bench_bin" ]]; then
+  echo "error: $bench_bin not found or not executable." >&2
+  echo "Build first: cmake -B '$build_dir' -S '$repo_root' && cmake --build '$build_dir' -j" >&2
+  exit 1
+fi
+
+echo "Running bench_crypto_micro -> $out_json"
+"$bench_bin" \
+  --benchmark_format=json \
+  --benchmark_out="$out_json" \
+  --benchmark_out_format=json
+
+echo "Done. Summary (name: real_time):"
+python3 - "$out_json" <<'EOF'
+import json, sys
+data = json.load(open(sys.argv[1]))
+for b in data.get("benchmarks", []):
+    print(f"  {b['name']:<28} {b['real_time']:>12.0f} {b['time_unit']}")
+EOF

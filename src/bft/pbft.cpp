@@ -40,7 +40,7 @@ PbftReplica::PbftReplica(sim::Simulator& simulator, sim::NetworkSim& network,
 util::Bytes PbftReplica::sign_and_encode(const BftMessage& m) const {
   if (!config_.sign_messages) return m.encode({});
   const util::Bytes body = m.encode_body();
-  return m.encode(crypto::schnorr_sign(keys_.own.sk, body).to_bytes());
+  return m.encode(crypto::schnorr_sign(keys_.own, body).to_bytes());
 }
 
 void PbftReplica::send_to(ReplicaId target, const BftMessage& m) {

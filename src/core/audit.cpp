@@ -16,13 +16,13 @@ crypto::Digest AuditEntry::digest() const {
 }
 
 void AuditLog::append(const EventId& cause, const util::Bytes& update_bytes,
-                      const crypto::Scalar& sk) {
+                      const crypto::SchnorrKeyPair& key) {
   AuditEntry e;
   e.index = entries_.size();
   if (!entries_.empty()) e.prev = entries_.back().digest();
   e.cause = cause;
   e.update_digest = crypto::Sha256::hash(update_bytes);
-  e.sig = crypto::schnorr_sign(sk, crypto::digest_bytes(e.digest())).to_bytes();
+  e.sig = crypto::schnorr_sign(key, crypto::digest_bytes(e.digest())).to_bytes();
   entries_.push_back(std::move(e));
 }
 

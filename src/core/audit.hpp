@@ -45,7 +45,7 @@ class AuditLog {
   /// Appends a decision: `update_bytes` are the exact bytes the controller
   /// (threshold-)signed for the update it emitted in response to `cause`.
   void append(const EventId& cause, const util::Bytes& update_bytes,
-              const crypto::Scalar& sk);
+              const crypto::SchnorrKeyPair& key);
 
   const std::vector<AuditEntry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }

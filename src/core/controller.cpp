@@ -275,7 +275,7 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
     // Decision audit trail: record the exact update body we are about to
     // sign and emit (a mutating controller thereby signs evidence of its
     // own corruption; see core/audit.hpp).
-    audit_.append(msg.cause, update_signing_bytes(msg.update), config_.key.sk);
+    audit_.append(msg.cause, update_signing_bytes(msg.update), config_.key);
     if (config_.framework == FrameworkKind::kCicero ||
         config_.framework == FrameworkKind::kCiceroAgg) {
       if (config_.backend == ThresholdBackend::kFrost) {
@@ -543,7 +543,7 @@ void Controller::propose_membership(EventKind kind, std::uint32_t member) {
   e.kind = kind;
   e.member = member;
   if (config_.real_crypto) {
-    e.sig = crypto::schnorr_sign(config_.key.sk, e.body()).to_bytes();
+    e.sig = crypto::schnorr_sign(config_.key, e.body()).to_bytes();
   }
   events_submitted_.insert(e.id);
   replica_->submit(e.encode());

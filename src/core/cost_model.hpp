@@ -24,16 +24,24 @@ struct CostModel {
   sim::SimTime ctrl_msg_handling = sim::microseconds(20);
 
   // --- PKI (single-signer Schnorr) ---
-  sim::SimTime event_sign = sim::microseconds(60);
+  // sign/verify ratio follows the measured fixed-base-comb vs
+  // Strauss–Shamir split (~0.47, see EXPERIMENTS.md calibration table).
+  sim::SimTime event_sign = sim::microseconds(55);
   sim::SimTime event_verify = sim::microseconds(120);
-  sim::SimTime ack_sign = sim::microseconds(80);
-  sim::SimTime ack_verify = sim::microseconds(140);
+  sim::SimTime ack_sign = sim::microseconds(75);
+  sim::SimTime ack_verify = sim::microseconds(135);
 
   // --- threshold scheme ---
-  sim::SimTime partial_sign = sim::microseconds(240);
+  // partial_sign tracks the measured partial/sign ratio (~2x) of the
+  // optimized stack; aggregate_per_share reflects batch Lagrange plus the
+  // Strauss multi-scalar sum (~0.43x the seed per-share cost).
+  // threshold_verify keeps most of its pairing surcharge: the paper's real
+  // BLS verification is two pairings, which the EC-side optimizations do
+  // not touch.
+  sim::SimTime partial_sign = sim::microseconds(190);
   sim::SimTime partial_verify = sim::microseconds(80);
-  sim::SimTime aggregate_per_share = sim::microseconds(150);
-  sim::SimTime threshold_verify = sim::microseconds(520);
+  sim::SimTime aggregate_per_share = sim::microseconds(125);
+  sim::SimTime threshold_verify = sim::microseconds(500);
 
   // --- BFT ordering ---
   sim::SimTime bft_msg_cost = sim::microseconds(95);  ///< per message at a replica

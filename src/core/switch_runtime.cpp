@@ -64,7 +64,7 @@ void SwitchRuntime::report_link_failure(net::NodeIndex neighbor) {
 void SwitchRuntime::emit_event(Event e) {
   ++events_emitted_;
   if (config_.real_crypto) {
-    e.sig = crypto::schnorr_sign(config_.key.sk, e.body()).to_bytes();
+    e.sig = crypto::schnorr_sign(config_.key, e.body()).to_bytes();
   }
   // Miss detection + event signing cost, then transmit (Fig. 6a).
   cpu_.execute(config_.costs.packet_in_cost + config_.costs.event_sign,
@@ -251,7 +251,7 @@ void SwitchRuntime::send_ack(const sched::Update& update) {
   const bool sign = config_.framework == FrameworkKind::kCicero ||
                     config_.framework == FrameworkKind::kCiceroAgg;
   if (sign && config_.real_crypto) {
-    ack.sig = crypto::schnorr_sign(config_.key.sk, ack.body()).to_bytes();
+    ack.sig = crypto::schnorr_sign(config_.key, ack.body()).to_bytes();
   }
   const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
   cpu_.execute(cost, [this, ack = std::move(ack)] {

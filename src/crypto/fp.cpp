@@ -1,6 +1,7 @@
 #include "crypto/fp.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace cicero::crypto {
 
@@ -119,6 +120,27 @@ U256 MontgomeryCtx::inv(const U256& a) const {
   U256 e = m_;
   e.sub_assign(U256(2));  // m - 2
   return pow(a, e);
+}
+
+void MontgomeryCtx::batch_inv(U256* xs, std::size_t n) const {
+  if (n == 0) return;
+  // Prefix products: prefix[i] = xs[0] * ... * xs[i].
+  std::vector<U256> prefix(n);
+  prefix[0] = xs[0];
+  for (std::size_t i = 1; i < n; ++i) prefix[i] = mul(prefix[i - 1], xs[i]);
+  if (prefix[n - 1].is_zero()) {
+    // Some element is zero; report without clobbering the inputs.
+    throw std::domain_error("MontgomeryCtx::batch_inv: zero element");
+  }
+  // acc = (xs[0] * ... * xs[n-1])^-1, peeled back one element at a time:
+  // xs[i]^-1 = acc * prefix[i-1], then acc *= xs[i] (pre-update value).
+  U256 acc = inv(prefix[n - 1]);
+  for (std::size_t i = n; i-- > 1;) {
+    const U256 x = xs[i];
+    xs[i] = mul(acc, prefix[i - 1]);
+    acc = mul(acc, x);
+  }
+  xs[0] = acc;
 }
 
 U256 MontgomeryCtx::reduce(const U256& a) const {

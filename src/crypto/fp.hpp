@@ -41,6 +41,12 @@ class MontgomeryCtx {
   /// output in Montgomery form.  Throws on zero.
   U256 inv(const U256& a) const;
 
+  /// Montgomery's batch-inversion trick: inverts all `n` elements in place
+  /// using a single field inversion plus 3(n-1) multiplications.  Inputs
+  /// and outputs in Montgomery form.  Throws std::domain_error if any
+  /// element is zero (the array is left unmodified in that case).
+  void batch_inv(U256* xs, std::size_t n) const;
+
   /// Reduces an arbitrary (non-Montgomery) 256-bit value mod m.
   U256 reduce(const U256& a) const;
 

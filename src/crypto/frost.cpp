@@ -142,13 +142,24 @@ FrostSessionKeys frost_session_keys(const util::Bytes& msg,
   for (const auto& c : session) indices.push_back(c.signer);
 
   FrostSessionKeys keys;
+  const std::vector<Scalar> lambda = lagrange_all_at_zero(indices);
+  // R = sum_i D_i + sum_i rho_i E_i; the second sum is a single Strauss
+  // multi-scalar multiplication.
+  std::vector<Point> es;
+  std::vector<Scalar> rhos;
+  es.reserve(session.size());
+  rhos.reserve(session.size());
   Point r = Point::infinity();
-  for (const auto& c : session) {
+  for (std::size_t i = 0; i < session.size(); ++i) {
+    const auto& c = session[i];
     const Scalar rho = binding_factor(c.signer, msg, transcript);
     keys.rho[c.signer] = rho;
-    keys.lambda[c.signer] = lagrange_at_zero(c.signer, indices);
-    r = r + c.d + c.e * rho;
+    keys.lambda[c.signer] = lambda[i];
+    es.push_back(c.e);
+    rhos.push_back(rho);
+    r = r + c.d;
   }
+  r = r + Point::multi_mul(es, rhos);
   keys.r = r;
   keys.c = challenge(r, group_public_key, msg);
   return keys;
@@ -168,10 +179,11 @@ bool frost_verify_partial(const util::Bytes& msg, const std::vector<FrostCommitm
   } catch (const std::invalid_argument&) {
     return false;
   }
-  // z_i*G == D_i + ρ_i E_i + λ_i c * (x_i G)
-  const Point lhs = Point::mul_gen(z_i);
-  const Point rhs = ours->d + ours->e * keys.rho.at(signer) +
-                    verification_share * (keys.lambda.at(signer) * keys.c);
+  // z_i*G == D_i + ρ_i E_i + λ_i c * (x_i G), rearranged so the generator
+  // and ρ_i E_i terms fold into one Strauss–Shamir double-scalar mult:
+  // z_i*G - ρ_i E_i == D_i + λ_i c * (x_i G).
+  const Point lhs = Point::mul_gen_add(z_i, ours->e, -keys.rho.at(signer));
+  const Point rhs = ours->d + verification_share * (keys.lambda.at(signer) * keys.c);
   return lhs == rhs;
 }
 
@@ -198,7 +210,8 @@ bool frost_verify(const Point& group_public_key, const util::Bytes& msg,
                   const FrostSignature& sig) {
   if (sig.r.is_infinity() || group_public_key.is_infinity()) return false;
   const Scalar c = challenge(sig.r, group_public_key, msg);
-  return Point::mul_gen(sig.z) == sig.r + group_public_key * c;
+  // z*G - c*PK == R as a single Strauss–Shamir double-scalar mult.
+  return Point::mul_gen_add(sig.z, group_public_key, -c) == sig.r;
 }
 
 }  // namespace cicero::crypto

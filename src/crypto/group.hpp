@@ -13,6 +13,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/fp.hpp"
 #include "crypto/sha256.hpp"
@@ -44,6 +45,10 @@ class Scalar {
   Scalar operator-() const;
   /// Multiplicative inverse; throws std::domain_error on zero.
   Scalar inverse() const;
+  /// Inverts every scalar in `xs` in place with one field inversion total
+  /// (Montgomery's trick).  Throws std::domain_error if any element is
+  /// zero, leaving `xs` unmodified.
+  static void batch_inverse(std::vector<Scalar>& xs);
 
   const U256& raw() const { return v_; }
   util::Bytes to_bytes() const;  ///< 32-byte big-endian encoding.
@@ -67,12 +72,40 @@ class Point {
   Point operator+(const Point& o) const;
   Point operator-() const;
   Point operator-(const Point& o) const { return *this + (-o); }
-  /// Scalar multiplication (double-and-add over the scalar's bits).
+  /// Scalar multiplication: width-5 wNAF over an odd-multiples table.
   Point operator*(const Scalar& k) const;
   bool operator==(const Point& o) const;
 
-  /// Convenience: k * G.
-  static Point mul_gen(const Scalar& k) { return generator() * k; }
+  /// k * G via a precomputed fixed-base comb table for the generator
+  /// (64 4-bit windows, all-affine table, no doublings at run time).
+  static Point mul_gen(const Scalar& k);
+
+  /// a*G + b*P via Strauss–Shamir interleaving: one shared doubling chain,
+  /// wNAF digits for both scalars, precomputed affine odd multiples of G.
+  /// Costs roughly one variable-base multiplication instead of two — this
+  /// is the signature-verification kernel.
+  static Point mul_gen_add(const Scalar& a, const Point& p, const Scalar& b);
+
+  /// Multi-scalar multiplication sum_i ks[i] * pts[i] by Strauss
+  /// interleaving: one shared doubling chain for the whole sum, so n-term
+  /// aggregations cost ~256 doublings total instead of ~256 per term.
+  /// Infinity points and zero scalars are skipped.
+  static Point multi_mul(const std::vector<Point>& pts, const std::vector<Scalar>& ks);
+
+  /// Reference scalar multiplication (the seed implementation: 4-bit
+  /// fixed-window double-and-add).  Kept for differential tests and as the
+  /// baseline in bench_crypto_micro; not used on any hot path.
+  Point mul_naive(const Scalar& k) const;
+
+  /// Normalizes every finite point to Z = 1 in place, using one field
+  /// inversion total (Montgomery batch inversion).  Later additions with a
+  /// normalized right-hand side take the cheaper mixed-addition path, and
+  /// to_bytes becomes inversion-free.
+  static void batch_normalize(std::vector<Point>& pts);
+
+  /// Serializes a vector of points with a single field inversion (batch
+  /// to-affine + encode); element-wise identical to calling to_bytes.
+  static std::vector<util::Bytes> batch_to_bytes(std::vector<Point> pts);
 
   /// True iff the (affine) point satisfies the curve equation.
   bool on_curve() const;

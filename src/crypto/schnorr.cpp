@@ -41,12 +41,12 @@ SchnorrKeyPair SchnorrKeyPair::generate(Drbg& drbg) {
   return SchnorrKeyPair{sk, Point::mul_gen(sk)};
 }
 
-SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg) {
+SchnorrSignature schnorr_sign(const SchnorrKeyPair& kp, const util::Bytes& msg) {
   // Deterministic nonce: k = H2S(HMAC(sk, msg)); retry on the (negligible)
   // zero case with a counter.
   Scalar k;
   for (std::uint8_t ctr = 0;; ++ctr) {
-    util::Bytes keyed = sk.to_bytes();
+    util::Bytes keyed = kp.sk.to_bytes();
     keyed.push_back(ctr);
     const Digest d = hmac_sha256(keyed, msg);
     util::Bytes db(d.begin(), d.end());
@@ -54,15 +54,21 @@ SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg) {
     if (!k.is_zero()) break;
   }
   const Point r = Point::mul_gen(k);
-  const Scalar e = challenge(r, Point::mul_gen(sk), msg);
-  const Scalar s = k + e * sk;
+  const Scalar e = challenge(r, kp.pk, msg);
+  const Scalar s = k + e * kp.sk;
   return SchnorrSignature{r, s};
+}
+
+SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg) {
+  return schnorr_sign(SchnorrKeyPair{sk, Point::mul_gen(sk)}, msg);
 }
 
 bool schnorr_verify(const Point& pk, const util::Bytes& msg, const SchnorrSignature& sig) {
   if (pk.is_infinity() || sig.r.is_infinity()) return false;
   const Scalar e = challenge(sig.r, pk, msg);
-  return Point::mul_gen(sig.s) == sig.r + pk * e;
+  // s*G == R + e*PK, checked as s*G - e*PK == R so the left side is a
+  // single Strauss–Shamir double-scalar multiplication.
+  return Point::mul_gen_add(sig.s, pk, -e) == sig.r;
 }
 
 }  // namespace cicero::crypto

@@ -33,7 +33,11 @@ struct SchnorrKeyPair {
   static SchnorrKeyPair generate(Drbg& drbg);
 };
 
-/// Signs `msg` with `sk` (deterministic nonce).
+/// Signs `msg` with a full key pair (deterministic nonce).  Preferred:
+/// avoids re-deriving the public key for the challenge hash on every call.
+SchnorrSignature schnorr_sign(const SchnorrKeyPair& kp, const util::Bytes& msg);
+
+/// Signs `msg` with `sk` alone; derives the public key first.
 SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg);
 
 /// Verifies a signature against `pk`.

@@ -26,6 +26,9 @@ std::vector<Point> Polynomial::commitments() const {
   std::vector<Point> out;
   out.reserve(coeffs_.size());
   for (const auto& c : coeffs_) out.push_back(Point::mul_gen(c));
+  // One shared inversion; downstream commitment_eval additions then take
+  // the mixed-addition fast path, and serialization is inversion-free.
+  Point::batch_normalize(out);
   return out;
 }
 
@@ -61,6 +64,46 @@ Scalar lagrange_at_zero(ShareIndex i, const std::vector<ShareIndex>& indices) {
   return num * den.inverse();
 }
 
+std::vector<Scalar> lagrange_all_at_zero(const std::vector<ShareIndex>& indices) {
+  const std::size_t t = indices.size();
+  if (t == 0) throw std::invalid_argument("lagrange_all_at_zero: empty index set");
+  std::vector<Scalar> xs;
+  xs.reserve(t);
+  std::unordered_set<ShareIndex> seen;
+  for (const ShareIndex i : indices) {
+    if (i == 0) throw std::invalid_argument("lagrange_all_at_zero: zero index");
+    if (!seen.insert(i).second) {
+      throw std::invalid_argument("lagrange_all_at_zero: duplicate index");
+    }
+    xs.push_back(Scalar::from_u64(i));
+  }
+  // λ_i(0) = (prod_{j≠i} x_j) / (prod_{j≠i} (x_j - x_i)).  Numerators via
+  // prefix/suffix products; all denominators inverted with one batch
+  // inversion instead of t Fermat inversions.
+  std::vector<Scalar> prefix(t), suffix(t), dens(t);
+  Scalar acc = Scalar::one();
+  for (std::size_t i = 0; i < t; ++i) {
+    prefix[i] = acc;
+    acc = acc * xs[i];
+  }
+  acc = Scalar::one();
+  for (std::size_t i = t; i-- > 0;) {
+    suffix[i] = acc;
+    acc = acc * xs[i];
+  }
+  for (std::size_t i = 0; i < t; ++i) {
+    Scalar den = Scalar::one();
+    for (std::size_t j = 0; j < t; ++j) {
+      if (j != i) den = den * (xs[j] - xs[i]);
+    }
+    dens[i] = den;
+  }
+  Scalar::batch_inverse(dens);
+  std::vector<Scalar> out(t);
+  for (std::size_t i = 0; i < t; ++i) out[i] = prefix[i] * suffix[i] * dens[i];
+  return out;
+}
+
 Scalar shamir_reconstruct(const std::vector<SecretShare>& shares) {
   if (shares.empty()) throw std::invalid_argument("shamir_reconstruct: no shares");
   std::vector<ShareIndex> indices;
@@ -73,9 +116,10 @@ Scalar shamir_reconstruct(const std::vector<SecretShare>& shares) {
     }
     indices.push_back(s.index);
   }
+  const std::vector<Scalar> lambda = lagrange_all_at_zero(indices);
   Scalar secret = Scalar::zero();
-  for (const auto& s : shares) {
-    secret = secret + lagrange_at_zero(s.index, indices) * s.value;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    secret = secret + lambda[i] * shares[i].value;
   }
   return secret;
 }

@@ -56,6 +56,12 @@ std::vector<SecretShare> shamir_split(const Scalar& secret, std::size_t t, std::
 /// `indices` (all distinct, nonzero); `i` must appear in `indices`.
 Scalar lagrange_at_zero(ShareIndex i, const std::vector<ShareIndex>& indices);
 
+/// All Lagrange coefficients λ_i(0) for the index set at once, returned in
+/// the order of `indices`.  Uses prefix/suffix numerator products and one
+/// batch inversion, so the whole vector costs a single field inversion
+/// instead of one per index.  Throws on zero or duplicate indices.
+std::vector<Scalar> lagrange_all_at_zero(const std::vector<ShareIndex>& indices);
+
 /// Reconstructs the secret from >= t shares (throws on duplicate indices).
 Scalar shamir_reconstruct(const std::vector<SecretShare>& shares);
 

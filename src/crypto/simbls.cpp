@@ -8,10 +8,21 @@ namespace cicero::crypto {
 
 namespace {
 Scalar hash_scalar(const util::Bytes& msg) {
+  // Every step of a SimBLS flow (partial sign, t partial verifies, final
+  // verify) hashes the same message; memoize the last message per thread so
+  // repeat calls cost a comparison instead of two SHA-256 passes + wide
+  // reduction.
+  thread_local util::Bytes cached_msg;
+  thread_local Scalar cached_scalar;
+  thread_local bool cached = false;
+  if (cached && cached_msg == msg) return cached_scalar;
   util::Writer w;
   w.str("cicero/simbls");
   w.bytes(msg);
-  return Scalar::hash_to_scalar(w.data());
+  cached_scalar = Scalar::hash_to_scalar(w.data());
+  cached_msg = msg;
+  cached = true;
+  return cached_scalar;
 }
 }  // namespace
 
@@ -68,13 +79,18 @@ std::optional<util::Bytes> SimBlsScheme::aggregate(const util::Bytes& msg,
   indices.reserve(quorum.size());
   for (const auto* p : quorum) indices.push_back(p->signer);
 
-  Point agg = Point::infinity();
+  // All Lagrange coefficients at once (one field inversion for the whole
+  // quorum), then one Strauss multi-scalar multiplication for the weighted
+  // sum (one shared doubling chain instead of one per share).
+  const std::vector<Scalar> lambda = lagrange_all_at_zero(indices);
+  std::vector<Point> sigs;
+  sigs.reserve(quorum.size());
   for (const auto* p : quorum) {
     const auto sig = Point::from_bytes(p->payload);
     if (!sig) return std::nullopt;
-    agg = agg + *sig * lagrange_at_zero(p->signer, indices);
+    sigs.push_back(*sig);
   }
-  return agg.to_bytes();
+  return Point::multi_mul(sigs, lambda).to_bytes();
 }
 
 bool SimBlsScheme::verify(const Point& group_public_key, const util::Bytes& msg,

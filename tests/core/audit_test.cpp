@@ -19,7 +19,7 @@ class AuditTest : public ::testing::Test {
     AuditLog log;
     for (int i = 0; i < entries; ++i) {
       log.append(EventId{1, static_cast<std::uint64_t>(i)},
-                 util::to_bytes("update-" + std::to_string(i)), kp_.sk);
+                 util::to_bytes("update-" + std::to_string(i)), kp_);
     }
     return log;
   }
@@ -76,21 +76,21 @@ TEST_F(AuditTest, HonestLogsAgree) {
   crypto::Drbg d(79);
   const auto kp2 = crypto::SchnorrKeyPair::generate(d);
   AuditLog a, b;
-  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
-  a.append(EventId{1, 1}, util::to_bytes("u2"), kp_.sk);
-  a.append(EventId{1, 2}, util::to_bytes("u3"), kp_.sk);
-  b.append(EventId{1, 1}, util::to_bytes("u2"), kp2.sk);  // different order
-  b.append(EventId{1, 1}, util::to_bytes("u1"), kp2.sk);
-  b.append(EventId{1, 2}, util::to_bytes("u3"), kp2.sk);
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_);
+  a.append(EventId{1, 1}, util::to_bytes("u2"), kp_);
+  a.append(EventId{1, 2}, util::to_bytes("u3"), kp_);
+  b.append(EventId{1, 1}, util::to_bytes("u2"), kp2);  // different order
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp2);
+  b.append(EventId{1, 2}, util::to_bytes("u3"), kp2);
   EXPECT_FALSE(AuditLog::first_divergence(a.entries(), b.entries()).has_value());
 }
 
 TEST_F(AuditTest, DivergenceLocatesEvent) {
   AuditLog a, b;
-  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
-  a.append(EventId{1, 2}, util::to_bytes("honest"), kp_.sk);
-  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
-  b.append(EventId{1, 2}, util::to_bytes("corrupted"), kp_.sk);
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_);
+  a.append(EventId{1, 2}, util::to_bytes("honest"), kp_);
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_);
+  b.append(EventId{1, 2}, util::to_bytes("corrupted"), kp_);
   const auto div = AuditLog::first_divergence(a.entries(), b.entries());
   ASSERT_TRUE(div.has_value());
   EXPECT_EQ(*div, (EventId{1, 2}));
@@ -98,9 +98,9 @@ TEST_F(AuditTest, DivergenceLocatesEvent) {
 
 TEST_F(AuditTest, LaggingLogIsNotDivergence) {
   AuditLog a, b;
-  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);
-  a.append(EventId{1, 2}, util::to_bytes("u2"), kp_.sk);
-  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_.sk);  // b is behind
+  a.append(EventId{1, 1}, util::to_bytes("u1"), kp_);
+  a.append(EventId{1, 2}, util::to_bytes("u2"), kp_);
+  b.append(EventId{1, 1}, util::to_bytes("u1"), kp_);  // b is behind
   EXPECT_FALSE(AuditLog::first_divergence(a.entries(), b.entries()).has_value());
 }
 
