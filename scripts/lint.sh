@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Entry point for the repo's static checks.  Today that is ct-lint (the
+# constant-time / secret-taint policy scanner); run both the tree scan and
+# the linter's own self-test so a silently-broken linter can't pass CI.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+python3 "${ROOT}/tools/ctlint/ctlint.py" --self-test
+python3 "${ROOT}/tools/ctlint/ctlint.py" --root "${ROOT}"

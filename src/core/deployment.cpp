@@ -139,7 +139,7 @@ void Deployment::build_plane(net::DomainId domain,
       shares_[plane.member_ids[i]] = results[i].share;
     }
   } else {
-    const crypto::Scalar secret = drbg_.next_scalar();
+    const ct::Secret<crypto::Scalar> secret = drbg_.next_secret_scalar();
     plane.group_pk = crypto::Point::mul_gen(secret);
     crypto::Polynomial poly = crypto::Polynomial::random(secret, t, drbg_);
     for (const std::uint32_t id : plane.member_ids) {
@@ -323,7 +323,6 @@ void Deployment::on_switch_applied(net::NodeIndex sw, const sched::Update& updat
   auto [begin, end] = waiting_flows_.equal_range(key);
   std::vector<std::size_t> ready;
   for (auto it = begin; it != end; ++it) {
-    FlowRecord& r = records_[it->second];
     const auto& path = path_cache_.at(key);
     bool all = true;
     for (std::size_t p = 1; p + 1 < path.size(); ++p) {

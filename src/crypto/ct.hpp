@@ -1,0 +1,148 @@
+// Constant-time primitives and the secret-taint type discipline.
+//
+// Two things live here, and together they are the repo's defense against
+// the classic threshold-crypto footgun: secret-dependent branches and
+// secret-dependent table indices in exactly the kernels PR 1 made fast
+// (fixed-base comb, wNAF, Strauss–Shamir).
+//
+//  1. `cicero::ct` word-level primitives: branch-free select, conditional
+//     move, equality masks, and swaps over uint64_t words.  All secret-
+//     indexed table reads in crypto/ are full-scan cmov lookups built on
+//     these.  A `value_barrier` defeats compiler "oh, that mask is 0/1,
+//     let me re-introduce the branch" pattern-matching.
+//
+//  2. `cicero::ct::Secret<T>`: a taint wrapper for key material.  Wrapping
+//     is implicit (classifying public data is always safe); *unwrapping*
+//     requires a named `declassify()` call, which the in-repo ct-lint tool
+//     only permits inside src/crypto/.  Everything that would let a secret
+//     influence control flow or memory addressing is deleted: boolean
+//     conversion, comparisons, subscripting.  A secret-dependent branch is
+//     therefore a *compile error*, not a code-review hope.  `Secret`
+//     additionally zeroizes its storage on destruction (via secure_wipe)
+//     for trivially-copyable payloads, so threading it through key structs
+//     also buys wipe-on-destroy.
+//
+// The arithmetic forwarding operators implement taint propagation:
+// secret ⊕ secret and secret ⊕ public are secret.  This lets signing
+// equations like  z = d + e·ρ + λ·c·x  be written naturally over
+// `Secret<Scalar>` with the taint tracked by the type system.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace cicero::ct {
+
+/// Optimization barrier: returns `x` but the compiler must assume it could
+/// be anything, so value-range analysis cannot turn mask arithmetic back
+/// into branches.
+inline std::uint64_t value_barrier(std::uint64_t x) {
+  asm volatile("" : "+r"(x));
+  return x;
+}
+
+/// All-ones mask if `x != 0`, else 0.  Branch-free.
+inline std::uint64_t mask_nonzero(std::uint64_t x) {
+  x = value_barrier(x);
+  // (x | -x) has its top bit set iff x != 0; arithmetic shift smears it.
+  return static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(x | (~x + 1)) >> 63);
+}
+
+/// All-ones mask if `x == 0`, else 0.
+inline std::uint64_t mask_zero(std::uint64_t x) { return ~mask_nonzero(x); }
+
+/// All-ones mask if `a == b`, else 0.
+inline std::uint64_t mask_eq(std::uint64_t a, std::uint64_t b) { return mask_zero(a ^ b); }
+
+/// All-ones mask from a 0/1 condition bit.
+inline std::uint64_t mask_bit(std::uint64_t bit) { return mask_nonzero(bit & 1); }
+
+/// Branch-free select: `a` where mask is all-ones, `b` where mask is 0.
+inline std::uint64_t ct_select(std::uint64_t mask, std::uint64_t a, std::uint64_t b) {
+  return (a & mask) | (b & ~mask);
+}
+
+/// Conditional move: dst = src where mask is all-ones, unchanged where 0.
+inline void ct_cmov(std::uint64_t& dst, std::uint64_t src, std::uint64_t mask) {
+  dst = ct_select(mask, src, dst);
+}
+
+/// Conditional swap of two words under an all-ones/zero mask.
+inline void ct_swap(std::uint64_t& a, std::uint64_t& b, std::uint64_t mask) {
+  const std::uint64_t t = (a ^ b) & mask;
+  a ^= t;
+  b ^= t;
+}
+
+/// Constant-time equality over equal-length byte buffers: the time depends
+/// only on `len`, never on the mismatch position.
+inline bool ct_eq(const std::uint8_t* a, const std::uint8_t* b, std::size_t len) {
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < len; ++i) acc |= static_cast<std::uint64_t>(a[i] ^ b[i]);
+  return mask_zero(acc) != 0;
+}
+
+/// Taint wrapper for secret values.  See the file comment for the rules.
+template <typename T>
+class Secret {
+ public:
+  constexpr Secret() = default;
+  // Implicit classification: turning public data into a secret is safe.
+  constexpr Secret(const T& v) : v_(v) {}  // NOLINT(google-explicit-constructor)
+  constexpr Secret(T&& v) : v_(std::move(v)) {}  // NOLINT(google-explicit-constructor)
+
+  Secret(const Secret&) = default;
+  Secret(Secret&&) = default;
+  Secret& operator=(const Secret&) = default;
+  Secret& operator=(Secret&&) = default;
+
+  ~Secret() {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      util::secure_wipe(static_cast<void*>(&v_), sizeof(T));
+    }
+  }
+
+  /// The only way out of the taint.  ct-lint restricts call sites of this
+  /// to src/crypto/ (kernel implementations and protocol outputs that are
+  /// public by construction, e.g. a finished signature scalar).
+  const T& declassify() const { return v_; }
+
+  // --- deleted footguns ----------------------------------------------------
+  // No boolean tests (if/while/&&/|| on a secret), no comparisons (early-
+  // exit equality is the canonical timing leak), no subscripting a table by
+  // a secret.  Each of these is a compile error by design.
+  explicit operator bool() const = delete;
+  template <typename U>
+  bool operator==(const Secret<U>&) const = delete;
+  template <typename U>
+  bool operator!=(const Secret<U>&) const = delete;
+  template <typename U>
+  bool operator<(const Secret<U>&) const = delete;
+  bool operator==(const T&) const = delete;
+  bool operator!=(const T&) const = delete;
+  bool operator<(const T&) const = delete;
+  template <typename U>
+  void operator[](const U&) const = delete;
+
+  // --- taint-propagating arithmetic ---------------------------------------
+  friend Secret operator+(const Secret& a, const Secret& b) { return Secret(a.v_ + b.v_); }
+  friend Secret operator-(const Secret& a, const Secret& b) { return Secret(a.v_ - b.v_); }
+  friend Secret operator*(const Secret& a, const Secret& b) { return Secret(a.v_ * b.v_); }
+  friend Secret operator+(const Secret& a, const T& b) { return Secret(a.v_ + b); }
+  friend Secret operator-(const Secret& a, const T& b) { return Secret(a.v_ - b); }
+  friend Secret operator*(const Secret& a, const T& b) { return Secret(a.v_ * b); }
+  friend Secret operator+(const T& a, const Secret& b) { return Secret(a + b.v_); }
+  friend Secret operator-(const T& a, const Secret& b) { return Secret(a - b.v_); }
+  friend Secret operator*(const T& a, const Secret& b) { return Secret(a * b.v_); }
+  Secret operator-() const { return Secret(-v_); }
+
+ private:
+  T v_{};
+};
+
+}  // namespace cicero::ct

@@ -17,8 +17,17 @@ DkgParticipant::DkgParticipant(ShareIndex id, std::vector<ShareIndex> members,
   }
 }
 
+DkgParticipant::~DkgParticipant() {
+  // Our dealt polynomial and the sub-shares we received sum to our final
+  // key share; both are key material and get a mandatory wipe.
+  if (!own_coeffs_.empty()) {
+    util::secure_wipe(own_coeffs_.data(), own_coeffs_.size() * sizeof(Scalar));
+  }
+  for (auto& [dealer, sub] : received_) util::secure_wipe(&sub, sizeof(Scalar));
+}
+
 DkgDeal DkgParticipant::make_deal() {
-  const Polynomial poly = Polynomial::random(drbg_->next_scalar(), threshold_, *drbg_);
+  const Polynomial poly = Polynomial::random(drbg_->next_secret_scalar(), threshold_, *drbg_);
   own_coeffs_ = poly.coefficients();
   DkgDeal deal;
   deal.dealer = id_;
@@ -31,8 +40,12 @@ bool DkgParticipant::receive_deal(const DkgDeal& deal) {
   if (deal.commitments.size() != threshold_) return false;
   const auto it = deal.shares.find(id_);
   if (it == deal.shares.end()) return false;
-  // Feldman check: share * G == sum_j id^j * A_j.
-  if (!(Point::mul_gen(it->second) == commitment_eval(deal.commitments, id_))) return false;
+  // Feldman check: share * G == sum_j id^j * A_j.  The dealt sub-share is
+  // secret, so its generator multiple goes through the constant-time comb.
+  if (!(Point::mul_gen(ct::Secret<Scalar>(it->second)) ==
+        commitment_eval(deal.commitments, id_))) {
+    return false;
+  }
   received_[deal.dealer] = it->second;
   commitments_[deal.dealer] = deal.commitments;
   return true;
@@ -43,7 +56,9 @@ DkgParticipant::Result DkgParticipant::finalize(const std::vector<ShareIndex>& q
     throw std::invalid_argument("DkgParticipant::finalize: |QUAL| < t");
   }
   Result result;
-  Scalar share = Scalar::zero();
+  // Sub-shares are secret; the sum IS our key share, so it stays
+  // taint-wrapped all the way into the SecretShare.
+  ct::Secret<Scalar> share = Scalar::zero();
   Point pk = Point::infinity();
   for (const ShareIndex dealer : qualified) {
     const auto sh = received_.find(dealer);
@@ -98,6 +113,8 @@ ReshareDeal make_reshare_deal(const SecretShare& old_share,
     throw std::invalid_argument("make_reshare_deal: need 1 <= t_new <= n_new");
   }
   const Scalar lambda = lagrange_at_zero(old_share.index, quorum);
+  // λ (public) times the old share (secret) stays tainted into the dealt
+  // polynomial's constant term.
   const Polynomial poly = Polynomial::random(lambda * old_share.value, new_threshold, drbg);
   ReshareDeal deal;
   deal.dealer = old_share.index;
@@ -120,7 +137,8 @@ bool verify_reshare_deal(const ReshareDeal& deal, const Point& old_verification_
   if (!(deal.commitments.front() == old_verification_share * lambda)) return false;
   const auto it = deal.shares.find(receiver);
   if (it == deal.shares.end()) return false;
-  return Point::mul_gen(it->second) == commitment_eval(deal.commitments, receiver);
+  return Point::mul_gen(ct::Secret<Scalar>(it->second)) ==
+         commitment_eval(deal.commitments, receiver);
 }
 
 DkgParticipant::Result reshare_finalize(const std::vector<ReshareDeal>& deals,
@@ -128,7 +146,7 @@ DkgParticipant::Result reshare_finalize(const std::vector<ReshareDeal>& deals,
                                         const std::vector<ShareIndex>& new_members) {
   if (deals.empty()) throw std::invalid_argument("reshare_finalize: no deals");
   DkgParticipant::Result result;
-  Scalar share = Scalar::zero();
+  ct::Secret<Scalar> share = Scalar::zero();
   Point pk = Point::infinity();
   for (const auto& d : deals) {
     const auto it = d.shares.find(receiver);

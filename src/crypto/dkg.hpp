@@ -46,6 +46,12 @@ class DkgParticipant {
   DkgParticipant(ShareIndex id, std::vector<ShareIndex> members, std::size_t threshold,
                  Drbg& drbg);
 
+  ~DkgParticipant();
+  DkgParticipant(const DkgParticipant&) = default;
+  DkgParticipant(DkgParticipant&&) = default;
+  DkgParticipant& operator=(const DkgParticipant&) = default;
+  DkgParticipant& operator=(DkgParticipant&&) = default;
+
   ShareIndex id() const { return id_; }
   std::size_t threshold() const { return threshold_; }
 
@@ -73,8 +79,8 @@ class DkgParticipant {
   std::vector<ShareIndex> members_;
   std::size_t threshold_;
   Drbg* drbg_;
-  std::vector<Scalar> own_coeffs_;                       // our polynomial
-  std::map<ShareIndex, Scalar> received_;                // dealer -> sub-share
+  std::vector<Scalar> own_coeffs_;                       // our polynomial (wiped in dtor)
+  std::map<ShareIndex, Scalar> received_;                // dealer -> sub-share (wiped in dtor)
   std::map<ShareIndex, std::vector<Point>> commitments_;  // dealer -> commitments
 };
 

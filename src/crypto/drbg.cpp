@@ -40,10 +40,14 @@ util::Bytes Drbg::generate(std::size_t len) {
   return out;
 }
 
+Drbg::~Drbg() { util::secure_wipe(key_.data(), key_.size()); }
+
 Scalar Drbg::next_scalar_any() {
   std::uint8_t wide[64];
   generate(wide, sizeof(wide));
-  return Scalar::from_wide_bytes(wide);
+  const Scalar s = Scalar::from_wide_bytes(wide);
+  util::secure_wipe(wide, sizeof(wide));
+  return s;
 }
 
 Scalar Drbg::next_scalar() {
@@ -51,6 +55,12 @@ Scalar Drbg::next_scalar() {
     const Scalar s = next_scalar_any();
     if (!s.is_zero()) return s;
   }
+}
+
+ct::Secret<Scalar> Drbg::next_secret_scalar() {
+  // Rejection sampling on zero only: the retry branch reveals nothing but
+  // "the candidate was 0", probability ~2^-256.
+  return ct::Secret<Scalar>(next_scalar());
 }
 
 }  // namespace cicero::crypto

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "crypto/ct.hpp"
 #include "crypto/group.hpp"
 #include "crypto/sha256.hpp"
 #include "util/bytes.hpp"
@@ -21,6 +22,15 @@ class Drbg {
   /// Seeds from a 64-bit value (convenience for simulator wiring).
   explicit Drbg(std::uint64_t seed);
 
+  /// Wipes the internal key (anyone holding it can reproduce every output
+  /// this DRBG ever generated, including key material).
+  ~Drbg();
+
+  Drbg(const Drbg&) = default;
+  Drbg(Drbg&&) = default;
+  Drbg& operator=(const Drbg&) = default;
+  Drbg& operator=(Drbg&&) = default;
+
   /// Fills `out` with `len` pseudo-random bytes.
   void generate(std::uint8_t* out, std::size_t len);
   util::Bytes generate(std::size_t len);
@@ -29,6 +39,11 @@ class Drbg {
   Scalar next_scalar();
   /// Uniform scalar, possibly zero.
   Scalar next_scalar_any();
+
+  /// Uniform nonzero scalar, classified at birth: use this for key shares,
+  /// signing nonces, and polynomial coefficients so the secret-taint type
+  /// discipline covers the value from generation to wipe.
+  ct::Secret<Scalar> next_secret_scalar();
 
  private:
   Digest key_;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "crypto/ct.hpp"
+
 namespace cicero::crypto {
 
 using u128 = unsigned __int128;
@@ -62,15 +64,18 @@ U256 MontgomeryCtx::redc(const U512& t) const {
     }
   }
 
-  // value = tw[8]*2^256 + tw[7..4]; reduce below m with 5-limb subtraction.
-  // For inputs t < m*R (all callers except reduce_wide) a single iteration
-  // suffices; the loop keeps redc total for any t < 2^512.
-  std::uint64_t hi = tw[8];
+  // value = tw[8]*2^256 + tw[7..4] < 2m for every caller (all feed t < m*R),
+  // so at most one subtraction of m is needed.  Do it branch-free: compute
+  // r - m unconditionally and select on (hi | r >= m).  A second conditional
+  // round is kept as defense in depth; with value < 2m it is always a no-op.
+  const std::uint64_t hi = tw[8];
   U256 r{tw[4], tw[5], tw[6], tw[7]};
-  while (hi != 0 || r >= m_) {
-    const std::uint64_t borrow = r.sub_assign(m_);
-    hi -= borrow;
-  }
+  U256 s = r;
+  const std::uint64_t borrow = s.sub_assign(m_);
+  U256::cmov(r, s, ct::mask_nonzero(hi | (borrow ^ 1)));
+  s = r;
+  const std::uint64_t borrow2 = s.sub_assign(m_);
+  U256::cmov(r, s, ct::mask_zero(borrow2));
   return r;
 }
 
@@ -83,28 +88,40 @@ U256 MontgomeryCtx::from_mont(const U256& a) const {
 }
 
 U256 MontgomeryCtx::add(const U256& a, const U256& b) const {
+  // Branch-free correction: with a, b < m the sum is < 2m, so subtract m
+  // exactly when the add carried out or the wrapped sum is still >= m.
   U256 r = a;
   const std::uint64_t carry = r.add_assign(b);
-  if (carry != 0 || r >= m_) r.sub_assign(m_);
+  U256 t = r;
+  const std::uint64_t borrow = t.sub_assign(m_);
+  U256::cmov(r, t, ct::mask_nonzero(carry | (borrow ^ 1)));
   return r;
 }
 
 U256 MontgomeryCtx::sub(const U256& a, const U256& b) const {
   U256 r = a;
-  if (r.sub_assign(b) != 0) r.add_assign(m_);
+  const std::uint64_t borrow = r.sub_assign(b);
+  U256 t = r;
+  t.add_assign(m_);
+  U256::cmov(r, t, ct::mask_bit(borrow));
   return r;
 }
 
 U256 MontgomeryCtx::neg(const U256& a) const {
-  if (a.is_zero()) return a;
+  // m - a, with the a == 0 case folded back to 0 by cmov instead of an
+  // early return (negation of a secret residue must not branch on it).
   U256 r = m_;
   r.sub_assign(a);
+  U256::cmov(r, U256::zero(), a.zero_mask());
   return r;
 }
 
 U256 MontgomeryCtx::mul(const U256& a, const U256& b) const { return redc(mul_wide(a, b)); }
 
 U256 MontgomeryCtx::pow(const U256& a, const U256& e) const {
+  // Square-and-multiply with a branch per exponent bit.  Only safe for
+  // PUBLIC exponents; the sole in-repo callers use e = m - 2 (inversion),
+  // which is a curve constant.  ct-lint bans new secret-exponent uses.
   U256 result = one_mont_;
   U256 base = a;
   const unsigned bits = e.bit_length();
@@ -160,18 +177,23 @@ U256 MontgomeryCtx::reduce(const U256& a) const {
 
 U256 MontgomeryCtx::reduce_wide(const U512& a) const {
   // Binary (shift-and-subtract) reduction, correct for any odd modulus.
-  // 512 iterations of limb ops; only used on cold paths (hash-to-field).
+  // 512 iterations of limb ops; used on cold paths (hash-to-field) but also
+  // on secret inputs (wide nonce/key derivation), so every per-bit decision
+  // is branch-free: the bit is *added* (0 or 1) rather than tested, and
+  // residue corrections go through cond_sub-style cmovs.
   U256 r;
   for (int i = 511; i >= 0; --i) {
     const std::uint64_t carry = r.add_assign(r);  // r <<= 1
     // After doubling, true value is carry*2^256 + r < 2m, so at most one
     // subtraction is needed and the wrapped subtraction is exact.
-    if (carry != 0 || r >= m_) r.sub_assign(m_);
-    const bool bit = (a.w[i / 64] >> (i % 64)) & 1;
-    if (bit) {
-      const std::uint64_t c2 = r.add_assign(U256::one());
-      if (c2 != 0 || r >= m_) r.sub_assign(m_);
-    }
+    U256 t = r;
+    std::uint64_t borrow = t.sub_assign(m_);
+    U256::cmov(r, t, ct::mask_nonzero(carry | (borrow ^ 1)));
+    const std::uint64_t bit = (a.w[i / 64] >> (i % 64)) & 1;
+    const std::uint64_t c2 = r.add_assign(U256(bit));
+    t = r;
+    borrow = t.sub_assign(m_);
+    U256::cmov(r, t, ct::mask_nonzero(c2 | (borrow ^ 1)));
   }
   return r;
 }

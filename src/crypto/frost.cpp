@@ -97,8 +97,9 @@ FrostSigner::FrostSigner(SecretShare share, Point group_public_key)
 
 FrostCommitment FrostSigner::commit(Drbg& drbg) {
   NoncePair np;
-  np.d = drbg.next_scalar();
-  np.e = drbg.next_scalar();
+  np.d = drbg.next_secret_scalar();
+  np.e = drbg.next_secret_scalar();
+  // Nonce commitments D = d*G, E = e*G via the constant-time comb.
   np.cd = Point::mul_gen(np.d);
   np.ce = Point::mul_gen(np.e);
   pending_.push_back(np);
@@ -128,7 +129,10 @@ Scalar FrostSigner::sign(const util::Bytes& msg, const std::vector<FrostCommitme
   const auto keys = frost_session_keys(msg, session, group_pk_);
   const Scalar rho = keys.rho.at(share_.index);
   const Scalar lambda = keys.lambda.at(share_.index);
-  return np.d + np.e * rho + lambda * keys.c * share_.value;
+  // z_i = d + e*ρ + λ*c*x over the taint-tracked path (ρ, λ, c public;
+  // d, e, x secret); the partial signature itself is a public protocol
+  // message, hence the declassify on return.
+  return (np.d + np.e * rho + (lambda * keys.c) * share_.value).declassify();
 }
 
 FrostSessionKeys frost_session_keys(const util::Bytes& msg,

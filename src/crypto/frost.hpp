@@ -25,6 +25,7 @@
 #include <optional>
 #include <vector>
 
+#include "crypto/ct.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/group.hpp"
 #include "crypto/shamir.hpp"
@@ -71,7 +72,9 @@ class FrostSigner {
 
  private:
   struct NoncePair {
-    Scalar d, e;
+    // Nonces are as sensitive as the share itself (reuse or leakage
+    // recovers it); taint-wrapped so they self-wipe and cannot branch.
+    ct::Secret<Scalar> d, e;
     Point cd, ce;
   };
   SecretShare share_;

@@ -63,16 +63,23 @@ Scalar Scalar::from_wide_bytes(const std::uint8_t* data64) {
 }
 
 Scalar Scalar::operator+(const Scalar& o) const {
-  // Plain-form add: both < n, so Montgomery form is unnecessary.
+  // Plain-form add: both < n, so Montgomery form is unnecessary.  The
+  // modular correction is a branch-free cmov — scalar sums routinely mix
+  // secret shares and nonces, so overflow must not reach a branch.
   U256 r = v_;
   const std::uint64_t carry = r.add_assign(o.v_);
-  if (carry != 0 || r >= params().fn.modulus()) r.sub_assign(params().fn.modulus());
+  U256 t = r;
+  const std::uint64_t borrow = t.sub_assign(params().fn.modulus());
+  U256::cmov(r, t, ct::mask_nonzero(carry | (borrow ^ 1)));
   return Scalar(r);
 }
 
 Scalar Scalar::operator-(const Scalar& o) const {
   U256 r = v_;
-  if (r.sub_assign(o.v_) != 0) r.add_assign(params().fn.modulus());
+  const std::uint64_t borrow = r.sub_assign(o.v_);
+  U256 t = r;
+  t.add_assign(params().fn.modulus());
+  U256::cmov(r, t, ct::mask_bit(borrow));
   return Scalar(r);
 }
 
@@ -82,9 +89,11 @@ Scalar Scalar::operator*(const Scalar& o) const {
 }
 
 Scalar Scalar::operator-() const {
-  if (v_.is_zero()) return *this;
+  // n - v, folding the v == 0 case back to 0 with a cmov rather than an
+  // early return (negating a secret must not branch on its value).
   U256 r = params().fn.modulus();
   r.sub_assign(v_);
+  U256::cmov(r, U256::zero(), v_.zero_mask());
   return Scalar(r);
 }
 
@@ -161,6 +170,7 @@ class GroupCtx {
 
   static const U256& x(const Point& p) { return p.x_; }
   static const U256& y(const Point& p) { return p.y_; }
+  static const U256& z(const Point& p) { return p.z_; }
   static void negate_y(Point& p) {
     if (!p.inf_) p.y_ = params().fp.neg(p.y_);
   }
@@ -197,8 +207,11 @@ class GroupCtx {
     const U256 z1z1 = f.sqr(p.z_);
     const U256 u2 = f.mul(a.x, z1z1);
     const U256 s2 = f.mul(f.mul(a.y, p.z_), z1z1);
-    if (p.x_ == u2) {
-      if (p.y_ == s2) return dbl(p);
+    // Uniform-time comparisons (eq_mask scans all limbs); the exceptional
+    // doubling/cancellation branches fire with negligible probability for
+    // honest inputs and never as a function of individual secret bits.
+    if (p.x_.eq_mask(u2) != 0) {
+      if (p.y_.eq_mask(s2) != 0) return dbl(p);
       return Point::infinity();
     }
     const U256 h = f.sub(u2, p.x_);
@@ -223,10 +236,20 @@ class GroupCtx {
   static Point add(const Point& p, const Point& q) {
     if (p.inf_) return q;
     if (q.inf_) return p;
-    const auto& f = params().fp;
     // Normalized right-hand sides (Z2 = 1, e.g. after batch_normalize or
     // from_bytes) take the cheaper mixed-addition path.
-    if (q.z_ == f.one_mont()) return madd(p, AffinePoint{q.x_, q.y_});
+    if (q.z_ == params().fp.one_mont()) return madd(p, AffinePoint{q.x_, q.y_});
+    return add_general(p, q);
+  }
+
+  /// Full Jacobian addition with no representation-dependent dispatch.
+  /// The constant-time multiply uses this directly so that the cost of an
+  /// addition cannot depend on *which* table entry a secret digit selected
+  /// (the madd fast path above keys on Z == 1, which would leak).
+  static Point add_general(const Point& p, const Point& q) {
+    if (p.inf_) return q;
+    if (q.inf_) return p;
+    const auto& f = params().fp;
     // add-2007-bl
     const U256 z1z1 = f.sqr(p.z_);
     const U256 z2z2 = f.sqr(q.z_);
@@ -234,8 +257,8 @@ class GroupCtx {
     const U256 u2 = f.mul(q.x_, z1z1);
     const U256 s1 = f.mul(f.mul(p.y_, q.z_), z2z2);
     const U256 s2 = f.mul(f.mul(q.y_, p.z_), z1z1);
-    if (u1 == u2) {
-      if (s1 == s2) return dbl(p);
+    if (u1.eq_mask(u2) != 0) {
+      if (s1.eq_mask(s2) != 0) return dbl(p);
       return Point::infinity();
     }
     const U256 h = f.sub(u2, u1);
@@ -302,9 +325,13 @@ Point jac_add(const Point& p, const Point& q) { return GroupCtx::add(p, q); }
 
 // --- fast scalar-multiplication kernels -----------------------------------
 
-constexpr unsigned kCombWindow = 4;                      // bits per comb digit
-constexpr unsigned kCombWindows = 256 / kCombWindow;     // 64 windows
-constexpr unsigned kCombTableRow = (1u << kCombWindow) - 1;  // digits 1..15
+constexpr unsigned kCombWindow = 4;                   // bits per comb digit
+constexpr unsigned kCombWindows = 256 / kCombWindow;  // 64 windows
+// Each comb row holds digits 1..16.  The variable-time path uses 1..15
+// (digit 0 skips the addition); the constant-time path uses the signed
+// offset rewrite k = sum (d_w + 1) 16^w, whose digits span 1..16, so the
+// row is sized for the ct kernel and shared by both.
+constexpr unsigned kCombRow = 1u << kCombWindow;  // 16 entries per window
 
 constexpr int kWnafWidth = 5;      // variable-base wNAF width
 constexpr int kGenWnafWidth = 7;   // generator-side width in Strauss–Shamir
@@ -313,7 +340,7 @@ constexpr int kGenWnafWidth = 7;   // generator-side width in Strauss–Shamir
 /// GroupParams so the builder can use the Point kernels, which themselves
 /// call params()).  All entries affine => every table hit is a mixed add.
 struct GenTables {
-  // comb[w * kCombTableRow + (d-1)] = d * 2^(4w) * G for digit d in 1..15:
+  // comb[w * kCombRow + (d-1)] = d * 2^(4w) * G for digit d in 1..16:
   // mul_gen is then one mixed addition per nonzero window, no doublings.
   std::vector<AffinePoint> comb;
   // odd[i] = (2i+1) * G for the generator half of Strauss–Shamir.
@@ -321,11 +348,11 @@ struct GenTables {
 
   GenTables() {
     std::vector<Point> pts;
-    pts.reserve(kCombWindows * kCombTableRow + (1u << (kGenWnafWidth - 2)));
+    pts.reserve(kCombWindows * kCombRow + (1u << (kGenWnafWidth - 2)));
     Point base = Point::generator();
     for (unsigned w = 0; w < kCombWindows; ++w) {
       Point m = base;
-      for (unsigned d = 1; d <= kCombTableRow; ++d) {
+      for (unsigned d = 1; d <= kCombRow; ++d) {
         pts.push_back(m);
         m = GroupCtx::add(m, base);
       }
@@ -338,12 +365,12 @@ struct GenTables {
       o = GroupCtx::add(o, g2);
     }
     GroupCtx::batch_normalize(pts.data(), pts.size());  // one inversion total
-    comb.reserve(kCombWindows * kCombTableRow);
-    for (unsigned i = 0; i < kCombWindows * kCombTableRow; ++i) {
+    comb.reserve(kCombWindows * kCombRow);
+    for (unsigned i = 0; i < kCombWindows * kCombRow; ++i) {
       comb.push_back(AffinePoint{GroupCtx::x(pts[i]), GroupCtx::y(pts[i])});
     }
     odd.reserve(1u << (kGenWnafWidth - 2));
-    for (std::size_t i = kCombWindows * kCombTableRow; i < pts.size(); ++i) {
+    for (std::size_t i = kCombWindows * kCombRow; i < pts.size(); ++i) {
       odd.push_back(AffinePoint{GroupCtx::x(pts[i]), GroupCtx::y(pts[i])});
     }
   }
@@ -398,6 +425,45 @@ Point add_signed(const Point& acc, const Point& p, bool negate) {
   return jac_add(acc, n);
 }
 
+// --- constant-time kernels -------------------------------------------------
+
+/// Offset constant C = sum_{w=0}^{63} 16^w = (2^256 - 1) / 15 (mod n).
+/// Rewriting k as k' + C with k' = k - C makes every base-16 digit of the
+/// represented value (d'_w + 1) ∈ [1, 16]: no zero digits, so the comb loop
+/// needs no "skip this window" branch.  The represented integer k' + C may
+/// exceed 2^256 but the point sum is taken mod n, where it equals k.
+const Scalar& comb_offset() {
+  static const Scalar c = Scalar::from_u256(
+      U256::from_hex("1111111111111111111111111111111111111111111111111111111111111111"));
+  return c;
+}
+
+/// Secret-index lookup of row[idx] by scanning the whole 16-entry row with
+/// cmov: memory access pattern and time are independent of idx.
+AffinePoint ct_lookup_affine(const AffinePoint* row, unsigned idx) {
+  AffinePoint r{U256::zero(), U256::zero()};
+  for (unsigned i = 0; i < kCombRow; ++i) {
+    const std::uint64_t m = ct::mask_eq(i, idx);
+    U256::cmov(r.x, row[i].x, m);
+    U256::cmov(r.y, row[i].y, m);
+  }
+  return r;
+}
+
+/// Same full-scan discipline over a per-call Jacobian table.  Every entry
+/// is finite (d * P for 1 <= d <= 16 and finite P on a prime-order curve),
+/// so only the coordinates need selecting.
+Point ct_lookup_jacobian(const Point* table, unsigned idx) {
+  U256 x = U256::zero(), y = U256::zero(), z = U256::zero();
+  for (unsigned i = 0; i < kCombRow; ++i) {
+    const std::uint64_t m = ct::mask_eq(i, idx);
+    U256::cmov(x, GroupCtx::x(table[i]), m);
+    U256::cmov(y, GroupCtx::y(table[i]), m);
+    U256::cmov(z, GroupCtx::z(table[i]), m);
+  }
+  return GroupCtx::make(x, y, z);
+}
+
 }  // namespace
 
 Point Point::operator+(const Point& o) const { return jac_add(*this, o); }
@@ -430,15 +496,58 @@ Point Point::operator*(const Scalar& k) const {
 Point Point::mul_gen(const Scalar& k) {
   // Fixed-base comb: the scalar is consumed 4 bits at a time against the
   // precomputed table of d * 2^(4w) * G, so k*G is at most 64 mixed
-  // additions and zero doublings.
+  // additions and zero doublings.  Variable-time (skips zero windows);
+  // secret scalars take the ct::Secret overload below instead.
   if (k.is_zero()) return Point::infinity();
   const auto& t = gen_tables();
   const U256& e = k.raw();
   Point acc = Point::infinity();
   for (unsigned w = 0; w < kCombWindows; ++w) {
     const unsigned digit =
-        static_cast<unsigned>(e.w[w / 16] >> ((w % 16) * kCombWindow)) & kCombTableRow;
-    if (digit != 0) acc = GroupCtx::madd(acc, t.comb[w * kCombTableRow + (digit - 1)]);
+        static_cast<unsigned>(e.w[w / 16] >> ((w % 16) * kCombWindow)) & (kCombRow - 1);
+    if (digit != 0) acc = GroupCtx::madd(acc, t.comb[w * kCombRow + (digit - 1)]);
+  }
+  return acc;
+}
+
+Point Point::mul_gen(const ct::Secret<Scalar>& k) {
+  // Constant-time fixed-base comb.  The scalar is rewritten with the
+  // signed offset (see comb_offset) so all 64 digits lie in 1..16; each
+  // window then does exactly one full-row cmov scan and one mixed
+  // addition.  No secret-dependent branches, no secret-dependent indices.
+  // The declassify below is the sanctioned kernel-level escape: the raw
+  // limbs are consumed strictly branchlessly from here on.
+  const auto& t = gen_tables();
+  const U256 e = (k - comb_offset()).declassify().raw();
+  Point acc = Point::infinity();
+  for (unsigned w = 0; w < kCombWindows; ++w) {
+    // d' in 0..15 encodes the true digit d' + 1; table index is d'.
+    const unsigned digit =
+        static_cast<unsigned>(e.w[w / 16] >> ((w % 16) * kCombWindow)) & (kCombRow - 1);
+    acc = GroupCtx::madd(acc, ct_lookup_affine(&t.comb[w * kCombRow], digit));
+  }
+  return acc;
+}
+
+Point Point::operator*(const ct::Secret<Scalar>& k) const {
+  // Constant-time variable-base multiply: same signed-offset digit
+  // rewrite, over a per-call Jacobian table of d * P (d = 1..16).  The
+  // schedule is fixed — 64 windows of 4 doublings, one full-table scan and
+  // one general addition each — independent of the scalar's bits.
+  if (inf_) return Point::infinity();  // base point is public
+  Point table[kCombRow];
+  table[0] = *this;
+  for (unsigned i = 1; i < kCombRow; ++i) table[i] = GroupCtx::add_general(table[i - 1], *this);
+  const U256 e = (k - comb_offset()).declassify().raw();
+  Point acc = Point::infinity();
+  for (int w = static_cast<int>(kCombWindows) - 1; w >= 0; --w) {
+    for (int j = 0; j < 4; ++j) acc = jac_double(acc);
+    const unsigned uw = static_cast<unsigned>(w);
+    const unsigned digit =
+        static_cast<unsigned>(e.w[uw / 16] >> ((uw % 16) * kCombWindow)) & (kCombRow - 1);
+    // add_general: no Z == 1 fast-path dispatch, so the cost cannot depend
+    // on which entry the digit selected.
+    acc = GroupCtx::add_general(acc, ct_lookup_jacobian(table, digit));
   }
   return acc;
 }

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "crypto/ct.hpp"
 #include "crypto/fp.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/u256.hpp"
@@ -73,12 +74,26 @@ class Point {
   Point operator-() const;
   Point operator-(const Point& o) const { return *this + (-o); }
   /// Scalar multiplication: width-5 wNAF over an odd-multiples table.
+  /// Variable-time — for PUBLIC scalars only (verification equations,
+  /// Lagrange-weighted aggregation).  Secret scalars arrive as
+  /// ct::Secret<Scalar> and take the constant-time overload below.
   Point operator*(const Scalar& k) const;
+  /// Constant-time multiplication for secret scalars: signed-offset
+  /// fixed-window (all digits forced nonzero), full-table cmov lookups,
+  /// fixed 64-window schedule.  Bit-identical results to operator*.
+  Point operator*(const ct::Secret<Scalar>& k) const;
   bool operator==(const Point& o) const;
 
   /// k * G via a precomputed fixed-base comb table for the generator
   /// (64 4-bit windows, all-affine table, no doublings at run time).
+  /// Variable-time — for PUBLIC scalars only.
   static Point mul_gen(const Scalar& k);
+
+  /// Constant-time k * G for secret scalars (key generation, nonce
+  /// commitments, Feldman commitments): signed-offset comb over the same
+  /// precomputed table, digit selected by a 16-entry cmov scan per window,
+  /// always 64 mixed additions regardless of the scalar's bit pattern.
+  static Point mul_gen(const ct::Secret<Scalar>& k);
 
   /// a*G + b*P via Strauss–Shamir interleaving: one shared doubling chain,
   /// wNAF digits for both scalars, precomputed affine odd multiples of G.

@@ -37,29 +37,36 @@ std::optional<SchnorrSignature> SchnorrSignature::from_bytes(const util::Bytes& 
 }
 
 SchnorrKeyPair SchnorrKeyPair::generate(Drbg& drbg) {
-  const Scalar sk = drbg.next_scalar();
+  const ct::Secret<Scalar> sk = drbg.next_secret_scalar();
+  // Public-key derivation multiplies by the secret key: ct comb path.
   return SchnorrKeyPair{sk, Point::mul_gen(sk)};
 }
 
 SchnorrSignature schnorr_sign(const SchnorrKeyPair& kp, const util::Bytes& msg) {
   // Deterministic nonce: k = H2S(HMAC(sk, msg)); retry on the (negligible)
   // zero case with a counter.
-  Scalar k;
+  ct::Secret<Scalar> k;
   for (std::uint8_t ctr = 0;; ++ctr) {
-    util::Bytes keyed = kp.sk.to_bytes();
+    // Kernel-level declassify: the key bytes feed HMAC, whose data path is
+    // constant-time; the buffer is wiped before leaving scope.
+    util::Bytes keyed = kp.sk.declassify().to_bytes();
     keyed.push_back(ctr);
     const Digest d = hmac_sha256(keyed, msg);
+    util::secure_wipe(keyed);
     util::Bytes db(d.begin(), d.end());
     k = Scalar::hash_to_scalar(db);
-    if (!k.is_zero()) break;
+    // ctlint-allow: secret-branch (rejection sampling; reveals only k == 0,
+    // probability ~2^-256)
+    if (!k.declassify().is_zero()) break;
   }
-  const Point r = Point::mul_gen(k);
+  const Point r = Point::mul_gen(k);  // ct comb: nonce never hits a branch
   const Scalar e = challenge(r, kp.pk, msg);
-  const Scalar s = k + e * kp.sk;
+  // Taint-tracked signing equation; s is public by protocol once emitted.
+  const Scalar s = (k + e * kp.sk).declassify();
   return SchnorrSignature{r, s};
 }
 
-SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg) {
+SchnorrSignature schnorr_sign(const ct::Secret<Scalar>& sk, const util::Bytes& msg) {
   return schnorr_sign(SchnorrKeyPair{sk, Point::mul_gen(sk)}, msg);
 }
 

@@ -10,6 +10,7 @@
 
 #include <optional>
 
+#include "crypto/ct.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/group.hpp"
 #include "util/bytes.hpp"
@@ -26,7 +27,9 @@ struct SchnorrSignature {
 };
 
 struct SchnorrKeyPair {
-  Scalar sk;
+  /// Taint-wrapped signing key: wipes on destruction, cannot reach a
+  /// branch or table index, and only src/crypto may declassify it.
+  ct::Secret<Scalar> sk;
   Point pk;
 
   /// Deterministic key generation from a DRBG.
@@ -35,10 +38,13 @@ struct SchnorrKeyPair {
 
 /// Signs `msg` with a full key pair (deterministic nonce).  Preferred:
 /// avoids re-deriving the public key for the challenge hash on every call.
+/// Nonce commitment and the s = k + e*sk equation run on the constant-time
+/// secret path end to end.
 SchnorrSignature schnorr_sign(const SchnorrKeyPair& kp, const util::Bytes& msg);
 
-/// Signs `msg` with `sk` alone; derives the public key first.
-SchnorrSignature schnorr_sign(const Scalar& sk, const util::Bytes& msg);
+/// Signs `msg` with `sk` alone; derives the public key first.  A plain
+/// Scalar argument classifies implicitly.
+SchnorrSignature schnorr_sign(const ct::Secret<Scalar>& sk, const util::Bytes& msg);
 
 /// Verifies a signature against `pk`.
 bool schnorr_verify(const Point& pk, const util::Bytes& msg, const SchnorrSignature& sig);

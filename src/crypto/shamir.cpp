@@ -3,15 +3,27 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/bytes.hpp"
+
 namespace cicero::crypto {
 
-Polynomial Polynomial::random(const Scalar& constant, std::size_t threshold, Drbg& drbg) {
+Polynomial Polynomial::random(const ct::Secret<Scalar>& constant, std::size_t threshold,
+                              Drbg& drbg) {
   if (threshold == 0) throw std::invalid_argument("Polynomial: threshold must be >= 1");
   std::vector<Scalar> coeffs;
   coeffs.reserve(threshold);
-  coeffs.push_back(constant);
+  // Kernel-level declassify: the coefficient store is wiped by ~Polynomial
+  // and every consumer below (eval, commitments) stays on branch-free-in-
+  // the-coefficients paths.
+  coeffs.push_back(constant.declassify());
   for (std::size_t j = 1; j < threshold; ++j) coeffs.push_back(drbg.next_scalar_any());
   return Polynomial(std::move(coeffs));
+}
+
+Polynomial::~Polynomial() {
+  // Coefficients determine the shared secret; mandatory wipe (ct-lint
+  // checks that key-material destructors call secure_wipe).
+  if (!coeffs_.empty()) util::secure_wipe(coeffs_.data(), coeffs_.size() * sizeof(Scalar));
 }
 
 Scalar Polynomial::eval(ShareIndex index) const {
@@ -25,15 +37,17 @@ Scalar Polynomial::eval(ShareIndex index) const {
 std::vector<Point> Polynomial::commitments() const {
   std::vector<Point> out;
   out.reserve(coeffs_.size());
-  for (const auto& c : coeffs_) out.push_back(Point::mul_gen(c));
+  // The coefficients are secret: commit via the constant-time comb so the
+  // Feldman broadcast cannot leak them through multiplication timing.
+  for (const auto& c : coeffs_) out.push_back(Point::mul_gen(ct::Secret<Scalar>(c)));
   // One shared inversion; downstream commitment_eval additions then take
   // the mixed-addition fast path, and serialization is inversion-free.
   Point::batch_normalize(out);
   return out;
 }
 
-std::vector<SecretShare> shamir_split(const Scalar& secret, std::size_t t, std::size_t n,
-                                      Drbg& drbg) {
+std::vector<SecretShare> shamir_split(const ct::Secret<Scalar>& secret, std::size_t t,
+                                      std::size_t n, Drbg& drbg) {
   if (t == 0 || t > n) throw std::invalid_argument("shamir_split: need 1 <= t <= n");
   const Polynomial poly = Polynomial::random(secret, t, drbg);
   std::vector<SecretShare> shares;
@@ -117,11 +131,14 @@ Scalar shamir_reconstruct(const std::vector<SecretShare>& shares) {
     indices.push_back(s.index);
   }
   const std::vector<Scalar> lambda = lagrange_all_at_zero(indices);
-  Scalar secret = Scalar::zero();
+  // Lagrange weights are public (functions of the index set); the shares
+  // are secret, so the accumulation stays taint-wrapped until the final
+  // declassify — reconstruction IS the protocol's declassification event.
+  ct::Secret<Scalar> secret = Scalar::zero();
   for (std::size_t i = 0; i < shares.size(); ++i) {
     secret = secret + lambda[i] * shares[i].value;
   }
-  return secret;
+  return secret.declassify();
 }
 
 Point commitment_eval(const std::vector<Point>& commitments, ShareIndex index) {

@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "crypto/ct.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/group.hpp"
 
@@ -22,14 +23,26 @@ using ShareIndex = std::uint32_t;
 
 struct SecretShare {
   ShareIndex index = 0;
-  Scalar value;
+  /// The share scalar, taint-wrapped: it reconstructs the group secret, so
+  /// it must never branch, never index, and must wipe on destruction.
+  ct::Secret<Scalar> value;
 };
 
 /// A polynomial over Z_n of degree (threshold - 1), constant term = secret.
+/// Coefficients are key material: the backing store is wiped on
+/// destruction.
 class Polynomial {
  public:
-  /// Random polynomial with the given constant term and degree t-1.
-  static Polynomial random(const Scalar& constant, std::size_t threshold, Drbg& drbg);
+  /// Random polynomial with the given constant term and degree t-1.  The
+  /// constant is the shared secret; a plain Scalar classifies implicitly.
+  static Polynomial random(const ct::Secret<Scalar>& constant, std::size_t threshold,
+                           Drbg& drbg);
+
+  ~Polynomial();
+  Polynomial(const Polynomial&) = default;
+  Polynomial(Polynomial&&) = default;
+  Polynomial& operator=(const Polynomial&) = default;
+  Polynomial& operator=(Polynomial&&) = default;
 
   const Scalar& constant() const { return coeffs_.front(); }
   std::size_t threshold() const { return coeffs_.size(); }
@@ -48,9 +61,10 @@ class Polynomial {
 };
 
 /// Splits `secret` into n shares with reconstruction threshold t.
-/// Indices are 1..n.  Requires 1 <= t <= n.
-std::vector<SecretShare> shamir_split(const Scalar& secret, std::size_t t, std::size_t n,
-                                      Drbg& drbg);
+/// Indices are 1..n.  Requires 1 <= t <= n.  A plain Scalar secret
+/// classifies implicitly.
+std::vector<SecretShare> shamir_split(const ct::Secret<Scalar>& secret, std::size_t t,
+                                      std::size_t n, Drbg& drbg);
 
 /// Lagrange coefficient λ_i(0) for interpolation at zero over the index set
 /// `indices` (all distinct, nonzero); `i` must appear in `indices`.

@@ -12,6 +12,7 @@
 #include <string>
 #include <string_view>
 
+#include "crypto/ct.hpp"
 #include "util/bytes.hpp"
 
 namespace cicero::crypto {
@@ -50,6 +51,21 @@ struct U256 {
   std::uint64_t add_assign(const U256& o);
   /// this -= o; returns the borrow-out (0 or 1).
   std::uint64_t sub_assign(const U256& o);
+
+  // --- constant-time primitives (ct.hpp word ops lifted to 256 bits) -----
+  // These are the only operations the crypto layer may use on secret
+  // values: no data-dependent branches, no data-dependent addressing.
+
+  /// dst = src where `mask` is all-ones, unchanged where 0.
+  static void cmov(U256& dst, const U256& src, std::uint64_t mask);
+  /// Branch-free select: `a` where mask is all-ones, else `b`.
+  static U256 ct_select(std::uint64_t mask, const U256& a, const U256& b);
+  /// Conditional swap under an all-ones/zero mask.
+  static void ct_swap(U256& a, U256& b, std::uint64_t mask);
+  /// All-ones mask iff *this == o, in time independent of the match prefix.
+  std::uint64_t eq_mask(const U256& o) const;
+  /// All-ones mask iff *this == 0.
+  std::uint64_t zero_mask() const;
 
   /// Logical shift left/right by k bits, k in [0, 255].
   U256 shl(unsigned k) const;

@@ -48,4 +48,17 @@ bool ct_equal(const Bytes& a, const Bytes& b) {
   return acc == 0;
 }
 
+void secure_wipe(void* p, std::size_t len) {
+  // Volatile stores are side effects the optimizer must preserve; a plain
+  // memset on a dying object is legally removable under the as-if rule.
+  volatile std::uint8_t* vp = static_cast<volatile std::uint8_t*>(p);
+  for (std::size_t i = 0; i < len; ++i) vp[i] = 0;
+  // Compiler barrier so the wipe cannot be reordered past subsequent frees.
+  asm volatile("" ::: "memory");
+}
+
+void secure_wipe(Bytes& b) {
+  if (!b.empty()) secure_wipe(b.data(), b.size());
+}
+
 }  // namespace cicero::util

@@ -34,4 +34,13 @@ std::string to_string(const Bytes& data);
 /// signatures so that comparison time does not leak the mismatch position.
 bool ct_equal(const Bytes& a, const Bytes& b);
 
+/// Overwrites `len` bytes at `p` with zeros through a volatile pointer so
+/// the compiler cannot elide the stores even when the object is dead
+/// afterwards (the classic "memset before free" optimization hazard).  Key
+/// material destructors must use this instead of plain memset/fill.
+void secure_wipe(void* p, std::size_t len);
+
+/// Wipes the contents of a byte string in place (the buffer keeps its size).
+void secure_wipe(Bytes& b);
+
 }  // namespace cicero::util

@@ -62,7 +62,7 @@ TEST_P(ShamirParam, TMinusOneSharesDoNotDetermineSecret) {
   // sum_i λ_i y_i = forged  =>  y_last = (forged - sum_known λ_i y_i) / λ_last.
   std::vector<ShareIndex> indices;
   for (const auto& s : forged) indices.push_back(s.index);
-  Scalar acc = Scalar::zero();
+  ct::Secret<Scalar> acc = Scalar::zero();
   for (std::size_t i = 0; i + 1 < forged.size(); ++i) {
     acc = acc + lagrange_at_zero(forged[i].index, indices) * forged[i].value;
   }

@@ -1,0 +1,36 @@
+// ctlint self-test fixture: every construct in here must be flagged.
+// This file is never compiled; it exists so the linter's failure modes are
+// themselves under test (a linter that never fires is worse than none).
+#include <cstring>
+
+namespace fixture {
+
+int secret_dependent_branch(const SecretScalar& k) {
+  // secret-branch: declassify straight into control flow.
+  if (k.declassify().is_zero()) {
+    return 1;
+  }
+  // secret-branch: multi-line condition must also be caught.
+  while (k.declassify()
+             .is_zero()) {
+    break;
+  }
+  return 0;
+}
+
+int banned_randomness() {
+  // banned-fn: libc randomness bypasses the Drbg.
+  return rand();
+}
+
+bool keybytes_compare(const unsigned char* a, const unsigned char* b) {
+  // memcmp-in-crypto: early-exit comparison on key bytes.
+  return memcmp(a, b, 32) == 0;
+}
+
+unsigned variable_time_mod(const SecretScalar& k) {
+  // secret-mod: hardware division is variable-time.
+  return k.declassify().low_word() % 7;
+}
+
+}  // namespace fixture

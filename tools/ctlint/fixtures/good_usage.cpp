@@ -1,0 +1,30 @@
+// ctlint self-test fixture: everything in here is policy-compliant and the
+// linter must stay quiet (fixtures are scanned with test-tree scoping, so
+// declassify() itself is permitted; only its misuse patterns fire).
+namespace fixture {
+
+int straight_line_declassify(const SecretScalar& k) {
+  // Fine: declassified into data flow, not control flow.
+  const Scalar v = k.declassify();
+  return use(v);
+}
+
+int suppressed_branch(const SecretScalar& k) {
+  // ctlint-allow: secret-branch (rejection sampling, reveals only k == 0)
+  if (k.declassify().is_zero()) {
+    return 1;
+  }
+  return 0;
+}
+
+bool ct_compare(const unsigned char* a, const unsigned char* b) {
+  // Fine: the constant-time comparison primitive, not memcmp.
+  return ct::ct_eq(a, b, 32);
+}
+
+int drbg_randomness(Drbg& drbg) {
+  // Fine: all randomness flows through the Drbg.
+  return use(drbg.next_scalar());
+}
+
+}  // namespace fixture
