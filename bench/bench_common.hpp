@@ -6,11 +6,14 @@
 // plain text so `./bench_figXX | tee` is the full workflow.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
 #include "core/deployment.hpp"
+#include "obs/report.hpp"
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
 
@@ -59,6 +62,48 @@ inline void print_cdf_series(const std::string& label, const util::CdfCollector&
   std::printf("#   %-14s %s\n", "value(ms)", "CDF");
   for (const auto& [x, q] : cdf.cdf_series(points)) {
     std::printf("    %-14.3f %.3f\n", x, q);
+  }
+}
+
+/// Lowercases a human label into a metric-name prefix component
+/// ("Crash Tolerant" -> "crash_tolerant").
+inline std::string metric_slug(const std::string& label) {
+  std::string s;
+  for (const char c : label) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      s += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else if (!s.empty() && s.back() != '_') {
+      s += '_';
+    }
+  }
+  while (!s.empty() && s.back() == '_') s.pop_back();
+  return s;
+}
+
+/// Folds one finished deployment run into `report` under a
+/// `<slug(label)>.` prefix: the full metrics registry, the process-wide
+/// crypto op counters (reset afterwards so runs don't bleed into each
+/// other), and the completion/setup CDFs.
+inline void report_run(obs::RunReport& report, core::Deployment& dep, const std::string& label) {
+  const std::string prefix = metric_slug(label) + ".";
+  report.add_metrics(dep.obs().metrics, prefix);
+  report.add_crypto_ops(obs::crypto_ops(), prefix);
+  obs::crypto_ops().reset();
+  report.add_cdf(prefix + "completion_ms", dep.completion_cdf());
+  report.add_cdf(prefix + "setup_ms", dep.setup_cdf());
+}
+
+/// Writes the report as BENCH_<id>.report.json in the working directory
+/// (or $CICERO_REPORT_DIR when set) and prints the path, so scripts can
+/// pick the file up from the bench's stdout.
+inline void write_report(const obs::RunReport& report, const std::string& id) {
+  std::string dir = ".";
+  if (const char* env = std::getenv("CICERO_REPORT_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + id + ".report.json";
+  if (report.write(path)) {
+    std::printf("\n# report: %s\n", path.c_str());
+  } else {
+    std::printf("\n# report: FAILED to write %s\n", path.c_str());
   }
 }
 

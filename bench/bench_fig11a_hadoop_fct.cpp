@@ -13,6 +13,12 @@ int main() {
 
   print_header("Fig. 11a", "Hadoop flow completion CDF, single pod, 4 controllers");
 
+  obs::RunReport report("fig11a_hadoop_fct");
+  report.set_meta("workload", "hadoop");
+  report.set_meta("flows", static_cast<std::int64_t>(kBenchFlows));
+  report.set_meta("controllers_per_domain", std::int64_t{4});
+  obs::crypto_ops().reset();
+
   std::printf("%-16s %10s %10s %10s %10s %10s\n", "framework", "flows", "compl_ms",
               "setup_ms", "p50_ms", "p99_ms");
   struct Result {
@@ -27,6 +33,7 @@ int main() {
     auto dep = make_dep(fw, net::build_pod(bench_pod()));
     run_workload(*dep, workload::WorkloadKind::kHadoop, kBenchFlows);
     Result r{core::framework_name(fw), dep->completion_cdf(), dep->setup_cdf()};
+    report_run(report, *dep, r.name);
     std::printf("%-16s %10zu %10.2f %10.2f %10.2f %10.2f\n", r.name.c_str(),
                 r.completion.count(), r.completion.mean(),
                 r.setup.empty() ? 0.0 : r.setup.mean(), r.completion.median(),
@@ -45,5 +52,6 @@ int main() {
   }
   std::printf("# shape check: after rule reuse amortization the completion CDFs\n");
   std::printf("# of all four frameworks nearly coincide (paper Fig. 11a).\n");
+  write_report(report, "fig11a");
   return 0;
 }

@@ -8,6 +8,11 @@ int main() {
 
   print_header("Fig. 11b", "Web-server flow completion CDF, single pod, 4 controllers");
 
+  obs::RunReport report("fig11b_web_fct");
+  report.set_meta("workload", "web_server");
+  report.set_meta("flows", static_cast<std::int64_t>(kBenchFlows));
+  obs::crypto_ops().reset();
+
   std::printf("%-16s %10s %10s %10s\n", "framework", "flows", "compl_ms", "setup_ms");
   std::vector<std::pair<std::string, util::CdfCollector>> series;
   for (const auto fw :
@@ -20,11 +25,13 @@ int main() {
     std::printf("%-16s %10zu %10.2f %10.2f\n", core::framework_name(fw), completion.count(),
                 completion.mean(), setup.empty() ? 0.0 : setup.mean());
     series.emplace_back(core::framework_name(fw), completion);
+    report_run(report, *dep, core::framework_name(fw));
   }
   std::printf("\n");
   for (const auto& [name, cdf] : series) print_cdf_series(name, cdf);
   std::printf("\n# shape check (paper Fig. 11b): same ordering as Fig. 11a; the\n");
   std::printf("# web mix has more distinct (less reusable) flows, so the Cicero\n");
   std::printf("# curves sit slightly further right than under Hadoop.\n");
+  write_report(report, "fig11b");
   return 0;
 }

@@ -18,6 +18,12 @@ int main() {
   // instance of the paper's §3.3 aggregation trade-off (and the reason
   // the paper's aggregator latency grows with load).
 
+  obs::RunReport report("fig11c_unamortized");
+  report.set_meta("workload", "hadoop");
+  report.set_meta("flows", static_cast<std::int64_t>(kBenchFlows));
+  report.set_meta("teardown_after_flow", std::int64_t{1});
+  obs::crypto_ops().reset();
+
   std::printf("%-16s %10s %12s %12s\n", "framework", "flows", "compl_ms", "overhead%%");
   double centralized_mean = 0.0;
   std::vector<std::pair<std::string, util::CdfCollector>> series;
@@ -35,6 +41,7 @@ int main() {
                 completion.count(), completion.mean(), overhead);
     series.emplace_back(core::framework_name(fw), completion);
     means.push_back(completion.mean());
+    report_run(report, *dep, core::framework_name(fw));
   }
   std::printf("\n");
   for (const auto& [name, cdf] : series) print_cdf_series(name, cdf);
@@ -45,5 +52,6 @@ int main() {
               (means[2] / means[0] - 1.0) * 100.0);
   std::printf("#   Cicero Agg overhead: paper ~29%%, measured %.1f%%\n",
               (means[3] / means[0] - 1.0) * 100.0);
+  write_report(report, "fig11c");
   return 0;
 }

@@ -12,8 +12,15 @@ int main() {
 
   print_header("Fig. 11d", "Mean switch CPU utilisation per 1 s window, Hadoop workload");
 
+  obs::RunReport report("fig11d_switch_cpu");
+  report.set_meta("workload", "hadoop");
+  report.set_meta("flows", static_cast<std::int64_t>(kBenchFlows));
+  obs::crypto_ops().reset();
+
   const sim::SimTime window = sim::seconds(1);
   constexpr std::size_t kWindows = 12;
+  report.set_meta("window_s", std::int64_t{1});
+  report.set_meta("windows", static_cast<std::int64_t>(kWindows));
   std::vector<std::pair<std::string, std::vector<double>>> series;
   std::vector<double> totals;
   for (const auto fw :
@@ -28,6 +35,7 @@ int main() {
     }
     totals.push_back(total / 1e6);  // ms
     series.emplace_back(core::framework_name(fw), std::move(w));
+    report_run(report, *dep, core::framework_name(fw));
   }
 
   std::printf("# mean switch CPU utilisation (%%) per window of workload time\n");
@@ -49,5 +57,6 @@ int main() {
   std::printf("# paper shape: Cicero > Cicero Agg (about half) > crash/centralized;\n");
   std::printf("#   measured Cicero/CiceroAgg ratio = %.2f (paper: ~2x)\n",
               totals[3] > 0 ? totals[2] / totals[3] : 0.0);
+  write_report(report, "fig11d");
   return 0;
 }

@@ -14,8 +14,10 @@ using namespace cicero::bench;
 
 /// Measures the mean single-event update time: flows between hosts in the
 /// SAME rack (one-switch routes) so each event causes exactly one switch
-/// update; the setup latency is then the paper's "update time".
-double measure_update_time(core::FrameworkKind fw, std::size_t controllers) {
+/// update; the setup latency is then the paper's "update time".  Each
+/// cell's setup CDF also lands in `report` as `<fw>_n<size>.update_ms`.
+double measure_update_time(core::FrameworkKind fw, std::size_t controllers,
+                           obs::RunReport& report) {
   net::FabricParams p;
   p.racks_per_pod = 4;
   p.hosts_per_rack = 4;
@@ -46,6 +48,9 @@ double measure_update_time(core::FrameworkKind fw, std::size_t controllers) {
   dep->inject(flows);
   dep->run(t + sim::seconds(5));
   const auto setup = dep->setup_cdf();
+  report.add_cdf(metric_slug(core::framework_name(fw)) + "_n" + std::to_string(controllers) +
+                     ".update_ms",
+                 setup);
   return setup.empty() ? 0.0 : setup.mean();
 }
 
@@ -54,6 +59,9 @@ double measure_update_time(core::FrameworkKind fw, std::size_t controllers) {
 int main() {
   print_header("Fig. 12a", "Network update time vs control-plane size");
 
+  cicero::obs::RunReport report("fig12a_cp_size");
+  report.set_meta("events_per_cell", std::int64_t{120});
+
   const std::vector<std::size_t> sizes = {1, 4, 5, 6, 7, 8, 9, 10};
   std::printf("%-8s %14s %14s %14s %14s\n", "size", "Centralized", "CrashTolerant", "Cicero",
               "CiceroAgg");
@@ -61,18 +69,19 @@ int main() {
   for (const std::size_t n : sizes) {
     std::printf("%-8zu", n);
     if (n == 1) {
-      centralized = measure_update_time(core::FrameworkKind::kCentralized, 1);
+      centralized = measure_update_time(core::FrameworkKind::kCentralized, 1, report);
       std::printf(" %11.2f ms %14s %14s %14s\n", centralized, "-", "-", "-");
       continue;
     }
-    const double crash = measure_update_time(core::FrameworkKind::kCrashTolerant, n);
-    const double cicero = measure_update_time(core::FrameworkKind::kCicero, n);
-    const double agg = measure_update_time(core::FrameworkKind::kCiceroAgg, n);
+    const double crash = measure_update_time(core::FrameworkKind::kCrashTolerant, n, report);
+    const double cicero = measure_update_time(core::FrameworkKind::kCicero, n, report);
+    const double agg = measure_update_time(core::FrameworkKind::kCiceroAgg, n, report);
     if (n == 10) cicero10 = cicero;
     std::printf(" %14s %11.2f ms %11.2f ms %11.2f ms\n", "-", crash, cicero, agg);
   }
   std::printf("\n# paper shape: monotone growth with n; Cicero > crash tolerant;\n");
   std::printf("#   Cicero@10 / centralized = %.1fx (paper: ~2.5x)\n",
               centralized > 0 ? cicero10 / centralized : 0.0);
+  cicero::bench::write_report(report, "fig12a");
   return 0;
 }

@@ -65,6 +65,12 @@ double mean_share(const net::Topology& topo, workload::WorkloadKind kind, std::s
 int main() {
   print_header("Fig. 12b", "% of events processed per control plane vs #domains in a pod");
 
+  // No deployment runs here (pure locality analysis), so the report
+  // carries the share table itself as gauges.
+  obs::RunReport report("fig12b_event_locality");
+  report.set_meta("flows_per_point", std::int64_t{4000});
+  obs::MetricsRegistry shares(true);
+
   std::printf("%-10s %16s %16s\n", "#domains", "MD Hadoop", "MD Webserver");
   double hadoop1 = 0.0;
   for (std::size_t d = 1; d <= 10; ++d) {
@@ -72,10 +78,14 @@ int main() {
     const double h = mean_share(topo, workload::WorkloadKind::kHadoop, d);
     const double w = mean_share(topo, workload::WorkloadKind::kWebServer, d);
     if (d == 1) hadoop1 = h;
+    shares.gauge("hadoop.share_pct.d" + std::to_string(d)).set(h);
+    shares.gauge("web_server.share_pct.d" + std::to_string(d)).set(w);
     std::printf("%-10zu %15.1f%% %15.1f%%\n", d, h, w);
   }
+  report.add_metrics(shares);
   std::printf("\n# paper shape: 100%% at one domain, steep drop then diminishing\n");
   std::printf("# returns; webserver shares exceed Hadoop at every split\n");
   std::printf("# (single-domain share measured: %.0f%%)\n", hadoop1);
+  write_report(report, "fig12b");
   return 0;
 }

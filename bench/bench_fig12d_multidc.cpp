@@ -41,6 +41,11 @@ int main() {
       {"Cicero Agg MD", core::FrameworkKind::kCiceroAgg, true, 4},
   };
 
+  obs::RunReport report("fig12d_multidc");
+  report.set_meta("workload", "web_server");
+  report.set_meta("flows", static_cast<std::int64_t>(kBenchFlows));
+  obs::crypto_ops().reset();
+
   std::printf("%-16s %10s %10s %10s %10s\n", "setup", "flows", "compl_ms", "setup_ms",
               "p99_ms");
   std::vector<std::pair<std::string, util::CdfCollector>> series;
@@ -55,6 +60,7 @@ int main() {
                 completion.count() ? completion.p99() : 0.0);
     series.emplace_back(s.label, completion);
     means.push_back(completion.mean());
+    report_run(report, *dep, s.label);
   }
   std::printf("\n");
   for (const auto& [name, cdf] : series) print_cdf_series(name, cdf);
@@ -62,5 +68,6 @@ int main() {
   std::printf("# centralized controller on a WAN (crossover vs Fig. 11):\n");
   std::printf("#   centralized mean %.1f ms vs Cicero MD mean %.1f ms (%s)\n", means[0],
               means[1], means[1] < means[0] ? "Cicero wins, as in the paper" : "UNEXPECTED");
+  write_report(report, "fig12d");
   return 0;
 }

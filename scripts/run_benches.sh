@@ -1,5 +1,8 @@
 #!/usr/bin/env bash
-# Runs the crypto micro-benchmarks and records the results as JSON.
+# Runs the crypto micro-benchmarks and records the results as JSON, then
+# the observability smoke pass: the obs-overhead guard, the Fig. 11a
+# bench (which emits a machine-readable run report), and the schema
+# checker (tools/obs/check_obs.py) over the emitted artifacts.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build (configured+built already)
@@ -33,3 +36,14 @@ data = json.load(open(sys.argv[1]))
 for b in data.get("benchmarks", []):
     print(f"  {b['name']:<28} {b['real_time']:>12.0f} {b['time_unit']}")
 EOF
+
+echo
+echo "Running bench_obs_overhead (asserts alloc-free disabled hot path)"
+"$build_dir/bench/bench_obs_overhead"
+
+echo
+echo "Running bench_fig11a_hadoop_fct -> $repo_root/BENCH_fig11a.report.json"
+CICERO_REPORT_DIR="$repo_root" "$build_dir/bench/bench_fig11a_hadoop_fct" > /dev/null
+
+echo "Validating run report"
+python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_fig11a.report.json"

@@ -34,7 +34,23 @@ PbftReplica::PbftReplica(sim::Simulator& simulator, sim::NetworkSim& network,
   if (config_.group.empty() || config_.id >= config_.group.size()) {
     throw std::invalid_argument("PbftReplica: bad id/group");
   }
+  if (config_.obs != nullptr) {
+    auto& m = config_.obs->metrics;
+    m_preprepares_ = m.counter("bft.preprepares");
+    m_prepares_ = m.counter("bft.prepares");
+    m_commits_ = m.counter("bft.commits");
+    m_delivered_ = m.counter("bft.delivered");
+    m_view_changes_ = m.counter("bft.view_changes");
+    order_latency_ms_ = m.histogram("bft.order_latency_ms", obs::latency_buckets_ms());
+  }
   arm_timer();
+}
+
+void PbftReplica::observe_order_latency(const ReqKey& key) {
+  const auto it = pending_since_.find(key);
+  if (it != pending_since_.end()) {
+    order_latency_ms_.observe(sim::to_ms(sim_.now() - it->second));
+  }
 }
 
 util::Bytes PbftReplica::sign_and_encode(const BftMessage& m) const {
@@ -90,7 +106,7 @@ void PbftReplica::on_message(sim::NodeId from, const util::Bytes& wire) {
     }
   }
   if (config_.cpu != nullptr && config_.msg_processing_cost > 0) {
-    config_.cpu->execute(config_.msg_processing_cost,
+    config_.cpu->execute(config_.msg_processing_cost, "bft.msg",
                          [this, alive = alive_, m = std::move(msg)] {
                            if (*alive && !crashed_) handle(m);
                          });
@@ -182,6 +198,7 @@ void PbftReplica::handle_pre_prepare(const BftMessage& m) {
   if (in_view_change_ || m.view != view_ || m.sender != primary_of(view_)) return;
   if (!m.request || !digests_equal(m.digest, m.request->digest())) return;
   if (m.seq <= last_delivered_) return;
+  m_preprepares_.inc();
 
   LogEntry& e = log_[m.seq];
   if (e.request && e.view == m.view && !digests_equal(e.digest, m.digest)) {
@@ -209,6 +226,7 @@ void PbftReplica::handle_pre_prepare(const BftMessage& m) {
 
 void PbftReplica::handle_prepare(const BftMessage& m) {
   if (in_view_change_ || m.view != view_ || m.seq <= last_delivered_) return;
+  m_prepares_.inc();
   LogEntry& e = log_[m.seq];
   if (e.request && !digests_equal(e.digest, m.digest)) return;  // vote for other digest
   if (!e.request) {
@@ -238,6 +256,7 @@ void PbftReplica::check_prepared(SeqNum s) {
 
 void PbftReplica::handle_commit(const BftMessage& m) {
   if (in_view_change_ || m.view != view_ || m.seq <= last_delivered_) return;
+  m_commits_.inc();
   LogEntry& e = log_[m.seq];
   if (e.request && !digests_equal(e.digest, m.digest)) return;
   e.commit_senders.insert(m.sender);
@@ -261,6 +280,8 @@ void PbftReplica::try_deliver() {
     if (!e.noop && e.request) {
       const ReqKey key = request_key(*e.request);
       if (delivered_reqs_.insert(key).second) {
+        observe_order_latency(key);
+        m_delivered_.inc();
         pending_.erase(key);
         pending_since_.erase(key);
         if (deliver_) deliver_(last_delivered_, e.request->payload);
@@ -279,6 +300,11 @@ void PbftReplica::start_view_change(ViewId target) {
   view_change_target_ = target;
   CICERO_LOG_INFO(kLog, "replica %u: view change -> %llu", config_.id,
                   static_cast<unsigned long long>(target));
+  m_view_changes_.inc();
+  if (config_.obs != nullptr && config_.obs->trace.enabled()) {
+    config_.obs->trace.instant(node_of(config_.id), obs::kTidBft, "view_change",
+                               {{"target_view", static_cast<std::int64_t>(target)}});
+  }
 
   BftMessage vc;
   vc.type = BftMsgType::kViewChange;
@@ -455,6 +481,8 @@ void PbftReplica::try_deliver_fetched() {
     if (!noop) {
       const ReqKey key = request_key(*confirmed);
       if (delivered_reqs_.insert(key).second) {
+        observe_order_latency(key);
+        m_delivered_.inc();
         pending_.erase(key);
         pending_since_.erase(key);
         if (deliver_) deliver_(last_delivered_, confirmed->payload);

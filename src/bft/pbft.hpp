@@ -28,6 +28,7 @@
 
 #include "bft/messages.hpp"
 #include "crypto/schnorr.hpp"
+#include "obs/obs.hpp"
 #include "sim/cpu.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
@@ -43,6 +44,9 @@ struct PbftConfig {
   /// handling); applied through `cpu` when provided.
   sim::SimTime msg_processing_cost = 0;
   sim::CpuServer* cpu = nullptr;
+  /// Optional metrics/tracing sink (phase counters, order latency,
+  /// view-change instants on this replica's node row).
+  obs::Observability* obs = nullptr;
 };
 
 /// Per-group key material: one Schnorr key pair per replica.
@@ -157,6 +161,15 @@ class PbftReplica {
   /// Liveness token captured by queued timer callbacks; cleared by the
   /// destructor so a callback firing after destruction is a no-op.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+
+  // Metrics (no-op handles when config_.obs is null or metrics disabled).
+  obs::Counter m_preprepares_;
+  obs::Counter m_prepares_;
+  obs::Counter m_commits_;
+  obs::Counter m_delivered_;
+  obs::Counter m_view_changes_;
+  obs::Histogram order_latency_ms_;
+  void observe_order_latency(const ReqKey& key);
 };
 
 }  // namespace cicero::bft

@@ -20,6 +20,7 @@ bft::PbftConfig make_pbft_config(const Controller::Config& c, sim::CpuServer* cp
   pc.sign_messages = c.sign_bft_messages;
   pc.msg_processing_cost = c.costs.bft_msg_cost;
   pc.cpu = cpu;
+  pc.obs = c.obs;
   return pc;
 }
 
@@ -39,7 +40,34 @@ Controller::Controller(sim::Simulator& simulator, sim::NetworkSim& network, Conf
     frost_signer_ = std::make_unique<crypto::FrostSigner>(config_.share, config_.group_pk);
     nonce_drbg_ = std::make_unique<crypto::Drbg>(config_.nonce_seed ^ 0xF057ull);
   }
+  if (config_.obs != nullptr) {
+    cpu_.set_obs(config_.obs, config_.node, obs::kTidMain);
+    auto& m = config_.obs->metrics;
+    m_events_seen_ = m.counter("ctrl.events_seen");
+    m_events_processed_ = m.counter("ctrl.events_processed");
+    m_events_forwarded_ = m.counter("ctrl.events_forwarded");
+    m_updates_sent_ = m.counter("ctrl.updates_sent");
+    m_acks_ = m.counter("ctrl.acks_received");
+    m_deps_released_ = m.counter("sched.updates_released");
+    update_ack_ms_ = m.histogram("ctrl.update_ack_ms", obs::latency_buckets_ms());
+  }
   rebuild_replica();
+}
+
+bool Controller::tracing() const {
+  return config_.obs != nullptr && config_.obs->trace.enabled();
+}
+
+// Exactly one member per control plane owns the deployment-wide async
+// lifecycle tracks; reuse the aggregator-selection rule (lowest id).
+bool Controller::trace_leader() const { return tracing() && is_aggregator(); }
+
+std::string Controller::update_track_id(sched::UpdateId id) const {
+  return "u:" + std::to_string(config_.domain) + ":" + std::to_string(id);
+}
+
+std::string Controller::event_track_id(const EventId& id) const {
+  return "e:" + std::to_string(id.origin) + ":" + std::to_string(id.seq);
 }
 
 void Controller::rebuild_replica() {
@@ -68,7 +96,7 @@ void Controller::handle_message(sim::NodeId from, const util::Bytes& wire) {
     case CoreMsgTag::kEvent: {
       if (auto e = Event::decode(wire)) {
         cpu_.execute(config_.costs.ctrl_msg_handling + config_.costs.event_verify,
-                     [this, e = std::move(*e)] { on_event(e); });
+                     "event.verify", [this, e = std::move(*e)] { on_event(e); });
       }
       break;
     }
@@ -78,20 +106,20 @@ void Controller::handle_message(sim::NodeId from, const util::Bytes& wire) {
                             config_.framework == FrameworkKind::kCiceroAgg;
         const sim::SimTime cost = config_.costs.ctrl_msg_handling +
                                   (verify ? config_.costs.ack_verify : sim::SimTime{0});
-        cpu_.execute(cost, [this, a = std::move(*a)] { on_ack(a); });
+        cpu_.execute(cost, "ack.verify", [this, a = std::move(*a)] { on_ack(a); });
       }
       break;
     }
     case CoreMsgTag::kUpdate: {
       if (auto m = UpdateMsg::decode(wire)) {
-        cpu_.execute(config_.costs.ctrl_msg_handling,
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
                      [this, m = std::move(*m)] { on_peer_update(m); });
       }
       break;
     }
     case CoreMsgTag::kFrostSession: {
       if (auto m = FrostSessionMsg::decode(wire)) {
-        cpu_.execute(config_.costs.ctrl_msg_handling,
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
                      [this, m = std::move(*m)] { on_frost_session(m); });
       }
       break;
@@ -99,7 +127,7 @@ void Controller::handle_message(sim::NodeId from, const util::Bytes& wire) {
     case CoreMsgTag::kFrostPartial: {
       if (auto m = FrostPartialMsg::decode(wire)) {
         cpu_.execute(config_.costs.ctrl_msg_handling + config_.costs.partial_verify,
-                     [this, m = std::move(*m)] { on_frost_partial(m); });
+                     "partial.verify", [this, m = std::move(*m)] { on_frost_partial(m); });
       }
       break;
     }
@@ -114,6 +142,7 @@ void Controller::handle_message(sim::NodeId from, const util::Bytes& wire) {
 
 void Controller::on_event(const Event& e) {
   ++events_seen_;
+  m_events_seen_.inc();
   if (events_submitted_.count(e.id) != 0 || events_processed_set_.count(e.id) != 0) return;
   if (config_.real_crypto && !env_.pki->verify_event(e)) {
     CICERO_LOG_WARN(kLog, "c%u: event with bad origin signature dropped", config_.id);
@@ -136,6 +165,13 @@ void Controller::on_event(const Event& e) {
   if (!ours) return;
 
   events_submitted_.insert(e.id);
+  if (trace_leader()) {
+    // submit -> ordered: closes in process_event once the broadcast
+    // delivers the event back.
+    config_.obs->trace.async_begin("event", event_track_id(e.id), "order", config_.node,
+                                   obs::kTidBft,
+                                   {{"origin", static_cast<std::int64_t>(e.id.origin)}});
+  }
   replica_->submit(e.encode());
 }
 
@@ -163,6 +199,7 @@ void Controller::forward_cross_domain(const Event& e, const std::set<net::Domain
     fwd.forwarded = true;  // never re-forwarded (§4.1)
     net_.send(config_.node, target->node, fwd.encode());
     ++events_forwarded_;
+    m_events_forwarded_.inc();
   }
 }
 
@@ -183,8 +220,14 @@ void Controller::on_deliver(bft::SeqNum seq, const util::Bytes& payload) {
 
 void Controller::process_event(const Event& e) {
   if (!events_processed_set_.insert(e.id).second) return;
+  const bool submitted_here = events_submitted_.count(e.id) != 0;
   events_submitted_.erase(e.id);
   ++events_processed_;
+  m_events_processed_.inc();
+  if (trace_leader() && submitted_here) {
+    config_.obs->trace.async_end("event", event_track_id(e.id), "order", config_.node,
+                                 obs::kTidBft);
+  }
 
   switch (e.kind) {
     case EventKind::kFlowRequest:
@@ -240,18 +283,30 @@ void Controller::process_flow_event(const Event& e) {
 
   for (const auto& su : local.updates) update_cause_[su.update.id] = e.id;
 
-  cpu_.execute(config_.costs.route_compute, [this, local = std::move(local)] {
+  cpu_.execute(config_.costs.route_compute, "route.compute",
+               [this, local = std::move(local)] {
     std::vector<sched::UpdateId> ready;
     try {
       ready = tracker_.add(local);
     } catch (const std::invalid_argument&) {
       return;  // duplicate replay of an already-scheduled event
     }
+    if (trace_leader()) {
+      // Lifecycle track opens at schedule time (so dependency wait is
+      // visible) and closes on the switch ack in on_ack.
+      for (const auto& su : local.updates) {
+        config_.obs->trace.async_begin(
+            "update", update_track_id(su.update.id), "update", config_.node, obs::kTidMain,
+            {{"switch", static_cast<std::int64_t>(su.update.switch_node)},
+             {"deps", static_cast<std::int64_t>(su.deps.size())}});
+      }
+    }
     for (const sched::UpdateId id : ready) release_update(id);
   });
 }
 
 void Controller::release_update(sched::UpdateId id) {
+  m_deps_released_.inc();
   send_update(tracker_.update(id), update_cause_.at(id));
 }
 
@@ -271,7 +326,17 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
                          config_.framework == FrameworkKind::kCiceroAgg;
   const sim::SimTime sign_cost = threshold ? config_.costs.partial_sign : sim::SimTime{0};
 
-  cpu_.execute(sign_cost, [this, msg = std::move(msg)]() mutable {
+  if (config_.obs != nullptr) update_sent_at_.emplace(update.id, sim_.now());
+  if (trace_leader()) {
+    config_.obs->trace.async_begin("update", update_track_id(update.id), "sign",
+                                   config_.node, obs::kTidCrypto);
+  }
+  const sched::UpdateId uid = update.id;
+  cpu_.execute(sign_cost, "update.sign", [this, uid, msg = std::move(msg)]() mutable {
+    if (trace_leader()) {
+      config_.obs->trace.async_end("update", update_track_id(uid), "sign", config_.node,
+                                   obs::kTidCrypto);
+    }
     // Decision audit trail: record the exact update body we are about to
     // sign and emit (a mutating controller thereby signs evidence of its
     // own corruption; see core/audit.hpp).
@@ -295,6 +360,7 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
       }
     }
     ++updates_sent_;
+    m_updates_sent_.inc();
 
     const auto sw_it = env_.switch_nodes.find(msg.update.switch_node);
     if (sw_it == env_.switch_nodes.end()) return;
@@ -326,6 +392,18 @@ void Controller::on_ack(const AckMsg& ack) {
     return;
   }
   ++acks_received_;
+  m_acks_.inc();
+  if (config_.obs != nullptr) {
+    const auto it = update_sent_at_.find(ack.update_id);
+    if (it != update_sent_at_.end()) {
+      update_ack_ms_.observe(sim::to_ms(sim_.now() - it->second));
+      update_sent_at_.erase(it);
+      if (trace_leader()) {
+        config_.obs->trace.async_end("update", update_track_id(ack.update_id), "update",
+                                     config_.node, obs::kTidMain);
+      }
+    }
+  }
   for (const sched::UpdateId id : tracker_.complete(ack.update_id)) release_update(id);
 }
 
@@ -361,7 +439,7 @@ void Controller::on_peer_update(const UpdateMsg& m) {
   // Verify the partial against the signer's verification share so a bad
   // partial is attributed and excluded before aggregation.
   const sim::SimTime vcost = config_.costs.partial_verify;
-  cpu_.execute(vcost, [this, id = m.update.id, partial = m.partial] {
+  cpu_.execute(vcost, "partial.verify", [this, id = m.update.id, partial = m.partial] {
     auto it = agg_pending_.find(id);
     if (it == agg_pending_.end() || it->second.done) return;
     AggPending& p2 = it->second;
@@ -381,7 +459,7 @@ void Controller::on_peer_update(const UpdateMsg& m) {
 
     const sim::SimTime agg_cost =
         config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum);
-    cpu_.execute(agg_cost, [this, id] {
+    cpu_.execute(agg_cost, "aggregate", [this, id] {
       auto it2 = agg_pending_.find(id);
       if (it2 == agg_pending_.end()) return;
       AggPending& p3 = it2->second;
@@ -465,7 +543,7 @@ void Controller::on_frost_session(const FrostSessionMsg& m) {
   } else {
     reply.z = {0x00};
   }
-  cpu_.execute(config_.costs.partial_sign, [this, reply = std::move(reply)] {
+  cpu_.execute(config_.costs.partial_sign, "update.sign", [this, reply = std::move(reply)] {
     const MemberInfo* agg = &config_.members.front();
     for (const auto& mem : config_.members) {
       if (mem.id < agg->id) agg = &mem;
@@ -509,7 +587,7 @@ void Controller::on_frost_partial(const FrostPartialMsg& m) {
 void Controller::finish_frost_aggregation(sched::UpdateId id) {
   const sim::SimTime agg_cost =
       config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum);
-  cpu_.execute(agg_cost, [this, id] {
+  cpu_.execute(agg_cost, "aggregate", [this, id] {
     auto it = agg_pending_.find(id);
     if (it == agg_pending_.end()) return;
     AggPending& p = it->second;

@@ -35,6 +35,7 @@
 #include "crypto/frost.hpp"
 #include "crypto/simbls.hpp"
 #include "net/topology.hpp"
+#include "obs/obs.hpp"
 #include "sched/depgraph.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/cpu.hpp"
@@ -77,6 +78,9 @@ class Controller {
     bool real_crypto = true;
     bool sign_bft_messages = false;  ///< Schnorr on every BFT message
     sim::SimTime bft_timeout = sim::milliseconds(200);
+    /// Optional metrics/tracing sink, shared deployment-wide.  The trace
+    /// "process" for this controller is its network node id.
+    obs::Observability* obs = nullptr;
   };
 
   /// Immutable environment shared by all controllers of a deployment.
@@ -193,6 +197,23 @@ class Controller {
   std::uint64_t updates_sent_ = 0;
   std::uint64_t acks_received_ = 0;
   std::uint64_t events_forwarded_ = 0;
+
+  // Observability.  The async lifecycle tracks (event submit->order,
+  // update release->sign->apply->ack) are emitted by the aggregator
+  // (lowest-id member) only, so one deployment-wide track exists per
+  // event/update; per-node CPU spans are emitted by everyone.
+  bool tracing() const;
+  bool trace_leader() const;
+  std::string update_track_id(sched::UpdateId id) const;
+  std::string event_track_id(const EventId& id) const;
+  obs::Counter m_events_seen_;
+  obs::Counter m_events_processed_;
+  obs::Counter m_events_forwarded_;
+  obs::Counter m_updates_sent_;
+  obs::Counter m_acks_;
+  obs::Counter m_deps_released_;
+  obs::Histogram update_ack_ms_;
+  std::map<sched::UpdateId, sim::SimTime> update_sent_at_;
 
  public:
   /// Originates a membership event (bootstrap controller proposes adds;

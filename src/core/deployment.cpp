@@ -13,19 +13,23 @@ constexpr const char* kLog = "deploy";
 }
 
 Deployment::Deployment(net::Topology topology, DeploymentParams params)
-    : topo_(std::move(topology)), params_(params), drbg_(params.seed) {
+    : topo_(std::move(topology)), params_(params), obs_(params.metrics, params.trace),
+      drbg_(params.seed) {
   if (params_.backend == ThresholdBackend::kFrost &&
       params_.framework != FrameworkKind::kCiceroAgg) {
     throw std::invalid_argument(
         "Deployment: the FROST backend requires controller aggregation");
   }
+  obs_.trace.set_clock([this] { return sim_.now(); });
+  util::set_log_clock([this] { return sim_.now(); }, this);
   net_ = std::make_unique<sim::NetworkSim>(sim_);
+  net_->set_obs(&obs_);
   net_->set_latency_fn([this](sim::NodeId a, sim::NodeId b) { return latency(a, b); });
   build_nodes();
   wire_handlers();
 }
 
-Deployment::~Deployment() = default;
+Deployment::~Deployment() { util::clear_log_clock(this); }
 
 // ---------------------------------------------------------------------------
 // Construction
@@ -38,6 +42,10 @@ void Deployment::build_nodes() {
     switch_nodes_[sw] = node;
     const auto& p = topo_.node(sw).placement;
     node_place_[node] = Placement2{p.dc, p.pod, true};
+    if (obs_.trace.enabled()) {
+      obs_.trace.set_process_name(node, net_->node_name(node));
+      obs_.trace.set_thread_name(node, obs::kTidMain, "switch");
+    }
   }
 
   // Control planes: per topology domain for Cicero; one global plane for
@@ -72,6 +80,8 @@ void Deployment::build_nodes() {
           *std::min_element(plane.member_ids.begin(), plane.member_ids.end()));
     }
     cfg.real_crypto = params_.real_crypto;
+    cfg.domain = d;
+    cfg.obs = &obs_;
     pki_.register_origin(sw, cfg.key.pk);
     auto runtime = std::make_unique<SwitchRuntime>(sim_, *net_, std::move(cfg));
     runtime->add_applied_observer(
@@ -105,6 +115,12 @@ std::uint32_t Deployment::provision_controller(net::DomainId domain,
   ctrl_domain_[id] = domain;
   ctrl_keys_[id] = crypto::SchnorrKeyPair::generate(drbg_);
   pki_.register_origin(kControllerOriginBase + id, ctrl_keys_[id].pk);
+  if (obs_.trace.enabled()) {
+    obs_.trace.set_process_name(node, net_->node_name(node));
+    obs_.trace.set_thread_name(node, obs::kTidMain, "controller");
+    obs_.trace.set_thread_name(node, obs::kTidBft, "bft");
+    obs_.trace.set_thread_name(node, obs::kTidCrypto, "crypto");
+  }
   return id;
 }
 
@@ -164,7 +180,7 @@ std::vector<Controller::MemberInfo> Deployment::member_infos(const Plane& plane)
   return members;
 }
 
-Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t id) const {
+Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t id) {
   Controller::Config cfg;
   cfg.id = id;
   cfg.domain = plane.domain;
@@ -182,6 +198,7 @@ Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t i
   cfg.real_crypto = params_.real_crypto;
   cfg.sign_bft_messages = params_.sign_bft_messages;
   cfg.bft_timeout = params_.bft_timeout;
+  cfg.obs = &obs_;
   return cfg;
 }
 

@@ -56,6 +56,12 @@ struct DeploymentParams {
   /// unamortized setup/teardown mode).
   bool teardown_after_flow = false;
   sim::SimTime bft_timeout = sim::milliseconds(400);
+  /// Metrics recording (counters/histograms); near-zero cost, on by
+  /// default.  Disable for the most allocation-sensitive sweeps.
+  bool metrics = true;
+  /// Simulation-time tracing (buffers every span in memory); off by
+  /// default — enable for runs whose trace you intend to export.
+  bool trace = false;
 };
 
 /// Per-flow measurement record.
@@ -91,6 +97,8 @@ class Deployment {
   std::vector<std::uint32_t> domain_controller_ids(net::DomainId d) const;
   const PkiDirectory& pki() const { return pki_; }
   const crypto::Point& group_pk(net::DomainId d) const { return planes_.at(d).group_pk; }
+  /// Deployment-wide metrics registry + tracer (see obs/obs.hpp).
+  obs::Observability& obs() { return obs_; }
 
   // --- metrics ---
   const std::vector<FlowRecord>& flow_records() const { return records_; }
@@ -137,7 +145,7 @@ class Deployment {
   void build_nodes();
   void build_plane(net::DomainId domain, const std::vector<net::NodeIndex>& domain_switches);
   std::uint32_t provision_controller(net::DomainId domain, const net::Placement& placement);
-  Controller::Config member_config(const Plane& plane, std::uint32_t id) const;
+  Controller::Config member_config(const Plane& plane, std::uint32_t id);
   std::vector<Controller::MemberInfo> member_infos(const Plane& plane) const;
   void wire_handlers();
   sim::SimTime latency(sim::NodeId a, sim::NodeId b) const;
@@ -156,6 +164,9 @@ class Deployment {
   net::Topology topo_;
   DeploymentParams params_;
   sim::Simulator sim_;
+  /// Declared before net_/switches_/controllers_: the metric handles they
+  /// hold point into this registry, so it must outlive them.
+  obs::Observability obs_;
   std::unique_ptr<sim::NetworkSim> net_;
   crypto::Drbg drbg_;
   PkiDirectory pki_;

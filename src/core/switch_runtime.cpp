@@ -11,7 +11,24 @@ constexpr const char* kLog = "switch";
 }
 
 SwitchRuntime::SwitchRuntime(sim::Simulator& simulator, sim::NetworkSim& network, Config config)
-    : sim_(simulator), net_(network), config_(std::move(config)), cpu_(simulator) {}
+    : sim_(simulator), net_(network), config_(std::move(config)), cpu_(simulator) {
+  if (config_.obs != nullptr) {
+    cpu_.set_obs(config_.obs, config_.node, obs::kTidMain);
+    auto& m = config_.obs->metrics;
+    m_events_ = m.counter("switch.events_emitted");
+    m_applied_ = m.counter("switch.updates_applied");
+    m_rejected_ = m.counter("switch.updates_rejected");
+    update_apply_ms_ = m.histogram("switch.update_apply_ms", obs::latency_buckets_ms());
+  }
+}
+
+bool SwitchRuntime::tracing() const {
+  return config_.obs != nullptr && config_.obs->trace.enabled();
+}
+
+std::string SwitchRuntime::update_track_id(sched::UpdateId id) const {
+  return "u:" + std::to_string(config_.domain) + ":" + std::to_string(id);
+}
 
 bool SwitchRuntime::packet_in(const net::FlowMatch& match, double reserved_bps) {
   if (table_.has(match)) return true;
@@ -63,12 +80,13 @@ void SwitchRuntime::report_link_failure(net::NodeIndex neighbor) {
 
 void SwitchRuntime::emit_event(Event e) {
   ++events_emitted_;
+  m_events_.inc();
   if (config_.real_crypto) {
     e.sig = crypto::schnorr_sign(config_.key, e.body()).to_bytes();
   }
   // Miss detection + event signing cost, then transmit (Fig. 6a).
   cpu_.execute(config_.costs.packet_in_cost + config_.costs.event_sign,
-               [this, e = std::move(e)] {
+               "packet_in.sign", [this, e = std::move(e)] {
                  const util::Bytes wire = e.encode();
                  if (config_.framework == FrameworkKind::kCiceroAgg &&
                      config_.aggregator != sim::kInvalidNode) {
@@ -86,13 +104,14 @@ void SwitchRuntime::handle_message(sim::NodeId from, const util::Bytes& wire) {
   switch (static_cast<CoreMsgTag>(*tag)) {
     case CoreMsgTag::kUpdate: {
       if (auto m = UpdateMsg::decode(wire)) {
-        cpu_.execute(config_.costs.ctrl_msg_handling, [this, m = std::move(*m)] { on_update(m); });
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
+                     [this, m = std::move(*m)] { on_update(m); });
       }
       break;
     }
     case CoreMsgTag::kAggUpdate: {
       if (auto m = AggUpdateMsg::decode(wire)) {
-        cpu_.execute(config_.costs.ctrl_msg_handling,
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
                      [this, m = std::move(*m)] { on_agg_update(m); });
       }
       break;
@@ -115,6 +134,7 @@ void SwitchRuntime::on_aggregator_notify(const AggregatorNotifyMsg& m) {
 
 void SwitchRuntime::on_update(const UpdateMsg& m) {
   if (applied_ids_.count(m.update.id) != 0) return;
+  if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
 
   if (config_.framework == FrameworkKind::kCentralized ||
       config_.framework == FrameworkKind::kCrashTolerant) {
@@ -159,7 +179,7 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
   const sim::SimTime cost =
       config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum) +
       config_.costs.threshold_verify;
-  cpu_.execute(cost, [this, id, digest] {
+  cpu_.execute(cost, "aggregate", [this, id, digest] {
     auto it2 = pending_.find(id);
     if (it2 == pending_.end()) return;
     const auto bit2 = it2->second.buckets.find(digest);
@@ -193,6 +213,7 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
     if (!valid) {
       // Wait for more partials; a later arrival retries.
       ++updates_rejected_;
+      m_rejected_.inc();
       CICERO_LOG_WARN(kLog, "s%u: aggregate verification failed for update %llu",
                       config_.topo_index, static_cast<unsigned long long>(id));
       return;
@@ -206,7 +227,8 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
 
 void SwitchRuntime::on_agg_update(const AggUpdateMsg& m) {
   if (applied_ids_.count(m.update.id) != 0) return;
-  cpu_.execute(config_.costs.threshold_verify, [this, m] {
+  if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
+  cpu_.execute(config_.costs.threshold_verify, "threshold.verify", [this, m] {
     if (applied_ids_.count(m.update.id) != 0) return;
     if (config_.real_crypto) {
       bool valid = false;
@@ -220,6 +242,7 @@ void SwitchRuntime::on_agg_update(const AggUpdateMsg& m) {
       }
       if (!valid) {
         ++updates_rejected_;
+        m_rejected_.inc();
         CICERO_LOG_WARN(kLog, "s%u: bad aggregated signature for update %llu",
                         config_.topo_index, static_cast<unsigned long long>(m.update.id));
         return;
@@ -231,7 +254,11 @@ void SwitchRuntime::on_agg_update(const AggUpdateMsg& m) {
 }
 
 void SwitchRuntime::apply_update(const sched::Update& update) {
-  cpu_.execute(config_.costs.flow_table_update, [this, update] {
+  if (tracing()) {
+    config_.obs->trace.async_begin("update", update_track_id(update.id), "apply",
+                                   config_.node, obs::kTidMain);
+  }
+  cpu_.execute(config_.costs.flow_table_update, "flow_table.update", [this, update] {
     if (update.op == sched::UpdateOp::kInstall) {
       table_.install(update.rule);
       outstanding_events_.erase({update.rule.match.src_host, update.rule.match.dst_host});
@@ -239,6 +266,16 @@ void SwitchRuntime::apply_update(const sched::Update& update) {
       table_.remove(update.rule.match);
     }
     ++updates_applied_;
+    m_applied_.inc();
+    const auto rx = first_rx_.find(update.id);
+    if (rx != first_rx_.end()) {
+      update_apply_ms_.observe(sim::to_ms(sim_.now() - rx->second));
+      first_rx_.erase(rx);
+    }
+    if (tracing()) {
+      config_.obs->trace.async_end("update", update_track_id(update.id), "apply",
+                                   config_.node, obs::kTidMain);
+    }
     for (const auto& observer : observers_) observer(update);
     send_ack(update);
   });
@@ -254,7 +291,7 @@ void SwitchRuntime::send_ack(const sched::Update& update) {
     ack.sig = crypto::schnorr_sign(config_.key, ack.body()).to_bytes();
   }
   const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
-  cpu_.execute(cost, [this, ack = std::move(ack)] {
+  cpu_.execute(cost, "ack.sign", [this, ack = std::move(ack)] {
     net_.multicast(config_.node, config_.controllers, ack.encode());
   });
 }

@@ -24,6 +24,7 @@
 #include "core/messages.hpp"
 #include "crypto/simbls.hpp"
 #include "net/flow_table.hpp"
+#include "obs/obs.hpp"
 #include "sim/cpu.hpp"
 #include "sim/network.hpp"
 
@@ -48,6 +49,10 @@ class SwitchRuntime {
     /// (bounded retries); covers events lost to faulty controllers.
     sim::SimTime event_retry = sim::seconds(2);
     std::uint32_t event_max_retries = 10;
+    /// Domain of this switch (labels the per-update trace track ids).
+    net::DomainId domain = 0;
+    /// Optional metrics/tracing sink, shared deployment-wide.
+    obs::Observability* obs = nullptr;
   };
 
   /// Fired (with the applied update) right after a rule change commits to
@@ -128,6 +133,17 @@ class SwitchRuntime {
   std::uint64_t events_emitted_ = 0;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t updates_rejected_ = 0;
+
+  // Observability.  Exactly one switch applies a given update, so the
+  // "apply" phase of the update lifecycle track is emitted here.
+  bool tracing() const;
+  std::string update_track_id(sched::UpdateId id) const;
+  obs::Counter m_events_;
+  obs::Counter m_applied_;
+  obs::Counter m_rejected_;
+  obs::Histogram update_apply_ms_;
+  /// update id -> first receipt time (metrics runs only).
+  std::map<sched::UpdateId, sim::SimTime> first_rx_;
 };
 
 }  // namespace cicero::core

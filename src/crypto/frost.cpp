@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 
 namespace cicero::crypto {
@@ -125,6 +126,7 @@ Scalar FrostSigner::sign(const util::Bytes& msg, const std::vector<FrostCommitme
   }
   const NoncePair np = *it;
   pending_.erase(it);  // never reuse a nonce
+  ++obs::crypto_ops().frost_sign;
 
   const auto keys = frost_session_keys(msg, session, group_pk_);
   const Scalar rho = keys.rho.at(share_.index);
@@ -172,6 +174,7 @@ FrostSessionKeys frost_session_keys(const util::Bytes& msg,
 bool frost_verify_partial(const util::Bytes& msg, const std::vector<FrostCommitment>& session,
                           const Point& group_public_key, ShareIndex signer,
                           const Point& verification_share, const Scalar& z_i) {
+  ++obs::crypto_ops().partial_verify;
   const FrostCommitment* ours = nullptr;
   for (const auto& c : session) {
     if (c.signer == signer) ours = &c;
@@ -195,6 +198,7 @@ std::optional<FrostSignature> frost_aggregate(const util::Bytes& msg,
                                               const std::vector<FrostCommitment>& session,
                                               const Point& group_public_key,
                                               const std::map<ShareIndex, Scalar>& partials) {
+  ++obs::crypto_ops().frost_aggregate;
   FrostSessionKeys keys;
   try {
     keys = frost_session_keys(msg, session, group_public_key);
@@ -212,6 +216,7 @@ std::optional<FrostSignature> frost_aggregate(const util::Bytes& msg,
 
 bool frost_verify(const Point& group_public_key, const util::Bytes& msg,
                   const FrostSignature& sig) {
+  ++obs::crypto_ops().frost_verify;
   if (sig.r.is_infinity() || group_public_key.is_infinity()) return false;
   const Scalar c = challenge(sig.r, group_public_key, msg);
   // z*G - c*PK == R as a single Strauss–Shamir double-scalar mult.

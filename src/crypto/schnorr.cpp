@@ -1,5 +1,6 @@
 #include "crypto/schnorr.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 
 namespace cicero::crypto {
@@ -43,6 +44,7 @@ SchnorrKeyPair SchnorrKeyPair::generate(Drbg& drbg) {
 }
 
 SchnorrSignature schnorr_sign(const SchnorrKeyPair& kp, const util::Bytes& msg) {
+  ++obs::crypto_ops().schnorr_sign;
   // Deterministic nonce: k = H2S(HMAC(sk, msg)); retry on the (negligible)
   // zero case with a counter.
   ct::Secret<Scalar> k;
@@ -71,6 +73,7 @@ SchnorrSignature schnorr_sign(const ct::Secret<Scalar>& sk, const util::Bytes& m
 }
 
 bool schnorr_verify(const Point& pk, const util::Bytes& msg, const SchnorrSignature& sig) {
+  ++obs::crypto_ops().schnorr_verify;
   if (pk.is_infinity() || sig.r.is_infinity()) return false;
   const Scalar e = challenge(sig.r, pk, msg);
   // s*G == R + e*PK, checked as s*G - e*PK == R so the left side is a

@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
 #include "util/serialize.hpp"
 
 namespace cicero::crypto {
@@ -49,6 +50,7 @@ std::optional<PartialSignature> PartialSignature::from_bytes(const util::Bytes& 
 
 PartialSignature SimBlsScheme::partial_sign(const SecretShare& share,
                                             const util::Bytes& msg) const {
+  ++obs::crypto_ops().partial_sign;
   const Point hash_point = Point::mul_gen(hash_scalar(msg));
   const Point sig = hash_point * share.value;
   return PartialSignature{share.index, sig.to_bytes()};
@@ -56,6 +58,7 @@ PartialSignature SimBlsScheme::partial_sign(const SecretShare& share,
 
 bool SimBlsScheme::verify_partial(const Point& verification_share, const util::Bytes& msg,
                                   const PartialSignature& partial) const {
+  ++obs::crypto_ops().partial_verify;
   const auto sig = Point::from_bytes(partial.payload);
   if (!sig || sig->is_infinity()) return false;
   // share_i * (h*G) == h * (share_i * G)
@@ -65,6 +68,7 @@ bool SimBlsScheme::verify_partial(const Point& verification_share, const util::B
 std::optional<util::Bytes> SimBlsScheme::aggregate(const util::Bytes& msg,
                                                    const std::vector<PartialSignature>& partials,
                                                    std::size_t threshold) const {
+  ++obs::crypto_ops().aggregate;
   (void)msg;  // aggregation is message-independent, as in real BLS
   // Deduplicate signers; take the first `threshold` distinct ones.
   std::vector<const PartialSignature*> quorum;
@@ -95,6 +99,7 @@ std::optional<util::Bytes> SimBlsScheme::aggregate(const util::Bytes& msg,
 
 bool SimBlsScheme::verify(const Point& group_public_key, const util::Bytes& msg,
                           const util::Bytes& signature) const {
+  ++obs::crypto_ops().threshold_verify;
   const auto sig = Point::from_bytes(signature);
   if (!sig || sig->is_infinity() || group_public_key.is_infinity()) return false;
   return *sig == group_public_key * hash_scalar(msg);

@@ -1,0 +1,61 @@
+#include "obs/metrics.hpp"
+
+namespace cicero::obs {
+
+std::vector<double> latency_buckets_ms() {
+  // 10us .. 10s in a 1-2-5 ladder; covers everything from a single message
+  // hop to a multi-DC membership change.
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0,  2.0,  5.0,    10.0,
+          20.0, 50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0};
+}
+
+std::vector<double> size_buckets_bytes() {
+  std::vector<double> b;
+  for (double x = 64.0; x <= 16.0 * 1024 * 1024; x *= 4.0) b.push_back(x);
+  return b;
+}
+
+Counter MetricsRegistry::counter(const std::string& name) {
+  if (!enabled_) return Counter{};
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counter_cells_.push_back(0);
+    it = counters_.emplace(name, &counter_cells_.back()).first;
+  }
+  return Counter{it->second};
+}
+
+Gauge MetricsRegistry::gauge(const std::string& name) {
+  if (!enabled_) return Gauge{};
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauge_cells_.push_back(0.0);
+    it = gauges_.emplace(name, &gauge_cells_.back()).first;
+  }
+  return Gauge{it->second};
+}
+
+Histogram MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  if (!enabled_) return Histogram{};
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    HistogramCell cell;
+    cell.bounds = std::move(bounds);
+    cell.counts.assign(cell.bounds.size() + 1, 0);
+    histogram_cells_.push_back(std::move(cell));
+    it = histograms_.emplace(name, &histogram_cells_.back()).first;
+  }
+  return Histogram{it->second};
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : *it->second;
+}
+
+CryptoOpCounters& crypto_ops() {
+  static CryptoOpCounters g;
+  return g;
+}
+
+}  // namespace cicero::obs

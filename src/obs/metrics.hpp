@@ -1,0 +1,164 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the single source of truth for "what happened in this
+// run"; the run-report writer (obs/report.hpp) serializes it to JSON so
+// BENCH_* outputs are self-describing and diffable across PRs.
+//
+// Hot-path design: instruments resolve their metric ONCE at construction
+// into a handle holding a raw pointer to the backing cell.  Recording is
+// a pointer-null check plus an add — no lookup, no allocation, no lock
+// (the simulator is single-threaded).  A registry constructed disabled
+// hands out null handles, so the disabled path is a dead branch; defining
+// CICERO_OBS_NOOP at compile time (cmake -DCICERO_OBS=OFF) empties the
+// record methods entirely.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cicero::obs {
+
+/// Backing storage of one histogram: fixed upper-bound buckets plus an
+/// implicit +inf overflow bucket, and running summary fields.
+struct HistogramCell {
+  std::vector<double> bounds;         ///< ascending upper bounds
+  std::vector<std::uint64_t> counts;  ///< bounds.size() + 1 (last = overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) {
+#ifndef CICERO_OBS_NOOP
+    if (cell_ != nullptr) *cell_ += delta;
+#else
+    (void)delta;
+#endif
+  }
+  std::uint64_t value() const { return cell_ != nullptr ? *cell_ : 0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::uint64_t* cell) : cell_(cell) {}
+  std::uint64_t* cell_ = nullptr;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) {
+#ifndef CICERO_OBS_NOOP
+    if (cell_ != nullptr) *cell_ = v;
+#else
+    (void)v;
+#endif
+  }
+  void add(double delta) {
+#ifndef CICERO_OBS_NOOP
+    if (cell_ != nullptr) *cell_ += delta;
+#else
+    (void)delta;
+#endif
+  }
+  double value() const { return cell_ != nullptr ? *cell_ : 0.0; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(double* cell) : cell_(cell) {}
+  double* cell_ = nullptr;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double x) {
+#ifndef CICERO_OBS_NOOP
+    if (cell_ == nullptr) return;
+    HistogramCell& h = *cell_;
+    // Linear scan: bucket counts are small (<= ~24) and the early buckets
+    // absorb most samples, so this beats binary search in practice.
+    std::size_t i = 0;
+    while (i < h.bounds.size() && x > h.bounds[i]) ++i;
+    ++h.counts[i];
+    if (h.count == 0) {
+      h.min = h.max = x;
+    } else {
+      if (x < h.min) h.min = x;
+      if (x > h.max) h.max = x;
+    }
+    ++h.count;
+    h.sum += x;
+#else
+    (void)x;
+#endif
+  }
+  const HistogramCell* cell() const { return cell_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(HistogramCell* cell) : cell_(cell) {}
+  HistogramCell* cell_ = nullptr;
+};
+
+/// Common bucket ladders (upper bounds).  Latencies are recorded in
+/// milliseconds throughout (the paper reports ms everywhere).
+std::vector<double> latency_buckets_ms();  ///< 10us .. 10s, log-ish ladder
+std::vector<double> size_buckets_bytes();  ///< 64B .. 16MB powers of four
+
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  bool enabled() const { return enabled_; }
+
+  /// Handles for the same name share one backing cell.  A disabled
+  /// registry returns null (no-op) handles and allocates nothing.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name, std::vector<double> bounds);
+
+  // --- read side (report writer, tests) ---
+  const std::map<std::string, std::uint64_t*>& counters() const { return counters_; }
+  const std::map<std::string, double*>& gauges() const { return gauges_; }
+  const std::map<std::string, HistogramCell*>& histograms() const { return histograms_; }
+  std::uint64_t counter_value(const std::string& name) const;
+
+ private:
+  bool enabled_;
+  // deques: stable addresses across growth (handles keep raw pointers).
+  std::deque<std::uint64_t> counter_cells_;
+  std::deque<double> gauge_cells_;
+  std::deque<HistogramCell> histogram_cells_;
+  std::map<std::string, std::uint64_t*> counters_;
+  std::map<std::string, double*> gauges_;
+  std::map<std::string, HistogramCell*> histograms_;
+};
+
+/// Process-wide crypto operation counters, incremented directly by the
+/// crypto kernels (they have no registry in scope and must stay cheap).
+/// The run-report writer snapshots them; `reset` scopes them to one run.
+struct CryptoOpCounters {
+  std::uint64_t schnorr_sign = 0;
+  std::uint64_t schnorr_verify = 0;
+  std::uint64_t partial_sign = 0;
+  std::uint64_t partial_verify = 0;
+  std::uint64_t aggregate = 0;
+  std::uint64_t threshold_verify = 0;
+  std::uint64_t frost_sign = 0;
+  std::uint64_t frost_aggregate = 0;
+  std::uint64_t frost_verify = 0;
+  void reset() { *this = CryptoOpCounters{}; }
+};
+CryptoOpCounters& crypto_ops();
+
+}  // namespace cicero::obs

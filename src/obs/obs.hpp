@@ -1,0 +1,36 @@
+// Observability bundle: one Tracer + one MetricsRegistry per deployment.
+//
+// Instrumented components (sim::NetworkSim, sim::CpuServer,
+// bft::PbftReplica, core::Controller, core::SwitchRuntime) take a nullable
+// `Observability*`; a null pointer or a disabled sub-system makes every
+// record call a no-op, so tests and cost-only sweeps pay nothing.
+//
+// Component thread-row convention (one simulated node = one trace
+// process; rows within it):
+//   kTidMain   protocol logic (controller app / switch pipeline)
+//   kTidBft    PBFT ordering
+//   kTidCrypto sign / verify / aggregate work
+//   kTidNet    network send/receive markers
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace cicero::obs {
+
+inline constexpr TraceTid kTidMain = 0;
+inline constexpr TraceTid kTidBft = 1;
+inline constexpr TraceTid kTidCrypto = 2;
+inline constexpr TraceTid kTidNet = 3;
+
+struct Observability {
+  explicit Observability(bool metrics_enabled = true, bool trace_enabled = false)
+      : metrics(metrics_enabled) {
+    trace.set_enabled(trace_enabled);
+  }
+
+  Tracer trace;
+  MetricsRegistry metrics;
+};
+
+}  // namespace cicero::obs

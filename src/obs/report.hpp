@@ -1,0 +1,76 @@
+// Machine-readable run reports.
+//
+// A RunReport serializes one experiment run — metadata, the metrics
+// registry (counters / gauges / histograms), the process-wide crypto op
+// counters, and any number of named CdfCollector quantile summaries — to
+// a stable JSON schema, so BENCH_*.json files are self-describing and
+// mechanically diffable across PRs.
+//
+// Schema (validated by tools/obs/check_obs.py):
+//   {
+//     "schema":   "cicero-run-report/v1",
+//     "experiment": "<id>",
+//     "meta":     { "<key>": "<string>", ... },
+//     "counters": { "<name>": <u64>, ... },
+//     "gauges":   { "<name>": <double>, ... },
+//     "histograms": { "<name>": { "bounds": [..], "counts": [..],
+//                                 "count": n, "sum": s, "min": m, "max": M } },
+//     "cdfs":     { "<name>": { "unit": "<u>", "n":, "mean":, "min":, "max":,
+//                               "p50":, "p90":, "p99":, "series": [[x,q],..] } }
+//   }
+// `histograms.counts` has bounds.size() + 1 entries (last = overflow).
+// Additive evolution only; breaking changes bump the version suffix.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace cicero::obs {
+
+inline constexpr const char* kRunReportSchema = "cicero-run-report/v1";
+
+class RunReport {
+ public:
+  explicit RunReport(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  /// Free-form metadata (framework name, flow count, seed, ...).
+  void set_meta(const std::string& key, const std::string& value);
+  void set_meta(const std::string& key, std::int64_t value);
+
+  /// Merges a registry snapshot; `prefix` namespaces multi-deployment
+  /// benches (e.g. "cicero." vs "centralized.").
+  void add_metrics(const MetricsRegistry& registry, const std::string& prefix = "");
+
+  /// Snapshot of the process-wide crypto op counters under "crypto.ops.".
+  void add_crypto_ops(const CryptoOpCounters& ops, const std::string& prefix = "");
+
+  /// Quantile summary + a compact CDF series of a sample collector.
+  void add_cdf(const std::string& name, const util::CdfCollector& cdf,
+               const std::string& unit = "ms", std::size_t series_points = 20);
+
+  void write(std::ostream& out) const;
+  bool write(const std::string& path) const;
+  std::string to_json() const;
+
+ private:
+  struct CdfEntry {
+    std::string unit;
+    std::size_t n = 0;
+    double mean = 0, min = 0, max = 0, p50 = 0, p90 = 0, p99 = 0;
+    std::vector<std::pair<double, double>> series;
+  };
+
+  std::string experiment_;
+  std::vector<std::pair<std::string, std::string>> meta_;  // value pre-encoded
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramCell> histograms_;
+  std::map<std::string, CdfEntry> cdfs_;
+};
+
+}  // namespace cicero::obs

@@ -1,0 +1,93 @@
+// Simulation-time tracing with a Chrome trace-event JSON exporter.
+//
+// Spans and instant events are stamped with the *simulated* clock (an
+// injectable now() hook, wired to Simulator::now() by core::Deployment),
+// so a trace opened in Perfetto / chrome://tracing shows exactly where
+// simulated time goes: one "process" per simulated node (switch or
+// controller), one "thread" per component on that node.
+//
+// Two span flavours:
+//   * complete ("X") events — a closed [start, start+dur] interval on one
+//     node/component row; emitted at completion time with an explicit
+//     start, which suits event-driven code where begin and end happen in
+//     different callbacks.
+//   * async ("b"/"e") events — keyed by (category, id-string); used for
+//     the per-update lifecycle track (submit -> order -> sign -> apply ->
+//     ack) that crosses nodes.  Perfetto nests same-id begin/end pairs by
+//     time, which renders the lifecycle as a span tree.
+//
+// The tracer buffers everything in memory (a quickstart run is a few
+// thousand events) and serializes on demand.  When disabled every record
+// call is a cheap early-out.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cicero::obs {
+
+using TracePid = std::uint32_t;  ///< simulated node id
+using TraceTid = std::uint32_t;  ///< component row within a node
+
+/// Numeric key/value pairs attached to an event ("args" in the JSON).
+using TraceArgs = std::vector<std::pair<const char*, std::int64_t>>;
+
+class Tracer {
+ public:
+  using Clock = std::function<std::int64_t()>;  ///< simulated ns
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool on) { enabled_ = on; }
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+  std::int64_t now() const { return clock_ ? clock_() : 0; }
+
+  // --- metadata ---
+  void set_process_name(TracePid pid, std::string name);
+  void set_thread_name(TracePid pid, TraceTid tid, std::string name);
+
+  // --- recording (no-ops while disabled) ---
+  /// Closed span [start_ns, start_ns + dur_ns] on a node/component row.
+  void complete(TracePid pid, TraceTid tid, const char* name, std::int64_t start_ns,
+                std::int64_t dur_ns, TraceArgs args = {});
+  /// Zero-duration marker at the current sim time.
+  void instant(TracePid pid, TraceTid tid, const char* name, TraceArgs args = {});
+  /// Nestable async span keyed by (cat, id); `ts_ns` defaults to now().
+  void async_begin(const char* cat, const std::string& id, const char* name, TracePid pid,
+                   TraceTid tid, TraceArgs args = {}, std::int64_t ts_ns = -1);
+  void async_end(const char* cat, const std::string& id, const char* name, TracePid pid,
+                 TraceTid tid, std::int64_t ts_ns = -1);
+
+  std::size_t event_count() const { return events_.size(); }
+  void clear() { events_.clear(); }
+
+  /// Chrome trace-event JSON ("traceEvents" object form); loadable in
+  /// Perfetto and chrome://tracing.
+  void write_chrome_trace(std::ostream& out) const;
+  /// Convenience: writes to `path`; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Event {
+    char phase = 'X';  // X, i, b, e, M
+    TracePid pid = 0;
+    TraceTid tid = 0;
+    std::int64_t ts_ns = 0;
+    std::int64_t dur_ns = 0;   // X only
+    std::string name;
+    const char* cat = nullptr;  // b/e only
+    std::string id;             // b/e only; M: metadata string value
+    TraceArgs args;
+  };
+
+  void push(Event e);
+
+  bool enabled_ = false;
+  Clock clock_;
+  std::vector<Event> events_;
+};
+
+}  // namespace cicero::obs

@@ -2,12 +2,32 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace cicero::sim {
 
 CpuServer::CpuServer(Simulator& simulator) : sim_(simulator) {}
 
-void CpuServer::execute(SimTime cost, std::function<void()> done) {
+void CpuServer::set_obs(obs::Observability* obs, obs::TracePid pid, obs::TraceTid tid) {
+  obs_ = obs;
+  pid_ = pid;
+  tid_ = tid;
+  if (obs_ != nullptr) {
+    tasks_ = obs_->metrics.counter("cpu.tasks");
+    queue_wait_ms_ = obs_->metrics.histogram("cpu.queue_wait_ms", obs::latency_buckets_ms());
+  }
+}
+
+obs::Histogram& CpuServer::op_histogram(const char* op) {
+  const auto it = op_hist_.find(op);
+  if (it != op_hist_.end()) return it->second;
+  return op_hist_
+      .emplace(op, obs_->metrics.histogram(std::string("cpu.op.") + op + "_ms",
+                                           obs::latency_buckets_ms()))
+      .first->second;
+}
+
+void CpuServer::execute(SimTime cost, const char* op, std::function<void()> done) {
   if (cost < 0) throw std::invalid_argument("CpuServer::execute: negative cost");
   const SimTime start = std::max(sim_.now(), busy_until_);
   const SimTime finish = start + cost;
@@ -20,6 +40,14 @@ void CpuServer::execute(SimTime cost, std::function<void()> done) {
       intervals_.back().second += cost;
     } else {
       intervals_.emplace_back(start, cost);
+    }
+  }
+  if (obs_ != nullptr) {
+    tasks_.inc();
+    queue_wait_ms_.observe(to_ms(start - sim_.now()));
+    op_histogram(op).observe(to_ms(cost));
+    if (obs_->trace.enabled() && cost > 0) {
+      obs_->trace.complete(pid_, tid_, op, start, cost);
     }
   }
   sim_.at(finish, std::move(done));

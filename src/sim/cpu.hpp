@@ -7,11 +7,20 @@
 // naturally delays later updates — this queueing is what produces the
 // paper's Fig. 11d CPU-utilisation curves and the latency inflation of
 // switch-side aggregation.
+//
+// Observability: call sites name the cost-model op they charge
+// (`execute(cost, "update.sign", ...)`); with an attached
+// obs::Observability the server records a per-op cost histogram
+// (`cpu.op.<name>_ms`, whose sum is busy-time-per-op) plus queue-wait, and
+// emits one trace span per work item on this node's row — so a Perfetto
+// view of a node shows exactly what its CPU did and when.
 #pragma once
 
 #include <functional>
+#include <map>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace cicero::sim {
@@ -20,13 +29,21 @@ class CpuServer {
  public:
   explicit CpuServer(Simulator& simulator);
 
+  /// Attaches metrics/tracing; `pid`/`tid` locate this server's trace row.
+  void set_obs(obs::Observability* obs, obs::TracePid pid, obs::TraceTid tid);
+
   /// Enqueues `cost` nanoseconds of work; `done` fires when the work
-  /// completes (after queueing behind earlier work).  cost >= 0.
-  void execute(SimTime cost, std::function<void()> done);
+  /// completes (after queueing behind earlier work).  cost >= 0.  `op`
+  /// names the cost-model operation for metrics/tracing and must be a
+  /// string literal (cached by pointer identity).
+  void execute(SimTime cost, const char* op, std::function<void()> done);
+  void execute(SimTime cost, std::function<void()> done) {
+    execute(cost, "task", std::move(done));
+  }
 
   /// Convenience: charge cost with no completion action.
-  void charge(SimTime cost) {
-    execute(cost, [] {});
+  void charge(SimTime cost, const char* op = "task") {
+    execute(cost, op, [] {});
   }
 
   /// Total busy nanoseconds so far.
@@ -43,10 +60,19 @@ class CpuServer {
   std::vector<double> utilisation_windows(SimTime window, SimTime horizon) const;
 
  private:
+  obs::Histogram& op_histogram(const char* op);
+
   Simulator& sim_;
   SimTime busy_until_ = 0;
   SimTime busy_total_ = 0;
   std::vector<std::pair<SimTime, SimTime>> intervals_;  // (start, duration)
+
+  obs::Observability* obs_ = nullptr;
+  obs::TracePid pid_ = 0;
+  obs::TraceTid tid_ = 0;
+  obs::Counter tasks_;
+  obs::Histogram queue_wait_ms_;
+  std::map<const char*, obs::Histogram> op_hist_;  ///< keyed by literal identity
 };
 
 }  // namespace cicero::sim

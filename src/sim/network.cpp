@@ -19,15 +19,29 @@ void NetworkSim::set_handler(NodeId id, Handler handler) {
   handlers_.at(id) = std::move(handler);
 }
 
+void NetworkSim::set_obs(obs::Observability* obs) {
+  if (obs == nullptr) return;
+  m_sent_ = obs->metrics.counter("net.messages_sent");
+  m_delivered_ = obs->metrics.counter("net.messages_delivered");
+  m_dropped_ = obs->metrics.counter("net.messages_dropped");
+  m_bytes_ = obs->metrics.counter("net.bytes_sent");
+  msg_bytes_ = obs->metrics.histogram("net.msg_bytes", obs::size_buckets_bytes());
+  link_latency_ms_ = obs->metrics.histogram("net.link_latency_ms", obs::latency_buckets_ms());
+}
+
 void NetworkSim::send(NodeId from, NodeId to, util::Bytes msg) {
   if (to >= names_.size() || from >= names_.size()) {
     throw std::invalid_argument("NetworkSim::send: unknown node");
   }
   ++messages_sent_;
   bytes_sent_ += msg.size();
+  m_sent_.inc();
+  m_bytes_.inc(msg.size());
+  msg_bytes_.observe(static_cast<double>(msg.size()));
 
   if (drop_fn_ && drop_fn_(from, to, msg)) {
     ++messages_dropped_;
+    m_dropped_.inc();
     return;
   }
   if (mutate_fn_) mutate_fn_(from, to, msg);
@@ -35,10 +49,13 @@ void NetworkSim::send(NodeId from, NodeId to, util::Bytes msg) {
   const SimTime latency = latency_fn_ ? latency_fn_(from, to) : default_latency_;
   if (latency == kNever) {
     ++messages_dropped_;
+    m_dropped_.inc();
     return;
   }
+  link_latency_ms_.observe(to_ms(latency));
   sim_.after(latency, [this, from, to, m = std::move(msg)]() {
     ++messages_delivered_;
+    m_delivered_.inc();
     const Handler& h = handlers_.at(to);
     if (h) {
       h(from, m);

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 
@@ -40,6 +41,12 @@ class NetworkSim {
   const std::string& node_name(NodeId id) const { return names_.at(id); }
 
   void set_handler(NodeId id, Handler handler);
+
+  /// Attaches metrics (message/byte/drop counters, size and latency
+  /// histograms).  Trace-level per-message events are deliberately not
+  /// emitted here — they would dwarf the protocol spans.
+  void set_obs(obs::Observability* obs);
+
   void set_latency_fn(LatencyFn fn) { latency_fn_ = std::move(fn); }
   void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
   void set_mutate_fn(MutateFn fn) { mutate_fn_ = std::move(fn); }
@@ -69,6 +76,12 @@ class NetworkSim {
   DropFn drop_fn_;
   MutateFn mutate_fn_;
   SimTime default_latency_ = microseconds(100);
+  obs::Counter m_sent_;
+  obs::Counter m_delivered_;
+  obs::Counter m_dropped_;
+  obs::Counter m_bytes_;
+  obs::Histogram msg_bytes_;
+  obs::Histogram link_latency_ms_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;

@@ -1,11 +1,14 @@
 #include "util/logging.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace cicero::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::function<std::int64_t()> g_clock;
+const void* g_clock_owner = nullptr;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -21,14 +24,58 @@ const char* level_name(LogLevel l) {
       return "?";
   }
 }
+
+LogLevel level_from_env() {
+  LogLevel level = LogLevel::kWarn;
+  if (const char* env = std::getenv("CICERO_LOG_LEVEL")) {
+    if (!parse_log_level(env, level)) {
+      std::fprintf(stderr, "[WARN ] %-10s unknown CICERO_LOG_LEVEL '%s' ignored\n", "logging",
+                   env);
+    }
+  }
+  return level;
+}
+
+LogLevel& mutable_level() {
+  static LogLevel g_level = level_from_env();
+  return g_level;
+}
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+bool parse_log_level(const std::string& text, LogLevel& out) {
+  std::string t;
+  for (const char c : text) t += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (t == "debug") out = LogLevel::kDebug;
+  else if (t == "info") out = LogLevel::kInfo;
+  else if (t == "warn" || t == "warning") out = LogLevel::kWarn;
+  else if (t == "error") out = LogLevel::kError;
+  else if (t == "off" || t == "none") out = LogLevel::kOff;
+  else return false;
+  return true;
+}
+
+void set_log_level(LogLevel level) { mutable_level() = level; }
+LogLevel log_level() { return mutable_level(); }
+
+void set_log_clock(std::function<std::int64_t()> now_ns, const void* owner) {
+  g_clock = std::move(now_ns);
+  g_clock_owner = owner;
+}
+
+void clear_log_clock(const void* owner) {
+  if (g_clock_owner != owner) return;
+  g_clock = nullptr;
+  g_clock_owner = nullptr;
+}
 
 void log(LogLevel level, const char* component, const char* fmt, ...) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %-10s ", level_name(level), component);
+  if (level < mutable_level()) return;
+  if (g_clock) {
+    std::fprintf(stderr, "[%s] [t=%.3fms] %-10s ", level_name(level),
+                 static_cast<double>(g_clock()) / 1e6, component);
+  } else {
+    std::fprintf(stderr, "[%s] %-10s ", level_name(level), component);
+  }
   va_list args;
   va_start(args, fmt);
   std::vfprintf(stderr, fmt, args);

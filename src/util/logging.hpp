@@ -4,18 +4,39 @@
 // a global level, printf-style formatting, and a per-line prefix carrying
 // the simulated component name.  Tests set the level to `kError` to keep
 // ctest output quiet; examples crank it up to `kInfo`/`kDebug`.
+//
+// Two observability hooks:
+//   * the CICERO_LOG_LEVEL environment variable (debug|info|warn|error|off)
+//     sets the initial level, so examples and benches can be made chatty
+//     without a rebuild;
+//   * an injectable now() hook (set by core::Deployment) prefixes every
+//     line with the simulated time in ms, so log lines correlate with the
+//     timestamps in a .trace.json opened in Perfetto.
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
 
 namespace cicero::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global log level (default kWarn).
+/// Sets the global log level (default kWarn, or CICERO_LOG_LEVEL if set).
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Parses "debug" / "info" / "warn" / "error" / "off" (case-insensitive);
+/// returns false on anything else.
+bool parse_log_level(const std::string& text, LogLevel& out);
+
+/// Installs a simulated-clock hook (ns since run start); log lines gain a
+/// `[t=...ms]` prefix.  `owner` identifies the installer: clear_log_clock
+/// only removes the hook while the same owner still holds it, so a
+/// destroyed Deployment cannot yank a hook a newer one installed.
+void set_log_clock(std::function<std::int64_t()> now_ns, const void* owner);
+void clear_log_clock(const void* owner);
 
 /// Core log entry point; prefer the macros below.
 void log(LogLevel level, const char* component, const char* fmt, ...)

@@ -74,9 +74,15 @@ double CdfCollector::max() const {
 }
 
 double CdfCollector::quantile(double q) const {
-  if (samples_.empty()) throw std::logic_error("CdfCollector::quantile on empty collector");
-  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile out of [0,1]");
+  // Total: empty -> 0 (matches mean()/min()/max()), one sample -> that
+  // sample, q outside [0,1] (NaN included) clamped to the nearest valid
+  // quantile.  Callers probe tails of possibly-empty phase collectors;
+  // throwing here turned missing data into crashes.
+  if (samples_.empty()) return 0.0;
+  if (!(q > 0.0)) q = 0.0;
+  if (q > 1.0) q = 1.0;
   ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
   const double pos = q * static_cast<double>(samples_.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
   const std::size_t hi = std::min(lo + 1, samples_.size() - 1);

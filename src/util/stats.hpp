@@ -44,7 +44,9 @@ class CdfCollector {
   double min() const;
   double max() const;
 
-  /// Quantile in [0,1] by linear interpolation between order statistics.
+  /// Quantile by linear interpolation between order statistics.  Total on
+  /// all inputs: empty collectors return 0, a single sample is every
+  /// quantile, and q is clamped into [0,1].
   double quantile(double q) const;
   double median() const { return quantile(0.5); }
   double p99() const { return quantile(0.99); }

@@ -1,0 +1,104 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::obs {
+namespace {
+
+TEST(MetricsRegistry, CountersShareCellsByName) {
+  MetricsRegistry reg;
+  Counter a = reg.counter("x");
+  Counter b = reg.counter("x");
+  a.inc();
+  b.inc(4);
+  EXPECT_EQ(a.value(), 5u);
+  EXPECT_EQ(reg.counter_value("x"), 5u);
+  EXPECT_EQ(reg.counters().size(), 1u);
+}
+
+TEST(MetricsRegistry, HandlesSurviveRegistryGrowth) {
+  MetricsRegistry reg;
+  Counter first = reg.counter("first");
+  // Force many cells; the deque must not invalidate `first`'s pointer.
+  for (int i = 0; i < 1000; ++i) reg.counter("c" + std::to_string(i)).inc();
+  first.inc();
+  EXPECT_EQ(reg.counter_value("first"), 1u);
+}
+
+TEST(MetricsRegistry, DisabledRegistryHandsOutNoops) {
+  MetricsRegistry reg(/*enabled=*/false);
+  Counter c = reg.counter("x");
+  Gauge g = reg.gauge("y");
+  Histogram h = reg.histogram("z", {1.0, 2.0});
+  c.inc();
+  g.set(7.0);
+  h.observe(1.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.cell(), nullptr);
+  EXPECT_TRUE(reg.counters().empty());
+  EXPECT_TRUE(reg.gauges().empty());
+  EXPECT_TRUE(reg.histograms().empty());
+}
+
+TEST(MetricsRegistry, DefaultConstructedHandlesAreNoops) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.inc();
+  g.add(1.0);
+  h.observe(3.0);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+TEST(Histogram, BucketsIncludingOverflow) {
+  MetricsRegistry reg;
+  Histogram h = reg.histogram("lat", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (boundary is inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(1000.0); // overflow
+  const HistogramCell* cell = h.cell();
+  ASSERT_NE(cell, nullptr);
+  ASSERT_EQ(cell->counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(cell->counts[0], 2u);
+  EXPECT_EQ(cell->counts[1], 1u);
+  EXPECT_EQ(cell->counts[2], 0u);
+  EXPECT_EQ(cell->counts[3], 1u);
+  EXPECT_EQ(cell->count, 4u);
+  EXPECT_DOUBLE_EQ(cell->min, 0.5);
+  EXPECT_DOUBLE_EQ(cell->max, 1000.0);
+  EXPECT_DOUBLE_EQ(cell->sum, 1006.5);
+}
+
+TEST(Histogram, SharedCellAcrossHandles) {
+  MetricsRegistry reg;
+  Histogram a = reg.histogram("h", latency_buckets_ms());
+  Histogram b = reg.histogram("h", latency_buckets_ms());
+  a.observe(1.0);
+  b.observe(2.0);
+  EXPECT_EQ(a.cell(), b.cell());
+  EXPECT_EQ(a.cell()->count, 2u);
+}
+
+TEST(BucketLadders, AreAscending) {
+  for (const auto& bounds : {latency_buckets_ms(), size_buckets_bytes()}) {
+    ASSERT_FALSE(bounds.empty());
+    for (std::size_t i = 1; i < bounds.size(); ++i) EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(CryptoOpCounters, ResetClearsEverything) {
+  CryptoOpCounters& ops = crypto_ops();
+  ops.reset();
+  ++ops.schnorr_sign;
+  ++ops.aggregate;
+  EXPECT_EQ(crypto_ops().schnorr_sign, 1u);
+  ops.reset();
+  EXPECT_EQ(crypto_ops().schnorr_sign, 0u);
+  EXPECT_EQ(crypto_ops().aggregate, 0u);
+}
+
+}  // namespace
+}  // namespace cicero::obs

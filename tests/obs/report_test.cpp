@@ -1,0 +1,79 @@
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/stats.hpp"
+
+namespace cicero::obs {
+namespace {
+
+TEST(RunReport, SerializesAllSections) {
+  MetricsRegistry reg;
+  reg.counter("net.messages_sent").inc(42);
+  reg.gauge("cpu.util").set(0.5);
+  Histogram h = reg.histogram("lat_ms", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(50.0);
+
+  util::CdfCollector cdf;
+  for (int i = 1; i <= 100; ++i) cdf.add(static_cast<double>(i));
+
+  RunReport r("unit_test");
+  r.set_meta("framework", "cicero");
+  r.set_meta("flows", std::int64_t{100});
+  r.add_metrics(reg, "run1.");
+  r.add_cdf("setup_ms", cdf);
+
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"schema\": \"cicero-run-report/v1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"experiment\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"framework\": \"cicero\""), std::string::npos);
+  EXPECT_NE(json.find("\"flows\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"run1.net.messages_sent\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"run1.cpu.util\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"run1.lat_ms\""), std::string::npos);
+  // Histogram counts: 2 bounds + overflow, one sample each in 0 and 2.
+  EXPECT_NE(json.find("\"counts\": [1,0,1]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"setup_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(RunReport, CryptoOpsSnapshot) {
+  CryptoOpCounters ops;
+  ops.schnorr_sign = 3;
+  ops.threshold_verify = 9;
+  RunReport r("x");
+  r.add_crypto_ops(ops, "cicero.");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"cicero.crypto.ops.schnorr_sign\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"cicero.crypto.ops.threshold_verify\": 9"), std::string::npos);
+}
+
+TEST(RunReport, EmptyCdfHasZeroCount) {
+  RunReport r("x");
+  r.add_cdf("empty_ms", util::CdfCollector{});
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"empty_ms\": {\"unit\": \"ms\", \"n\": 0"), std::string::npos) << json;
+}
+
+TEST(RunReport, EscapesMetaStrings) {
+  RunReport r("x");
+  r.set_meta("note", "line1\nline2 \"quoted\"");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("line1\\nline2 \\\"quoted\\\""), std::string::npos) << json;
+}
+
+TEST(RunReport, MultiplePrefixesDoNotCollide) {
+  MetricsRegistry reg;
+  reg.counter("c").inc(1);
+  RunReport r("x");
+  r.add_metrics(reg, "a.");
+  reg.counter("c").inc(1);
+  r.add_metrics(reg, "b.");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"a.c\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"b.c\": 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cicero::obs

@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace cicero::obs {
+namespace {
+
+TEST(Tracer, DisabledRecordsNothing) {
+  Tracer t;
+  EXPECT_FALSE(t.enabled());
+  t.complete(1, 0, "span", 0, 10);
+  t.instant(1, 0, "mark");
+  t.async_begin("cat", "id", "a", 1, 0);
+  t.async_end("cat", "id", "a", 1, 0);
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Tracer, UsesInjectedClock) {
+  Tracer t;
+  t.set_enabled(true);
+  std::int64_t now = 5000;
+  t.set_clock([&now] { return now; });
+  EXPECT_EQ(t.now(), 5000);
+  t.instant(1, 0, "mark");
+  now = 9000;
+  t.instant(1, 0, "mark2");
+  EXPECT_EQ(t.event_count(), 2u);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+  // ts is microseconds: 5000 ns -> 5.000 us, 9000 ns -> 9.000 us.
+  EXPECT_NE(json.find("\"ts\":5.000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ts\":9.000"), std::string::npos) << json;
+}
+
+TEST(Tracer, ChromeJsonShape) {
+  Tracer t;
+  t.set_enabled(true);
+  std::int64_t now = 0;
+  t.set_clock([&now] { return now; });
+  t.set_process_name(3, "sw:edge0");
+  t.set_thread_name(3, 1, "bft");
+  t.complete(3, 1, "work", 1000, 2000, {{"items", 7}});
+  now = 4000;
+  t.instant(3, 1, "tick");
+  t.async_begin("update", "u:0:1", "update", 3, 0, {{"switch", 2}});
+  now = 8000;
+  t.async_end("update", "u:0:1", "update", 3, 0);
+
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("sw:edge0"), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.000"), std::string::npos);  // 2000 ns in us
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":\"u:0:1\""), std::string::npos);
+  EXPECT_NE(json.find("\"items\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"switch\":2"), std::string::npos);
+}
+
+TEST(Tracer, AsyncTimestampOverride) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_clock([] { return std::int64_t{777}; });
+  t.async_begin("c", "i", "n", 0, 0, {}, /*ts_ns=*/1000);
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(Tracer, ClearEmptiesBuffer) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant(0, 0, "x");
+  EXPECT_EQ(t.event_count(), 1u);
+  t.clear();
+  EXPECT_EQ(t.event_count(), 0u);
+}
+
+TEST(Tracer, EnableDisableToggle) {
+  Tracer t;
+  t.set_enabled(true);
+  t.instant(0, 0, "a");
+  t.set_enabled(false);
+  t.instant(0, 0, "b");
+  EXPECT_EQ(t.event_count(), 1u);
+}
+
+}  // namespace
+}  // namespace cicero::obs

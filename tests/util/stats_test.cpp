@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace cicero::util {
 namespace {
 
@@ -29,6 +31,35 @@ TEST(RunningStats, MergeMatchesCombined) {
   EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
 }
 
+TEST(RunningStats, MergeWithEmptyOnEitherSide) {
+  RunningStats filled;
+  for (double x : {1.0, 2.0, 3.0}) filled.add(x);
+
+  RunningStats lhs = filled, empty;
+  lhs.merge(empty);
+  EXPECT_EQ(lhs.count(), 3u);
+  EXPECT_DOUBLE_EQ(lhs.mean(), 2.0);
+
+  RunningStats fresh;
+  fresh.merge(filled);
+  EXPECT_EQ(fresh.count(), 3u);
+  EXPECT_DOUBLE_EQ(fresh.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(fresh.min(), 1.0);
+  EXPECT_DOUBLE_EQ(fresh.max(), 3.0);
+  EXPECT_DOUBLE_EQ(fresh.sum(), 6.0);
+}
+
+TEST(RunningStats, MergePreservesMinMaxAcrossDisjointRanges) {
+  RunningStats lo, hi;
+  for (double x : {-5.0, -1.0}) lo.add(x);
+  for (double x : {10.0, 20.0}) hi.add(x);
+  lo.merge(hi);
+  EXPECT_DOUBLE_EQ(lo.min(), -5.0);
+  EXPECT_DOUBLE_EQ(lo.max(), 20.0);
+  EXPECT_EQ(lo.count(), 4u);
+  EXPECT_DOUBLE_EQ(lo.mean(), 6.0);
+}
+
 TEST(RunningStats, EmptyIsZero) {
   RunningStats s;
   EXPECT_EQ(s.count(), 0u);
@@ -45,16 +76,26 @@ TEST(CdfCollector, Quantiles) {
   EXPECT_NEAR(c.p99(), 99.01, 0.01);
 }
 
-TEST(CdfCollector, QuantileOutOfRangeThrows) {
+TEST(CdfCollector, QuantileOutOfRangeClampsToExtremes) {
   CdfCollector c;
-  c.add(1.0);
-  EXPECT_THROW(c.quantile(-0.1), std::invalid_argument);
-  EXPECT_THROW(c.quantile(1.1), std::invalid_argument);
+  for (int i = 1; i <= 4; ++i) c.add(i);
+  EXPECT_DOUBLE_EQ(c.quantile(-0.1), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.1), 4.0);
+  EXPECT_DOUBLE_EQ(c.quantile(std::numeric_limits<double>::quiet_NaN()), 1.0);
 }
 
-TEST(CdfCollector, EmptyQuantileThrows) {
+TEST(CdfCollector, EmptyQuantileIsZero) {
   CdfCollector c;
-  EXPECT_THROW(c.quantile(0.5), std::logic_error);
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(c.p99(), 0.0);
+}
+
+TEST(CdfCollector, SingleSampleIsEveryQuantile) {
+  CdfCollector c;
+  c.add(42.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(c.quantile(0.37), 42.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 42.0);
 }
 
 TEST(CdfCollector, FractionBelow) {
@@ -89,6 +130,29 @@ TEST(TimeSeries, WindowsAccumulate) {
   EXPECT_EQ(w[0].count, 2u);
   EXPECT_DOUBLE_EQ(w[1].sum, 0.0);
   EXPECT_DOUBLE_EQ(w[2].sum, 7.0);
+}
+
+TEST(TimeSeries, ExactWindowBoundaryFallsInUpperWindow) {
+  TimeSeries ts(1.0);
+  ts.add(0.0, 1.0);  // start of window 0
+  ts.add(1.0, 2.0);  // exactly on the 0/1 boundary -> window 1
+  ts.add(2.0, 4.0);  // exactly on the 1/2 boundary -> window 2
+  const auto w = ts.windows();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_DOUBLE_EQ(w[0].sum, 1.0);
+  EXPECT_DOUBLE_EQ(w[1].sum, 2.0);
+  EXPECT_DOUBLE_EQ(w[2].sum, 4.0);
+  EXPECT_DOUBLE_EQ(w[2].start, 2.0);
+}
+
+TEST(TimeSeries, LastSampleAtHorizonStaysInFinalWindow) {
+  TimeSeries ts(2.0);
+  ts.add(3.999, 1.0);
+  ts.add(4.0, 1.0);  // defines a new window [4,6)
+  const auto w = ts.windows();
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[1].count, 1u);
+  EXPECT_EQ(w[2].count, 1u);
 }
 
 TEST(TimeSeries, RejectsBadWidth) {

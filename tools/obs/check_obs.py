@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validates Cicero observability artifacts.
+
+Two artifact kinds, auto-detected per file:
+
+* Chrome trace-event JSON (``*.trace.json`` as written by
+  ``obs::Tracer::write_chrome_trace``): object form with a ``traceEvents``
+  list whose entries are ``X`` / ``i`` / ``b`` / ``e`` / ``M`` events with
+  the fields Perfetto requires.
+
+* Run reports (``*.report.json`` as written by ``obs::RunReport``):
+  schema ``cicero-run-report/v1`` with consistent histogram and CDF
+  shapes (``counts`` has ``len(bounds) + 1`` entries, the last being the
+  overflow bucket).
+
+Usage:  check_obs.py FILE [FILE...]
+Exits non-zero (listing every problem) if any file fails; prints a
+one-line summary per valid file.  Stdlib only.
+"""
+import json
+import sys
+
+RUN_REPORT_SCHEMA = "cicero-run-report/v1"
+TRACE_PHASES = {"X", "i", "b", "e", "M"}
+
+
+def fail(errors, fmt, *a):
+    errors.append(fmt % a if a else fmt)
+
+
+def check_trace(doc, errors):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(errors, "traceEvents missing or not a list")
+        return {}
+    if not events:
+        fail(errors, "traceEvents is empty")
+    phases = {}
+    pids = set()
+    async_open = {}  # (cat, id) -> open-begin depth
+    for i, ev in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(ev, dict):
+            fail(errors, "%s: not an object", where)
+            continue
+        ph = ev.get("ph")
+        if ph not in TRACE_PHASES:
+            fail(errors, "%s: unexpected phase %r", where, ph)
+            continue
+        phases[ph] = phases.get(ph, 0) + 1
+        if not isinstance(ev.get("pid"), int):
+            fail(errors, "%s: pid missing or not an int", where)
+        else:
+            pids.add(ev["pid"])
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            fail(errors, "%s: name missing or empty", where)
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                fail(errors, "%s: ts missing or negative (%r)", where, ts)
+        if ph == "X" and not isinstance(ev.get("dur"), (int, float)):
+            fail(errors, "%s: complete event without dur", where)
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            fail(errors, "%s: instant without scope 's'", where)
+        if ph in ("b", "e"):
+            if not isinstance(ev.get("cat"), str) or not isinstance(ev.get("id"), str):
+                fail(errors, "%s: async event needs string cat and id", where)
+            else:
+                key = (ev["cat"], ev["id"])
+                depth = async_open.get(key, 0) + (1 if ph == "b" else -1)
+                if depth < 0:
+                    fail(errors, "%s: async end without begin for %r", where, key)
+                    depth = 0
+                async_open[key] = depth
+    open_spans = sum(d for d in async_open.values() if d > 0)
+    if open_spans:
+        # Not an error: a span is legitimately left open when the sim
+        # horizon cuts an in-flight update.
+        print("     note: %d async span(s) still open at end of trace" % open_spans)
+    return {"events": len(events), "processes": len(pids), "phases": phases}
+
+
+def check_report(doc, errors):
+    if doc.get("schema") != RUN_REPORT_SCHEMA:
+        fail(errors, "schema is %r, want %r", doc.get("schema"), RUN_REPORT_SCHEMA)
+    if not isinstance(doc.get("experiment"), str) or not doc["experiment"]:
+        fail(errors, "experiment missing or empty")
+    for section in ("meta", "counters", "gauges", "histograms", "cdfs"):
+        if not isinstance(doc.get(section), dict):
+            fail(errors, "section %r missing or not an object", section)
+
+    for name, v in (doc.get("counters") or {}).items():
+        if not isinstance(v, int) or v < 0:
+            fail(errors, "counter %r: not a non-negative integer (%r)", name, v)
+    for name, v in (doc.get("gauges") or {}).items():
+        if not isinstance(v, (int, float)) and v is not None:
+            fail(errors, "gauge %r: not a number (%r)", name, v)
+
+    for name, h in (doc.get("histograms") or {}).items():
+        where = "histogram %r" % name
+        if not isinstance(h, dict):
+            fail(errors, "%s: not an object", where)
+            continue
+        bounds, counts = h.get("bounds"), h.get("counts")
+        if not isinstance(bounds, list) or not isinstance(counts, list):
+            fail(errors, "%s: bounds/counts missing", where)
+            continue
+        if len(counts) != len(bounds) + 1:
+            fail(errors, "%s: len(counts)=%d, want len(bounds)+1=%d", where,
+                 len(counts), len(bounds) + 1)
+        if bounds != sorted(bounds):
+            fail(errors, "%s: bounds not ascending", where)
+        bucket_total = sum(c for c in counts if isinstance(c, int))
+        if h.get("count") != bucket_total:
+            fail(errors, "%s: count=%r != sum(counts)=%d", where, h.get("count"), bucket_total)
+
+    for name, c in (doc.get("cdfs") or {}).items():
+        where = "cdf %r" % name
+        if not isinstance(c, dict):
+            fail(errors, "%s: not an object", where)
+            continue
+        for field in ("unit", "n", "mean", "min", "max", "p50", "p90", "p99", "series"):
+            if field not in c:
+                fail(errors, "%s: missing field %r", where, field)
+        series = c.get("series")
+        if not isinstance(series, list) or not all(
+                isinstance(p, list) and len(p) == 2 for p in series or []):
+            fail(errors, "%s: series must be a list of [value, quantile] pairs", where)
+        elif c.get("n", 0) > 0:
+            qs = [p[1] for p in series]
+            if qs != sorted(qs):
+                fail(errors, "%s: quantiles not monotone", where)
+            if c.get("p50", 0) > c.get("p99", 0):
+                fail(errors, "%s: p50 > p99", where)
+    return {
+        "counters": len(doc.get("counters") or {}),
+        "gauges": len(doc.get("gauges") or {}),
+        "histograms": len(doc.get("histograms") or {}),
+        "cdfs": len(doc.get("cdfs") or {}),
+    }
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return ["unreadable or invalid JSON: %s" % e], None
+    if not isinstance(doc, dict):
+        return ["top level is not a JSON object"], None
+    if "traceEvents" in doc:
+        info = check_trace(doc, errors)
+        kind = "trace"
+    elif "schema" in doc or "cdfs" in doc:
+        info = check_report(doc, errors)
+        kind = "report"
+    else:
+        return ["neither a trace (no traceEvents) nor a run report (no schema)"], None
+    return errors, (kind, info)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, detail = check_file(path)
+        if errors:
+            failed = True
+            print("FAIL %s" % path)
+            for e in errors:
+                print("     %s" % e)
+        else:
+            kind, info = detail
+            summary = ", ".join("%s=%s" % kv for kv in sorted(info.items()))
+            print("OK   %s (%s: %s)" % (path, kind, summary))
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
