@@ -47,3 +47,15 @@ CICERO_REPORT_DIR="$repo_root" "$build_dir/bench/bench_fig11a_hadoop_fct" > /dev
 
 echo "Validating run report"
 python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_fig11a.report.json"
+
+echo
+# Chaos smoke: one deterministic lossy-network run.  The chaos binary is
+# only present when the full test tree was built (obs-smoke CI builds
+# selected bench/example targets only), so its absence is not an error.
+chaos_bin="$build_dir/tests/cicero_chaos_tests"
+if [[ -x "$chaos_bin" ]]; then
+  echo "Running chaos smoke (seeded loss determinism)"
+  "$chaos_bin" --gtest_filter='ChaosDeterminism.SameSeedBitIdenticalRun'
+else
+  echo "Chaos suite not built ($chaos_bin missing); skipping chaos smoke."
+fi

@@ -15,6 +15,9 @@ FailureDetector::FailureDetector(sim::Simulator& simulator, sim::NetworkSim& net
 
 void FailureDetector::start() {
   running_ = true;
+  ++epoch_;  // orphan any tick still queued from a previous run
+  suspected_.clear();
+  last_seen_.clear();
   for (MemberId m = 0; m < config_.group.size(); ++m) {
     if (m != config_.id) last_seen_[m] = sim_.now();
   }
@@ -38,7 +41,9 @@ void FailureDetector::tick() {
       if (on_suspect_) on_suspect_(m, true);
     }
   }
-  sim_.after(config_.period, [this] { tick(); });
+  sim_.after(config_.period, [this, epoch = epoch_] {
+    if (epoch == epoch_) tick();
+  });
 }
 
 void FailureDetector::on_heartbeat(MemberId from) {

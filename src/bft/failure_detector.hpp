@@ -35,10 +35,18 @@ class FailureDetector {
   FailureDetector(sim::Simulator& simulator, sim::NetworkSim& network, Config config,
                   SuspectFn on_suspect);
 
-  /// Starts the heartbeat/check loop.
+  /// Starts (or restarts) the heartbeat/check loop.  A restart begins from
+  /// a clean slate: prior suspicions and liveness timestamps are discarded
+  /// rather than reported as stale transitions.
   void start();
-  /// Stops emitting and checking (e.g., the owner crashed).
-  void stop() { running_ = false; }
+  /// Stops emitting and checking (e.g., the owner crashed).  Bumping the
+  /// epoch invalidates the pending tick, so a later start() cannot resume
+  /// the old callback chain alongside its own (which would double the
+  /// heartbeat traffic forever).
+  void stop() {
+    running_ = false;
+    ++epoch_;
+  }
 
   /// Entry point for heartbeat messages (owner demuxes network traffic).
   void on_heartbeat(MemberId from);
@@ -54,6 +62,7 @@ class FailureDetector {
   Config config_;
   SuspectFn on_suspect_;
   bool running_ = false;
+  std::uint64_t epoch_ = 0;  ///< invalidates queued ticks across stop/start
   std::map<MemberId, sim::SimTime> last_seen_;
   std::set<MemberId> suspected_;
 };

@@ -48,6 +48,7 @@ Controller::Controller(sim::Simulator& simulator, sim::NetworkSim& network, Conf
     m_events_forwarded_ = m.counter("ctrl.events_forwarded");
     m_updates_sent_ = m.counter("ctrl.updates_sent");
     m_acks_ = m.counter("ctrl.acks_received");
+    m_retransmits_ = m.counter("ctrl.update_retransmits");
     m_deps_released_ = m.counter("sched.updates_released");
     update_ack_ms_ = m.histogram("ctrl.update_ack_ms", obs::latency_buckets_ms());
   }
@@ -312,6 +313,55 @@ void Controller::release_update(sched::UpdateId id) {
 
 void Controller::send_update(const sched::Update& update, const EventId& cause) {
   if (fault_ == ControllerFault::kSilent) return;
+  update_sent_at_.emplace(update.id, sim_.now());
+  if (config_.ack_timeout > 0 && config_.update_max_retries > 0) {
+    Inflight& fl = inflight_[update.id];
+    fl.cause = cause;
+    fl.attempt = 0;
+    ++fl.epoch;
+    arm_ack_timer(update.id, config_.ack_timeout);
+  }
+  dispatch_update(update, cause);
+}
+
+// One ack-timeout round: if the update is still un-acked when the timer
+// fires, re-sign and retransmit it, then re-arm with twice the delay.
+// Bounded by Config::update_max_retries; past that the update is abandoned
+// (its dependents stay blocked — the switch-side event retry eventually
+// restarts the whole pipeline with a fresh event if connectivity returns).
+void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  const std::uint64_t epoch = it->second.epoch;
+  sim_.after(delay, [this, id, epoch, delay] {
+    const auto fl = inflight_.find(id);
+    if (fl == inflight_.end() || fl->second.epoch != epoch) return;  // acked or re-armed
+    if (fault_ == ControllerFault::kSilent || !tracker_.knows(id)) {
+      inflight_.erase(fl);
+      return;
+    }
+    if (fl->second.attempt >= config_.update_max_retries) {
+      CICERO_LOG_WARN(kLog, "c%u: update %llu unacked after %u retransmits; giving up",
+                      config_.id, static_cast<unsigned long long>(id), fl->second.attempt);
+      inflight_.erase(fl);
+      return;
+    }
+    ++fl->second.attempt;
+    ++updates_retransmitted_;
+    m_retransmits_.inc();
+    if (tracing()) {
+      config_.obs->trace.instant(
+          config_.node, obs::kTidMain, "update.retransmit",
+          {{"update", static_cast<std::int64_t>(id)},
+           {"attempt", static_cast<std::int64_t>(fl->second.attempt)}});
+    }
+    dispatch_update(tracker_.update(id), fl->second.cause);
+    arm_ack_timer(id, delay * 2);
+  });
+}
+
+void Controller::dispatch_update(const sched::Update& update, const EventId& cause) {
+  if (fault_ == ControllerFault::kSilent) return;
 
   UpdateMsg msg;
   msg.update = update;
@@ -326,7 +376,6 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
                          config_.framework == FrameworkKind::kCiceroAgg;
   const sim::SimTime sign_cost = threshold ? config_.costs.partial_sign : sim::SimTime{0};
 
-  if (config_.obs != nullptr) update_sent_at_.emplace(update.id, sim_.now());
   if (trace_leader()) {
     config_.obs->trace.async_begin("update", update_track_id(update.id), "sign",
                                    config_.node, obs::kTidCrypto);
@@ -393,16 +442,17 @@ void Controller::on_ack(const AckMsg& ack) {
   }
   ++acks_received_;
   m_acks_.inc();
-  if (config_.obs != nullptr) {
-    const auto it = update_sent_at_.find(ack.update_id);
-    if (it != update_sent_at_.end()) {
+  inflight_.erase(ack.update_id);  // disarms the retransmission loop
+  const auto it = update_sent_at_.find(ack.update_id);
+  if (it != update_sent_at_.end()) {
+    if (config_.obs != nullptr) {
       update_ack_ms_.observe(sim::to_ms(sim_.now() - it->second));
-      update_sent_at_.erase(it);
       if (trace_leader()) {
         config_.obs->trace.async_end("update", update_track_id(ack.update_id), "update",
                                      config_.node, obs::kTidMain);
       }
     }
+    update_sent_at_.erase(it);
   }
   for (const sched::UpdateId id : tracker_.complete(ack.update_id)) release_update(id);
 }
@@ -413,6 +463,17 @@ void Controller::on_ack(const AckMsg& ack) {
 
 void Controller::on_peer_update(const UpdateMsg& m) {
   if (config_.framework != FrameworkKind::kCiceroAgg || !is_aggregator()) return;
+  // A partial for an update we already aggregated means the sender never
+  // saw the ack: the aggregated update or the ack was lost downstream.
+  // Replay the cached aggregate; the switch dedupes and re-acks.
+  const auto done = agg_completed_.find(m.update.id);
+  if (done != agg_completed_.end()) {
+    const auto sw_it = env_.switch_nodes.find(m.update.switch_node);
+    if (sw_it != env_.switch_nodes.end()) {
+      net_.send(config_.node, sw_it->second, done->second);
+    }
+    return;
+  }
   AggPending& p = agg_pending_[m.update.id];
   if (p.done) return;
   if (p.partials.empty() && p.frost_commitments.empty()) {
@@ -425,6 +486,28 @@ void Controller::on_peer_update(const UpdateMsg& m) {
   if (m.partial.signer == 0) return;
 
   if (config_.backend == ThresholdBackend::kFrost) {
+    if (p.session_started) {
+      // Retransmission while a signing session is in flight: the sender
+      // missed the session message (or its partial was lost).  Re-send the
+      // existing session — its stored nonce for the original commitment is
+      // still valid — rather than corrupting the fixed signer set.
+      bool in_session = false;
+      for (const auto& c : p.frost_session) in_session |= (c.signer == m.partial.signer);
+      if (in_session) {
+        FrostSessionMsg session;
+        session.update_id = m.update.id;
+        for (const auto& c : p.frost_session) session.commitments.push_back(c.to_bytes());
+        for (const auto& mem : config_.members) {
+          if (mem.id + 1 != m.partial.signer) continue;
+          if (mem.id == config_.id) {
+            on_frost_session(session);
+          } else {
+            net_.send(config_.node, mem.node, session.encode());
+          }
+        }
+      }
+      return;
+    }
     if (config_.real_crypto) {
       const auto c = crypto::FrostCommitment::from_bytes(m.frost_commitment);
       if (!c || c->signer != m.partial.signer) return;
@@ -476,9 +559,11 @@ void Controller::on_peer_update(const UpdateMsg& m) {
       } else {
         out.agg_sig = {0x00};
       }
+      const util::Bytes wire = out.encode();
+      agg_completed_[id] = wire;
       const auto sw_it = env_.switch_nodes.find(p3.update.switch_node);
       if (sw_it != env_.switch_nodes.end()) {
-        net_.send(config_.node, sw_it->second, out.encode());
+        net_.send(config_.node, sw_it->second, wire);
       }
       agg_pending_.erase(it2);
     });
@@ -537,8 +622,15 @@ void Controller::on_frost_session(const FrostSessionMsg& m) {
     }
     try {
       reply.z = frost_signer_->sign(msg_bytes, session).to_bytes();
+      frost_sent_partials_[m.update_id] = reply;
     } catch (const std::invalid_argument&) {
-      return;  // stale/unknown session (e.g. nonce already consumed)
+      // Nonce already consumed: we signed this session before and the
+      // partial was lost in transit.  Replaying the identical z is safe
+      // (same signature share, not a second nonce use); an unknown/stale
+      // session has no cached partial and is dropped.
+      const auto cached = frost_sent_partials_.find(m.update_id);
+      if (cached == frost_sent_partials_.end()) return;
+      reply = cached->second;
     }
   } else {
     reply.z = {0x00};
@@ -603,9 +695,11 @@ void Controller::finish_frost_aggregation(sched::UpdateId id) {
     } else {
       out.agg_sig = {0x01};
     }
+    const util::Bytes wire = out.encode();
+    agg_completed_[id] = wire;
     const auto sw_it = env_.switch_nodes.find(p.update.switch_node);
     if (sw_it != env_.switch_nodes.end()) {
-      net_.send(config_.node, sw_it->second, out.encode());
+      net_.send(config_.node, sw_it->second, wire);
     }
     agg_pending_.erase(it);
   });

@@ -78,6 +78,14 @@ class Controller {
     bool real_crypto = true;
     bool sign_bft_messages = false;  ///< Schnorr on every BFT message
     sim::SimTime bft_timeout = sim::milliseconds(200);
+    /// Transactional apply/ack recovery (§4.1): an update whose signed ack
+    /// has not arrived within `ack_timeout` is re-signed and retransmitted
+    /// with exponential backoff, up to `update_max_retries` resends.
+    /// Covers updates and acks lost or delayed by the network; switches
+    /// deduplicate by update id and re-ack, so resends are idempotent.
+    /// `ack_timeout <= 0` or `update_max_retries == 0` disables.
+    sim::SimTime ack_timeout = sim::milliseconds(500);
+    std::uint32_t update_max_retries = 6;
     /// Optional metrics/tracing sink, shared deployment-wide.  The trace
     /// "process" for this controller is its network node id.
     obs::Observability* obs = nullptr;
@@ -133,12 +141,17 @@ class Controller {
   /// fault injection to demonstrate the baselines' vulnerability.
   void inject_rogue_update(net::NodeIndex switch_node, const sched::Update& update);
 
+  /// Dependency state for this controller's in-flight schedules; the chaos
+  /// suite asserts `tracker().pending() == 0` at quiescence.
+  const sched::DependencyTracker& tracker() const { return tracker_; }
+
   // --- stats ---
   std::uint64_t events_seen() const { return events_seen_; }
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t updates_sent() const { return updates_sent_; }
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t events_forwarded() const { return events_forwarded_; }
+  std::uint64_t updates_retransmitted() const { return updates_retransmitted_; }
 
  private:
   void rebuild_replica();
@@ -148,6 +161,8 @@ class Controller {
   void process_flow_event(const Event& e);
   void release_update(sched::UpdateId id);
   void send_update(const sched::Update& update, const EventId& cause);
+  void dispatch_update(const sched::Update& update, const EventId& cause);
+  void arm_ack_timer(sched::UpdateId id, sim::SimTime delay);
   void on_ack(const AckMsg& ack);
   void on_peer_update(const UpdateMsg& m);  ///< aggregator role
   void on_frost_session(const FrostSessionMsg& m);   ///< signer role (kFrost)
@@ -189,14 +204,33 @@ class Controller {
     bool done = false;
   };
   std::map<sched::UpdateId, AggPending> agg_pending_;
+  /// Aggregator role: encoded AggUpdateMsg per completed update, replayed
+  /// when a peer retransmits (its partial arrived after aggregation, i.e.
+  /// the aggregated update or the ack was lost somewhere downstream).
+  std::map<sched::UpdateId, util::Bytes> agg_completed_;
   std::unique_ptr<crypto::FrostSigner> frost_signer_;
   std::unique_ptr<crypto::Drbg> nonce_drbg_;
+  /// Signer role: last FROST partial sent per update, replayed when the
+  /// aggregator re-requests a session whose nonce we already consumed
+  /// (same z, so no nonce reuse — covers a lost FrostPartialMsg).
+  std::map<sched::UpdateId, FrostPartialMsg> frost_sent_partials_;
+
+  /// Released updates awaiting a verified switch ack; drives the ack
+  /// timeout/retransmission loop.  `epoch` orphans stale timers when an
+  /// entry is re-armed (e.g. the id re-enters after a membership change).
+  struct Inflight {
+    EventId cause;
+    std::uint32_t attempt = 0;  ///< retransmissions so far
+    std::uint64_t epoch = 0;
+  };
+  std::map<sched::UpdateId, Inflight> inflight_;
 
   std::uint64_t events_seen_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t updates_sent_ = 0;
   std::uint64_t acks_received_ = 0;
   std::uint64_t events_forwarded_ = 0;
+  std::uint64_t updates_retransmitted_ = 0;
 
   // Observability.  The async lifecycle tracks (event submit->order,
   // update release->sign->apply->ack) are emitted by the aggregator
@@ -212,7 +246,11 @@ class Controller {
   obs::Counter m_updates_sent_;
   obs::Counter m_acks_;
   obs::Counter m_deps_released_;
+  obs::Counter m_retransmits_;
   obs::Histogram update_ack_ms_;
+  /// First-send instant per un-acked update; populated unconditionally
+  /// (the retransmission path relies on it), observed into metrics only
+  /// when obs is attached.
   std::map<sched::UpdateId, sim::SimTime> update_sent_at_;
 
  public:

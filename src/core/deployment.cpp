@@ -25,6 +25,10 @@ Deployment::Deployment(net::Topology topology, DeploymentParams params)
   net_ = std::make_unique<sim::NetworkSim>(sim_);
   net_->set_obs(&obs_);
   net_->set_latency_fn([this](sim::NodeId a, sim::NodeId b) { return latency(a, b); });
+  // The fault seed is derived from (not equal to) the workload seed so the
+  // two random streams never alias; inert until a fault is configured.
+  faults_ = std::make_unique<sim::FaultInjector>(sim_, *net_,
+                                                params_.seed ^ 0xFA17FA17FA17FA17ULL);
   build_nodes();
   wire_handlers();
 }
@@ -198,6 +202,8 @@ Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t i
   cfg.real_crypto = params_.real_crypto;
   cfg.sign_bft_messages = params_.sign_bft_messages;
   cfg.bft_timeout = params_.bft_timeout;
+  cfg.ack_timeout = params_.ack_timeout;
+  cfg.update_max_retries = params_.update_max_retries;
   cfg.obs = &obs_;
   return cfg;
 }
@@ -269,6 +275,25 @@ void Deployment::fail_link(net::NodeIndex a, net::NodeIndex b) {
 void Deployment::restore_link(net::NodeIndex a, net::NodeIndex b) {
   topo_.set_link_up(topo_.link_between(a, b), true);
   path_cache_.clear();
+}
+
+void Deployment::crash_switch(net::NodeIndex sw) {
+  switches_.at(sw)->crash();
+  faults_->set_node_down(switch_nodes_.at(sw), true);
+}
+
+void Deployment::recover_switch(net::NodeIndex sw) {
+  faults_->set_node_down(switch_nodes_.at(sw), false);
+  switches_.at(sw)->recover();
+}
+
+std::size_t Deployment::pending_updates() const {
+  std::size_t pending = 0;
+  for (const auto& [id, ctrl] : controllers_) {
+    if (removed_.count(id) != 0) continue;  // silenced ex-members don't count
+    pending += ctrl->tracker().pending();
+  }
+  return pending;
 }
 
 // ---------------------------------------------------------------------------

@@ -34,6 +34,7 @@
 #include "net/checker.hpp"
 #include "net/topology.hpp"
 #include "sched/scheduler.hpp"
+#include "sim/faults.hpp"
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
@@ -56,6 +57,10 @@ struct DeploymentParams {
   /// unamortized setup/teardown mode).
   bool teardown_after_flow = false;
   sim::SimTime bft_timeout = sim::milliseconds(400);
+  /// Controller-side apply/ack retransmission (see Controller::Config);
+  /// `ack_timeout <= 0` or `update_max_retries == 0` disables.
+  sim::SimTime ack_timeout = sim::milliseconds(500);
+  std::uint32_t update_max_retries = 6;
   /// Metrics recording (counters/histograms); near-zero cost, on by
   /// default.  Disable for the most allocation-sensitive sweeps.
   bool metrics = true;
@@ -99,6 +104,9 @@ class Deployment {
   const crypto::Point& group_pk(net::DomainId d) const { return planes_.at(d).group_pk; }
   /// Deployment-wide metrics registry + tracer (see obs/obs.hpp).
   obs::Observability& obs() { return obs_; }
+  /// Seeded fault injection (loss, partitions, crashes); always installed,
+  /// inert until configured.
+  sim::FaultInjector& faults() { return *faults_; }
 
   // --- metrics ---
   const std::vector<FlowRecord>& flow_records() const { return records_; }
@@ -131,6 +139,16 @@ class Deployment {
   void fail_link(net::NodeIndex a, net::NodeIndex b);
   /// Brings a failed link back.
   void restore_link(net::NodeIndex a, net::NodeIndex b);
+
+  /// Crashes a switch (§5.1): its runtime loses volatile state and the
+  /// fault injector drops all its traffic until `recover_switch`.
+  void crash_switch(net::NodeIndex sw);
+  void recover_switch(net::NodeIndex sw);
+
+  /// Updates released or blocked but not yet completed, summed over every
+  /// controller; the chaos suite asserts this drains to zero at
+  /// quiescence.
+  std::size_t pending_updates() const;
 
  private:
   struct Plane {  ///< one control plane (domain or global)
@@ -168,6 +186,9 @@ class Deployment {
   /// hold point into this registry, so it must outlive them.
   obs::Observability obs_;
   std::unique_ptr<sim::NetworkSim> net_;
+  /// Installed as net_'s drop hook; must outlive every send, so it lives
+  /// right next to the network it instruments.
+  std::unique_ptr<sim::FaultInjector> faults_;
   crypto::Drbg drbg_;
   PkiDirectory pki_;
   sched::ReversePathScheduler scheduler_;

@@ -31,8 +31,14 @@ std::string SwitchRuntime::update_track_id(sched::UpdateId id) const {
 }
 
 bool SwitchRuntime::packet_in(const net::FlowMatch& match, double reserved_bps) {
-  if (table_.has(match)) return true;
   const auto key = std::make_pair(match.src_host, match.dst_host);
+  if (down_) {
+    // Traffic keeps arriving at a crashed switch; remember the miss so
+    // recovery can re-request the route.
+    missed_while_down_.emplace(key, reserved_bps);
+    return false;
+  }
+  if (table_.has(match)) return true;
   if (outstanding_events_.count(key) != 0) return false;  // event already in flight
   outstanding_events_.insert(key);
   emit_flow_request(match, reserved_bps, config_.event_max_retries);
@@ -47,7 +53,17 @@ void SwitchRuntime::emit_flow_request(const net::FlowMatch& match, double reserv
   e.match = match;
   e.reserved_bps = reserved_bps;
   emit_event(std::move(e));
-  if (retries_left == 0 || config_.event_retry <= 0) return;
+  if (config_.event_retry <= 0) return;
+  if (retries_left == 0) {
+    // Last attempt.  If it too goes unanswered, forget the outstanding
+    // marker so a later packet miss can restart the request cycle —
+    // leaving the key stuck would blackhole the flow permanently.
+    sim_.after(config_.event_retry, [this, match] {
+      if (table_.has(match)) return;
+      outstanding_events_.erase({match.src_host, match.dst_host});
+    });
+    return;
+  }
   // While the route stays missing, unroutable packets keep arriving and a
   // fresh event (new id) is emitted — the retransmission that rides out a
   // faulty aggregator or dropped messages.
@@ -58,7 +74,49 @@ void SwitchRuntime::emit_flow_request(const net::FlowMatch& match, double reserv
   });
 }
 
+void SwitchRuntime::crash() {
+  if (down_) return;
+  down_ = true;
+  ++crashes_;
+  CICERO_LOG_INFO(kLog, "s%u: crash (losing %zu rules)", config_.topo_index, table_.size());
+  // Volatile state is gone: forwarding rules, partial-signature buffers,
+  // dedup sets and in-flight event markers.  Losing applied_ids_ is
+  // deliberate — after recovery a retransmitted update is genuinely new
+  // to this switch and re-applying it re-installs the lost rule.
+  lost_rules_ = table_.rules();
+  table_ = net::FlowTable{};
+  pending_.clear();
+  applied_ids_.clear();
+  outstanding_events_.clear();
+  first_rx_.clear();
+  missed_while_down_.clear();
+}
+
+void SwitchRuntime::recover() {
+  if (!down_) return;
+  down_ = false;
+  // Re-request a route for every rule lost in the crash and every packet
+  // miss swallowed while down, through the normal signed-event path.
+  std::map<std::pair<net::NodeIndex, net::NodeIndex>, double> wanted;
+  for (const net::FlowRule& rule : lost_rules_) {
+    wanted.emplace(std::make_pair(rule.match.src_host, rule.match.dst_host),
+                   rule.reserved_bps);
+  }
+  wanted.insert(missed_while_down_.begin(), missed_while_down_.end());
+  lost_rules_.clear();
+  missed_while_down_.clear();
+  CICERO_LOG_INFO(kLog, "s%u: recover (re-requesting %zu routes)", config_.topo_index,
+                  wanted.size());
+  for (const auto& [key, bps] : wanted) {
+    if (outstanding_events_.count(key) != 0) continue;
+    outstanding_events_.insert(key);
+    emit_flow_request(net::FlowMatch{key.first, key.second}, bps,
+                      config_.event_max_retries);
+  }
+}
+
 void SwitchRuntime::request_teardown(const net::FlowMatch& match) {
+  if (down_) return;
   Event e;
   e.id = EventId{config_.topo_index, ++event_seq_};
   e.kind = EventKind::kFlowTeardown;
@@ -67,6 +125,7 @@ void SwitchRuntime::request_teardown(const net::FlowMatch& match) {
 }
 
 void SwitchRuntime::report_link_failure(net::NodeIndex neighbor) {
+  if (down_) return;
   for (const net::FlowRule& rule : table_.rules()) {
     if (rule.next_hop != neighbor) continue;
     Event e;
@@ -98,21 +157,21 @@ void SwitchRuntime::emit_event(Event e) {
 }
 
 void SwitchRuntime::handle_message(sim::NodeId from, const util::Bytes& wire) {
-  (void)from;
+  if (down_) return;  // a crashed switch drops all traffic
   const auto tag = peek_tag(wire);
   if (!tag) return;
   switch (static_cast<CoreMsgTag>(*tag)) {
     case CoreMsgTag::kUpdate: {
       if (auto m = UpdateMsg::decode(wire)) {
         cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
-                     [this, m = std::move(*m)] { on_update(m); });
+                     [this, from, m = std::move(*m)] { on_update(from, m); });
       }
       break;
     }
     case CoreMsgTag::kAggUpdate: {
       if (auto m = AggUpdateMsg::decode(wire)) {
         cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
-                     [this, m = std::move(*m)] { on_agg_update(m); });
+                     [this, from, m = std::move(*m)] { on_agg_update(from, m); });
       }
       break;
     }
@@ -132,8 +191,15 @@ void SwitchRuntime::on_aggregator_notify(const AggregatorNotifyMsg& m) {
   if (!m.controllers.empty()) config_.controllers = m.controllers;
 }
 
-void SwitchRuntime::on_update(const UpdateMsg& m) {
-  if (applied_ids_.count(m.update.id) != 0) return;
+void SwitchRuntime::on_update(sim::NodeId from, const UpdateMsg& m) {
+  if (down_) return;
+  if (applied_ids_.count(m.update.id) != 0) {
+    // Duplicate of an applied update: the sender retransmitted because it
+    // never saw our ack (or its partial arrived after the quorum closed).
+    // Re-ack to the sender only instead of re-applying (idempotence).
+    re_ack(m.update.id, from);
+    return;
+  }
   if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
 
   if (config_.framework == FrameworkKind::kCentralized ||
@@ -180,6 +246,7 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
       config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum) +
       config_.costs.threshold_verify;
   cpu_.execute(cost, "aggregate", [this, id, digest] {
+    if (down_) return;
     auto it2 = pending_.find(id);
     if (it2 == pending_.end()) return;
     const auto bit2 = it2->second.buckets.find(digest);
@@ -225,10 +292,19 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
   });
 }
 
-void SwitchRuntime::on_agg_update(const AggUpdateMsg& m) {
-  if (applied_ids_.count(m.update.id) != 0) return;
+void SwitchRuntime::on_agg_update(sim::NodeId from, const AggUpdateMsg& m) {
+  if (down_) return;
+  if (applied_ids_.count(m.update.id) != 0) {
+    // The aggregator forwards retransmissions on behalf of whichever
+    // controller is still missing the ack, so the re-ack goes to the
+    // whole control plane rather than just the aggregator.
+    (void)from;
+    re_ack(m.update.id, sim::kInvalidNode);
+    return;
+  }
   if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
   cpu_.execute(config_.costs.threshold_verify, "threshold.verify", [this, m] {
+    if (down_) return;
     if (applied_ids_.count(m.update.id) != 0) return;
     if (config_.real_crypto) {
       bool valid = false;
@@ -259,6 +335,7 @@ void SwitchRuntime::apply_update(const sched::Update& update) {
                                    config_.node, obs::kTidMain);
   }
   cpu_.execute(config_.costs.flow_table_update, "flow_table.update", [this, update] {
+    if (down_) return;
     if (update.op == sched::UpdateOp::kInstall) {
       table_.install(update.rule);
       outstanding_events_.erase({update.rule.match.src_host, update.rule.match.dst_host});
@@ -292,7 +369,29 @@ void SwitchRuntime::send_ack(const sched::Update& update) {
   }
   const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
   cpu_.execute(cost, "ack.sign", [this, ack = std::move(ack)] {
+    if (down_) return;
     net_.multicast(config_.node, config_.controllers, ack.encode());
+  });
+}
+
+void SwitchRuntime::re_ack(sched::UpdateId id, sim::NodeId to) {
+  ++acks_reissued_;
+  AckMsg ack;
+  ack.update_id = id;
+  ack.switch_node = config_.topo_index;
+  const bool sign = config_.framework == FrameworkKind::kCicero ||
+                    config_.framework == FrameworkKind::kCiceroAgg;
+  if (sign && config_.real_crypto) {
+    ack.sig = crypto::schnorr_sign(config_.key, ack.body()).to_bytes();
+  }
+  const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
+  cpu_.execute(cost, "ack.sign", [this, to, ack = std::move(ack)] {
+    if (down_) return;
+    if (to == sim::kInvalidNode) {
+      net_.multicast(config_.node, config_.controllers, ack.encode());
+    } else {
+      net_.send(config_.node, to, ack.encode());
+    }
   });
 }
 

@@ -83,6 +83,16 @@ class SwitchRuntime {
   /// Network ingress; wire into NetworkSim's handler for `config.node`.
   void handle_message(sim::NodeId from, const util::Bytes& wire);
 
+  /// Crash model (§5.1 failure handling): a down switch drops all traffic
+  /// and loses its volatile state — forwarding rules, partial-signature
+  /// buffers, dedup sets and in-flight event markers.
+  void crash();
+  /// Recovery: the switch comes back empty and re-requests a route for
+  /// every rule lost in the crash plus every packet miss swallowed while
+  /// down, through the normal signed-event path.
+  void recover();
+  bool down() const { return down_; }
+
   void add_applied_observer(AppliedFn fn) { observers_.push_back(std::move(fn)); }
 
   const net::FlowTable& table() const { return table_; }
@@ -93,6 +103,10 @@ class SwitchRuntime {
   std::uint64_t events_emitted() const { return events_emitted_; }
   std::uint64_t updates_applied() const { return updates_applied_; }
   std::uint64_t updates_rejected() const { return updates_rejected_; }
+  /// Acks re-sent for retransmitted already-applied updates (idempotent
+  /// duplicate handling; the original ack was lost somewhere upstream).
+  std::uint64_t acks_reissued() const { return acks_reissued_; }
+  std::uint64_t crashes() const { return crashes_; }
 
  private:
   // Identical-update counting (Fig. 6b): partials are bucketed by the
@@ -112,12 +126,15 @@ class SwitchRuntime {
   void emit_event(Event e);
   void emit_flow_request(const net::FlowMatch& match, double reserved_bps,
                          std::uint32_t retries_left);
-  void on_update(const UpdateMsg& m);
-  void on_agg_update(const AggUpdateMsg& m);
+  void on_update(sim::NodeId from, const UpdateMsg& m);
+  void on_agg_update(sim::NodeId from, const AggUpdateMsg& m);
   void on_aggregator_notify(const AggregatorNotifyMsg& m);
   void try_aggregate(sched::UpdateId id, const util::Bytes& digest);
   void apply_update(const sched::Update& update);
   void send_ack(const sched::Update& update);
+  /// Unicast re-ack of an already-applied update to the sender of a
+  /// duplicate copy (idempotent retransmission handling, §5.1).
+  void re_ack(sched::UpdateId id, sim::NodeId to);
 
   sim::Simulator& sim_;
   sim::NetworkSim& net_;
@@ -133,6 +150,14 @@ class SwitchRuntime {
   std::uint64_t events_emitted_ = 0;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t updates_rejected_ = 0;
+  std::uint64_t acks_reissued_ = 0;
+  std::uint64_t crashes_ = 0;
+
+  // Crash/recover model (§5.1).
+  bool down_ = false;
+  std::vector<net::FlowRule> lost_rules_;  ///< table at crash time
+  /// Packet misses swallowed while down: (src,dst) -> reserved bandwidth.
+  std::map<std::pair<net::NodeIndex, net::NodeIndex>, double> missed_while_down_;
 
   // Observability.  Exactly one switch applies a given update, so the
   // "apply" phase of the update lifecycle track is emitted here.

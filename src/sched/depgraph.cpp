@@ -91,7 +91,17 @@ std::vector<UpdateId> DependencyTracker::complete(UpdateId id) {
   std::vector<UpdateId> ready;
   if (updates_.count(id) == 0 || completed_.count(id) != 0) return ready;
   completed_.insert(id);
-  if (blocked_.count(id) == 0 && in_flight_ > 0) --in_flight_;
+  const auto self = blocked_.find(id);
+  if (self != blocked_.end()) {
+    // Completed while still blocked here: another replica released it and
+    // the switch's ack overtook our own dependency acks.  Drop it from
+    // the blocked set so it is never released locally — re-releasing a
+    // completed update would bump in_flight_ with no completion left to
+    // drain it.
+    blocked_.erase(self);
+  } else if (in_flight_ > 0) {
+    --in_flight_;
+  }
 
   const auto it = rdeps_.find(id);
   if (it == rdeps_.end()) return ready;

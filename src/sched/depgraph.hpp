@@ -41,6 +41,9 @@ class DependencyTracker {
   std::size_t in_flight() const { return in_flight_; }
   /// Updates not yet released.
   std::size_t blocked() const { return blocked_.size(); }
+  /// Updates not yet completed (released + blocked); the chaos suite
+  /// asserts this drains to zero at quiescence under message loss.
+  std::size_t pending() const { return in_flight_ + blocked_.size(); }
   bool idle() const { return in_flight_ == 0 && blocked_.empty(); }
 
   const Update& update(UpdateId id) const { return updates_.at(id); }

@@ -1,0 +1,104 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cicero::sim {
+
+namespace {
+std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
+  return {std::min(a, b), std::max(a, b)};
+}
+}  // namespace
+
+FaultInjector::FaultInjector(Simulator& simulator, NetworkSim& network, std::uint64_t seed)
+    : sim_(simulator), rng_(seed) {
+  network.set_drop_fn([this](NodeId from, NodeId to, const util::Bytes&) {
+    return should_drop(from, to);
+  });
+}
+
+void FaultInjector::set_uniform_loss(double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultInjector: loss not in [0,1]");
+  uniform_loss_ = p;
+}
+
+void FaultInjector::set_link_loss(NodeId a, NodeId b, double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultInjector: loss not in [0,1]");
+  link_loss_[link_key(a, b)] = p;
+}
+
+void FaultInjector::clear_loss() {
+  uniform_loss_ = 0.0;
+  link_loss_.clear();
+}
+
+void FaultInjector::set_node_down(NodeId node, bool down) {
+  if (down) {
+    down_nodes_.insert(node);
+  } else {
+    down_nodes_.erase(node);
+  }
+}
+
+void FaultInjector::drop_next(NodeId from, NodeId to, std::uint32_t count) {
+  if (count == 0) return;
+  targeted_[{from, to}] += count;
+}
+
+void FaultInjector::partition(const std::vector<NodeId>& side_a,
+                              const std::vector<NodeId>& side_b) {
+  partition_side_.clear();
+  for (const NodeId n : side_a) partition_side_[n] = 0;
+  for (const NodeId n : side_b) partition_side_[n] = 1;
+  partitioned_ = true;
+}
+
+void FaultInjector::heal() {
+  partitioned_ = false;
+  partition_side_.clear();
+}
+
+void FaultInjector::schedule_partition(SimTime start, SimTime heal_at,
+                                       std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
+  if (heal_at < start) throw std::invalid_argument("FaultInjector: heal before start");
+  sim_.at(start, [this, a = std::move(side_a), b = std::move(side_b)] { partition(a, b); });
+  sim_.at(heal_at, [this] { heal(); });
+}
+
+bool FaultInjector::should_drop(NodeId from, NodeId to) {
+  ++seen_;
+
+  const auto t = targeted_.find({from, to});
+  if (t != targeted_.end()) {
+    if (--t->second == 0) targeted_.erase(t);
+    ++dropped_targeted_;
+    return true;
+  }
+
+  if (down_nodes_.count(from) != 0 || down_nodes_.count(to) != 0) {
+    ++dropped_down_;
+    return true;
+  }
+
+  if (partitioned_) {
+    const auto sa = partition_side_.find(from);
+    const auto sb = partition_side_.find(to);
+    if (sa != partition_side_.end() && sb != partition_side_.end() &&
+        sa->second != sb->second) {
+      ++dropped_partition_;
+      return true;
+    }
+  }
+
+  double p = uniform_loss_;
+  const auto l = link_loss_.find(link_key(from, to));
+  if (l != link_loss_.end()) p = l->second;
+  if (p > 0.0 && rng_.chance(p)) {
+    ++dropped_loss_;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace cicero::sim

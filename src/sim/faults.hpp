@@ -1,0 +1,107 @@
+// Seeded fault injection for NetworkSim.
+//
+// A FaultInjector installs itself as the network's drop hook and decides,
+// deterministically from a single 64-bit seed, which messages die in
+// flight.  Four independent fault classes compose (checked in this order,
+// first match wins):
+//
+//   1. one-shot targeted drops  — "lose the next N messages from A to B",
+//      for surgical protocol tests (drop exactly one ack, one update, ...);
+//   2. node down                — a crashed node neither sends nor
+//      receives (switch/controller crash model);
+//   3. partitions               — messages crossing the two sides of an
+//      active partition are dropped; partitions can be scheduled ahead of
+//      time as partition-and-heal windows;
+//   4. probabilistic loss       — per-link or uniform Bernoulli loss drawn
+//      from the injector's own seeded RNG stream.
+//
+// Determinism: the RNG is consumed only when a probabilistic rule applies
+// to the message at hand, and the simulator delivers sends in a
+// deterministic order, so a run is bit-reproducible from (workload seed,
+// fault seed).  With no probabilistic rules configured the injector
+// consumes no randomness at all.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace cicero::sim {
+
+class FaultInjector {
+ public:
+  /// Installs the injector as `network`'s drop function.  The injector
+  /// must outlive every send on the network (own it next to the
+  /// NetworkSim).
+  FaultInjector(Simulator& simulator, NetworkSim& network, std::uint64_t seed);
+
+  // --- probabilistic loss ---
+  /// Uniform per-message loss probability for every link without a
+  /// specific rate (0 disables).
+  void set_uniform_loss(double p);
+  /// Loss probability for the (a, b) pair, both directions; overrides the
+  /// uniform rate for that pair.
+  void set_link_loss(NodeId a, NodeId b, double p);
+  void clear_loss();
+
+  // --- node crash model ---
+  /// While down, every message from or to `node` is dropped.
+  void set_node_down(NodeId node, bool down);
+  bool node_down(NodeId node) const { return down_nodes_.count(node) != 0; }
+
+  // --- one-shot targeted drops ---
+  /// Drops the next `count` messages sent from `from` to `to`.
+  void drop_next(NodeId from, NodeId to, std::uint32_t count = 1);
+  /// Revokes every unexpired drop_next rule (ends a targeted blackout).
+  void clear_targeted() { targeted_.clear(); }
+
+  // --- partitions ---
+  /// Starts a partition: messages between a node in `side_a` and a node in
+  /// `side_b` are dropped (both directions).  Nodes on neither side are
+  /// unaffected.  Replaces any active partition.
+  void partition(const std::vector<NodeId>& side_a, const std::vector<NodeId>& side_b);
+  /// Ends the active partition.
+  void heal();
+  bool partitioned() const { return partitioned_; }
+  /// Schedules a partition-and-heal window at absolute sim times
+  /// (`start` <= `heal_at`); windows may be queued back to back to model
+  /// flapping links.
+  void schedule_partition(SimTime start, SimTime heal_at, std::vector<NodeId> side_a,
+                          std::vector<NodeId> side_b);
+
+  // --- stats ---
+  std::uint64_t seen() const { return seen_; }
+  std::uint64_t dropped_targeted() const { return dropped_targeted_; }
+  std::uint64_t dropped_down() const { return dropped_down_; }
+  std::uint64_t dropped_partition() const { return dropped_partition_; }
+  std::uint64_t dropped_loss() const { return dropped_loss_; }
+  std::uint64_t dropped_total() const {
+    return dropped_targeted_ + dropped_down_ + dropped_partition_ + dropped_loss_;
+  }
+
+ private:
+  bool should_drop(NodeId from, NodeId to);
+
+  Simulator& sim_;
+  util::Rng rng_;
+  double uniform_loss_ = 0.0;
+  std::map<std::pair<NodeId, NodeId>, double> link_loss_;  ///< key: minmax pair
+  std::set<NodeId> down_nodes_;
+  std::map<std::pair<NodeId, NodeId>, std::uint32_t> targeted_;
+  bool partitioned_ = false;
+  std::map<NodeId, int> partition_side_;
+
+  std::uint64_t seen_ = 0;
+  std::uint64_t dropped_targeted_ = 0;
+  std::uint64_t dropped_down_ = 0;
+  std::uint64_t dropped_partition_ = 0;
+  std::uint64_t dropped_loss_ = 0;
+};
+
+}  // namespace cicero::sim

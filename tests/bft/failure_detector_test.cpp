@@ -88,6 +88,61 @@ TEST_F(FdTest, SuspicionRevokedOnReturn) {
   EXPECT_TRUE(saw_revocation);
 }
 
+TEST_F(FdTest, RestartDoesNotDoubleHeartbeats) {
+  // Regression: stop() then start() with a stale tick still queued must
+  // not leave two concurrent tick chains (doubled heartbeat traffic).
+  std::size_t hb_from_0 = 0;
+  net_->set_handler(nodes_[1], [&](sim::NodeId, const util::Bytes& wire) {
+    FailureDetector::MemberId from;
+    if (decode_heartbeat(wire, from) && from == 0) ++hb_from_0;
+  });
+  fds_[0]->start();
+  sim_.run_until(sim::milliseconds(55));  // mid-period: a tick is queued
+  fds_[0]->stop();
+  fds_[0]->start();  // the stale tick from the first run is still pending
+  const std::size_t before = hb_from_0;
+  sim_.run_until(sim_.now() + sim::milliseconds(100));  // ten periods
+  const std::size_t after = hb_from_0 - before;
+  // One chain ticks ~11 times in the window; a doubled cadence would give
+  // ~21.
+  EXPECT_GE(after, 9u);
+  EXPECT_LE(after, 13u);
+}
+
+TEST_F(FdTest, RestartClearsStaleSuspicions) {
+  // Regression: start() must begin from a clean slate — suspicions and
+  // last-seen stamps from a previous run would instantly (and wrongly)
+  // re-suspect members that are alive now.
+  fds_[0]->start();
+  fds_[1]->start();
+  sim_.run_until(sim::milliseconds(300));
+  ASSERT_TRUE(fds_[0]->suspected(2));
+  fds_[0]->stop();
+  fds_[2]->start();   // member 2 is alive by the time of the restart
+  fds_[0]->start();
+  EXPECT_FALSE(fds_[0]->suspected(2));  // cleared immediately
+  sim_.run_until(sim::milliseconds(600));
+  EXPECT_FALSE(fds_[0]->suspected(2));  // and 2's heartbeats keep it clear
+}
+
+TEST_F(FdTest, FlappingMemberTogglesSuspicion) {
+  fds_[0]->start();
+  fds_[1]->start();
+  sim_.run_until(sim::milliseconds(300));
+  ASSERT_TRUE(fds_[0]->suspected(2));   // silent at first: suspected
+  fds_[2]->start();
+  sim_.run_until(sim::milliseconds(400));
+  ASSERT_FALSE(fds_[0]->suspected(2));  // came alive: revoked
+  fds_[2]->stop();
+  sim_.run_until(sim::milliseconds(800));
+  EXPECT_TRUE(fds_[0]->suspected(2));   // silent again: re-suspected
+  std::vector<bool> seq;
+  for (const auto& t : transitions_) {
+    if (t.observer == 0 && t.member == 2) seq.push_back(t.suspected);
+  }
+  EXPECT_EQ(seq, (std::vector<bool>{true, false, true}));
+}
+
 TEST_F(FdTest, HeartbeatCodecRoundTrip) {
   FailureDetector::MemberId id = 0;
   EXPECT_TRUE(decode_heartbeat(encode_heartbeat(7), id));

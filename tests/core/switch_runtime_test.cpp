@@ -31,6 +31,7 @@ class SwitchRuntimeTest : public ::testing::Test {
     cfg.controllers = ctrl_nodes_;
     cfg.real_crypto = true;
     switch_pk_ = cfg.key.pk;
+    base_cfg_ = cfg;
     rt_ = std::make_unique<SwitchRuntime>(sim_, *net_, cfg);
     net_->set_handler(switch_node_, [this](sim::NodeId from, const util::Bytes& wire) {
       rt_->handle_message(from, wire);
@@ -42,6 +43,15 @@ class SwitchRuntimeTest : public ::testing::Test {
                           to_controllers_.push_back(wire);
                         });
     }
+  }
+
+  /// Replaces the runtime with one built from a tweaked config (the
+  /// network handler resolves rt_ through `this`, so it stays wired).
+  template <typename Mutate>
+  void rebuild(Mutate mutate) {
+    SwitchRuntime::Config cfg = base_cfg_;
+    mutate(cfg);
+    rt_ = std::make_unique<SwitchRuntime>(sim_, *net_, cfg);
   }
 
   sched::Update make_update(sched::UpdateId id, net::NodeIndex next_hop = 9) {
@@ -79,6 +89,7 @@ class SwitchRuntimeTest : public ::testing::Test {
   sim::NodeId switch_node_ = 0;
   std::vector<sim::NodeId> ctrl_nodes_;
   crypto::Point switch_pk_;
+  SwitchRuntime::Config base_cfg_;
   std::unique_ptr<SwitchRuntime> rt_;
   std::vector<util::Bytes> to_controllers_;
 };
@@ -131,9 +142,61 @@ TEST_F(SwitchRuntimeTest, AppliedUpdateIsIdempotent) {
   const auto u = make_update(1);
   send_partial(u, 0);
   send_partial(u, 1);
-  send_partial(u, 2);  // late third partial
+  const auto version = rt_->table().version();
+  send_partial(u, 2);  // duplicate of an already-applied update
+  EXPECT_EQ(rt_->updates_applied(), 1u);       // applied exactly once
+  EXPECT_EQ(rt_->table().version(), version);  // table untouched
+  // The duplicate is re-acked — unicast to its sender, in case the
+  // original ack was lost — rather than re-applied.
+  EXPECT_EQ(rt_->acks_reissued(), 1u);
+  EXPECT_EQ(acks_received(), 5u);  // 4 multicast + 1 re-ack
+}
+
+TEST_F(SwitchRuntimeTest, FlowRequestRecoversAfterRetryExhaustion) {
+  // Regression: once retries exhausted with no route installed, the
+  // outstanding-event marker must clear so a later packet miss can
+  // restart the request cycle (a stuck marker blackholed the flow
+  // forever).
+  rebuild([](SwitchRuntime::Config& cfg) {
+    cfg.event_retry = sim::milliseconds(100);
+    cfg.event_max_retries = 1;
+  });
+  sim_.at(sim_.now(), [this] { rt_->packet_in({100, 200}, 1e6); });
+  sim_.run_until(sim_.now() + sim::seconds(1));
+  EXPECT_EQ(rt_->events_emitted(), 2u);  // initial + final retry, then quiet
+  // Connectivity returns: a new miss must re-request the route.
+  sim_.at(sim_.now(), [this] { EXPECT_FALSE(rt_->packet_in({100, 200}, 1e6)); });
+  sim_.run_until(sim_.now() + sim::milliseconds(50));
+  EXPECT_EQ(rt_->events_emitted(), 3u);
+}
+
+TEST_F(SwitchRuntimeTest, CrashLosesStateRecoveryRerequestsRoutes) {
+  const auto u = make_update(1);
+  send_partial(u, 0);
+  send_partial(u, 1);
+  ASSERT_TRUE(rt_->table().has({100, 200}));
+
+  rt_->crash();
+  EXPECT_TRUE(rt_->down());
+  EXPECT_EQ(rt_->table().size(), 0u);  // volatile state gone
+
+  // A crashed switch ignores control traffic...
+  const auto u2 = make_update(2, /*next_hop=*/3);
+  send_partial(u2, 0);
+  send_partial(u2, 1);
   EXPECT_EQ(rt_->updates_applied(), 1u);
-  EXPECT_EQ(acks_received(), 4u);  // no duplicate acks
+  // ...and swallows (but remembers) data-plane misses.
+  sim_.at(sim_.now(), [this] { EXPECT_FALSE(rt_->packet_in({300, 400}, 1e6)); });
+  sim_.run_until(sim_.now() + sim::milliseconds(10));
+  const auto emitted = rt_->events_emitted();
+
+  sim_.at(sim_.now(), [this] { rt_->recover(); });
+  sim_.run_until(sim_.now() + sim::milliseconds(100));
+  EXPECT_FALSE(rt_->down());
+  // One re-request per rule lost in the crash + one per miss seen while
+  // down: {100,200} and {300,400}.
+  EXPECT_EQ(rt_->events_emitted(), emitted + 2);
+  EXPECT_EQ(rt_->crashes(), 1u);
 }
 
 TEST_F(SwitchRuntimeTest, RemoveOpDeletesRule) {

@@ -108,6 +108,29 @@ TEST(DependencyTracker, DependencyAlreadyCompleted) {
   EXPECT_EQ(t.add(b), (std::vector<UpdateId>{2}));
 }
 
+TEST(DependencyTracker, OutOfOrderAckOfBlockedUpdateDoesNotLeak) {
+  // Regression: on a replicated control plane, the switch's ack for a
+  // dependent update can overtake this replica's ack for its dependency
+  // (another replica released the dependent first).  Completing a
+  // still-blocked update must remove it from the blocked set — releasing
+  // it again after the dependency completes would bump in_flight with no
+  // completion left to drain it, leaving pending() stuck above zero.
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {}), make(2, {1})};
+  auto ready = t.add(s);
+  EXPECT_EQ(ready, (std::vector<UpdateId>{1}));
+
+  ready = t.complete(2);  // ack for the blocked dependent arrives first
+  EXPECT_TRUE(ready.empty());
+  EXPECT_EQ(t.blocked(), 0u);
+
+  ready = t.complete(1);  // the dependency's ack lands second
+  EXPECT_TRUE(ready.empty());  // 2 must NOT be re-released
+  EXPECT_EQ(t.pending(), 0u);
+  EXPECT_TRUE(t.idle());
+}
+
 TEST(DependencyTracker, RejectsDuplicateIds) {
   DependencyTracker t;
   UpdateSchedule a;

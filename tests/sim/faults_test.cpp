@@ -1,0 +1,169 @@
+// Unit tests for the seeded fault injector: precedence of the fault
+// classes, determinism from the seed, partition scheduling, and the
+// targeted one-shot drops the protocol tests rely on.
+#include "sim/faults.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cicero::sim {
+namespace {
+
+class FaultsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<NetworkSim>(sim_);
+    a_ = net_->add_node("a");
+    b_ = net_->add_node("b");
+    c_ = net_->add_node("c");
+    for (const NodeId n : {a_, b_, c_}) {
+      net_->set_handler(n, [this, n](NodeId, const util::Bytes&) { ++received_[n]; });
+    }
+    faults_ = std::make_unique<FaultInjector>(sim_, *net_, 42);
+  }
+
+  /// Sends `count` messages a -> b and runs the sim to quiescence.
+  void blast(NodeId from, NodeId to, int count) {
+    for (int i = 0; i < count; ++i) net_->send(from, to, {1});
+    sim_.run();
+  }
+
+  Simulator sim_;
+  std::unique_ptr<NetworkSim> net_;
+  std::unique_ptr<FaultInjector> faults_;
+  NodeId a_ = 0, b_ = 0, c_ = 0;
+  std::map<NodeId, int> received_;
+};
+
+TEST_F(FaultsTest, InertByDefault) {
+  blast(a_, b_, 100);
+  EXPECT_EQ(received_[b_], 100);
+  EXPECT_EQ(faults_->dropped_total(), 0u);
+  EXPECT_EQ(faults_->seen(), 100u);
+}
+
+TEST_F(FaultsTest, UniformLossDropsRoughlyTheConfiguredFraction) {
+  faults_->set_uniform_loss(0.2);
+  blast(a_, b_, 1000);
+  const int got = received_[b_];
+  EXPECT_GT(got, 700);  // ~800 expected; generous bounds for the tail
+  EXPECT_LT(got, 900);
+  EXPECT_EQ(faults_->dropped_loss(), static_cast<std::uint64_t>(1000 - got));
+}
+
+TEST_F(FaultsTest, LossIsDeterministicFromTheSeed) {
+  auto run_once = [](std::uint64_t seed) {
+    Simulator sim;
+    NetworkSim net(sim);
+    const NodeId x = net.add_node("x");
+    const NodeId y = net.add_node("y");
+    int got = 0;
+    net.set_handler(y, [&](NodeId, const util::Bytes&) { ++got; });
+    FaultInjector fi(sim, net, seed);
+    fi.set_uniform_loss(0.3);
+    for (int i = 0; i < 500; ++i) net.send(x, y, {static_cast<std::uint8_t>(i)});
+    sim.run();
+    return got;
+  };
+  EXPECT_EQ(run_once(7), run_once(7));          // same seed: identical
+  EXPECT_NE(run_once(7), run_once(8));          // different seed: different draw
+}
+
+TEST_F(FaultsTest, LinkLossOverridesUniformBothDirections) {
+  faults_->set_uniform_loss(0.0);
+  faults_->set_link_loss(a_, b_, 1.0);  // kill the a<->b pair entirely
+  blast(a_, b_, 50);
+  blast(b_, a_, 50);
+  blast(a_, c_, 50);  // unaffected link
+  EXPECT_EQ(received_[b_], 0);
+  EXPECT_EQ(received_[a_], 0);
+  EXPECT_EQ(received_[c_], 50);
+  faults_->clear_loss();
+  blast(a_, b_, 10);
+  EXPECT_EQ(received_[b_], 10);
+}
+
+TEST_F(FaultsTest, DownNodeNeitherSendsNorReceives) {
+  faults_->set_node_down(b_, true);
+  EXPECT_TRUE(faults_->node_down(b_));
+  blast(a_, b_, 10);
+  blast(b_, c_, 10);
+  EXPECT_EQ(received_[b_], 0);
+  EXPECT_EQ(received_[c_], 0);
+  EXPECT_EQ(faults_->dropped_down(), 20u);
+  faults_->set_node_down(b_, false);
+  blast(a_, b_, 10);
+  EXPECT_EQ(received_[b_], 10);
+}
+
+TEST_F(FaultsTest, TargetedDropsExactlyN) {
+  faults_->drop_next(a_, b_, 3);
+  blast(a_, b_, 10);
+  EXPECT_EQ(received_[b_], 7);  // first 3 lost, one-shot rule then expires
+  EXPECT_EQ(faults_->dropped_targeted(), 3u);
+  blast(b_, a_, 5);  // the rule is directional
+  EXPECT_EQ(received_[a_], 5);
+  faults_->drop_next(a_, b_, 100);
+  faults_->clear_targeted();  // revoke before anything is eaten
+  blast(a_, b_, 5);
+  EXPECT_EQ(received_[b_], 12);
+}
+
+TEST_F(FaultsTest, PartitionCutsCrossTrafficOnly) {
+  faults_->partition({a_}, {b_});
+  blast(a_, b_, 10);
+  blast(b_, a_, 10);
+  blast(a_, c_, 10);  // c is on neither side
+  EXPECT_EQ(received_[b_], 0);
+  EXPECT_EQ(received_[a_], 0);
+  EXPECT_EQ(received_[c_], 10);
+  EXPECT_EQ(faults_->dropped_partition(), 20u);
+  faults_->heal();
+  blast(a_, b_, 10);
+  EXPECT_EQ(received_[b_], 10);
+}
+
+TEST_F(FaultsTest, ScheduledPartitionWindowAppliesAndHeals) {
+  faults_->schedule_partition(milliseconds(10), milliseconds(20), {a_}, {b_});
+  // Before the window.
+  net_->send(a_, b_, {1});
+  // Inside the window.
+  sim_.at(milliseconds(15), [this] { net_->send(a_, b_, {2}); });
+  // After the heal.
+  sim_.at(milliseconds(25), [this] { net_->send(a_, b_, {3}); });
+  sim_.run();
+  EXPECT_EQ(received_[b_], 2);  // the in-window send died
+  EXPECT_EQ(faults_->dropped_partition(), 1u);
+  EXPECT_FALSE(faults_->partitioned());
+}
+
+TEST_F(FaultsTest, PrecedenceTargetedBeforeDownBeforePartitionBeforeLoss) {
+  // All four classes active for the same message: the targeted counter
+  // must be consumed first (and attributed to dropped_targeted).
+  faults_->set_uniform_loss(1.0);
+  faults_->set_node_down(b_, true);
+  faults_->partition({a_}, {b_});
+  faults_->drop_next(a_, b_, 1);
+  blast(a_, b_, 1);
+  EXPECT_EQ(faults_->dropped_targeted(), 1u);
+  blast(a_, b_, 1);
+  EXPECT_EQ(faults_->dropped_down(), 1u);
+  faults_->set_node_down(b_, false);
+  blast(a_, b_, 1);
+  EXPECT_EQ(faults_->dropped_partition(), 1u);
+  faults_->heal();
+  blast(a_, b_, 1);
+  EXPECT_EQ(faults_->dropped_loss(), 1u);
+  EXPECT_EQ(received_[b_], 0);
+}
+
+TEST_F(FaultsTest, InvalidProbabilityThrows) {
+  EXPECT_THROW(faults_->set_uniform_loss(-0.1), std::invalid_argument);
+  EXPECT_THROW(faults_->set_uniform_loss(1.5), std::invalid_argument);
+  EXPECT_THROW(faults_->set_link_loss(a_, b_, 2.0), std::invalid_argument);
+  EXPECT_THROW(
+      faults_->schedule_partition(milliseconds(20), milliseconds(10), {a_}, {b_}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cicero::sim
