@@ -8,6 +8,7 @@
 // black holes and congestion at intermediate steps — quantifying Table 1.
 #include <cstdio>
 #include <map>
+#include <set>
 
 #include "net/checker.hpp"
 #include "sched/depgraph.hpp"

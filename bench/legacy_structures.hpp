@@ -1,0 +1,201 @@
+// Pre-PR reference implementations of the two hot-path data structures
+// replaced by the scale work, kept verbatim (modulo namespacing) so
+// bench_scale can measure the speedup on identical workloads:
+//
+//   * `LegacyEventQueue` — the original sim::Simulator event core: a
+//     std::priority_queue of (time, seq, std::function) entries with no
+//     cancellation.  Ack-timeout timers armed by the controller could not
+//     be removed when the ack landed, so every completed update left a
+//     deferred no-op in the heap that still had to be popped (and its
+//     closure destroyed) at its deadline.
+//
+//   * `LegacyDependencyTracker` — the original sched::DependencyTracker:
+//     three std::map/std::set structures (updates, blocked -> unmet set,
+//     rdeps) with per-node allocations on every add/complete.
+//
+// These are benchmark-only: production code uses the indexed 4-ary heap
+// (sim/simulator.hpp) and the dense tracker (sched/depgraph.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "sched/update.hpp"
+#include "sim/time.hpp"
+
+namespace cicero::bench {
+
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  sim::SimTime now() const { return now_; }
+
+  void at(sim::SimTime t, Callback fn) { queue_.push(Entry{t, next_seq_++, std::move(fn)}); }
+  void after(sim::SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+
+  bool step() {
+    if (queue_.empty()) return false;
+    // Same move-out-of-top trick the original Simulator::step used.
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    ++events_processed_;
+    e.fn();
+    return true;
+  }
+
+  void run() {
+    while (step()) {
+    }
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Entry {
+    sim::SimTime time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  sim::SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_processed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+class LegacyDependencyTracker {
+ public:
+  /// The original map-based has_cycle, verbatim: this validation ran on
+  /// every add() in the pre-PR tracker and is part of what the dense
+  /// rewrite speeds up.
+  static bool legacy_has_cycle(const sched::UpdateSchedule& schedule) {
+    std::map<sched::UpdateId, std::vector<sched::UpdateId>> deps;
+    for (const auto& su : schedule.updates) deps[su.update.id] = su.deps;
+    for (const auto& su : schedule.updates) {
+      for (const sched::UpdateId d : su.deps) {
+        if (deps.count(d) == 0) return true;
+      }
+    }
+    enum class Color { kWhite, kGray, kBlack };
+    std::map<sched::UpdateId, Color> color;
+    for (const auto& [id, d] : deps) color[id] = Color::kWhite;
+    for (const auto& [start, d0] : deps) {
+      if (color[start] != Color::kWhite) continue;
+      std::vector<std::pair<sched::UpdateId, std::size_t>> stack{{start, 0}};
+      color[start] = Color::kGray;
+      while (!stack.empty()) {
+        auto& [id, next] = stack.back();
+        const auto& children = deps[id];
+        if (next < children.size()) {
+          const sched::UpdateId child = children[next++];
+          if (color[child] == Color::kGray) return true;
+          if (color[child] == Color::kWhite) {
+            color[child] = Color::kGray;
+            stack.emplace_back(child, 0);
+          }
+        } else {
+          color[id] = Color::kBlack;
+          stack.pop_back();
+        }
+      }
+    }
+    return false;
+  }
+
+  std::vector<sched::UpdateId> add(const sched::UpdateSchedule& schedule) {
+    std::set<sched::UpdateId> ids;
+    for (const auto& su : schedule.updates) ids.insert(su.update.id);
+    sched::UpdateSchedule internal;
+    for (const auto& su : schedule.updates) {
+      sched::ScheduledUpdate filtered{su.update, {}};
+      for (const sched::UpdateId d : su.deps) {
+        if (ids.count(d) != 0) filtered.deps.push_back(d);
+      }
+      internal.updates.push_back(std::move(filtered));
+    }
+    if (legacy_has_cycle(internal)) {
+      throw std::invalid_argument("LegacyDependencyTracker::add: cyclic schedule");
+    }
+    for (const auto& su : schedule.updates) {
+      for (const sched::UpdateId d : su.deps) {
+        if (ids.count(d) == 0 && updates_.count(d) == 0 && completed_.count(d) == 0) {
+          throw std::invalid_argument("LegacyDependencyTracker::add: unknown dependence");
+        }
+      }
+    }
+    for (const auto& su : schedule.updates) {
+      if (updates_.count(su.update.id) != 0) {
+        throw std::invalid_argument("LegacyDependencyTracker::add: duplicate update id");
+      }
+    }
+    std::vector<sched::UpdateId> ready;
+    for (const auto& su : schedule.updates) {
+      updates_[su.update.id] = su.update;
+      std::set<sched::UpdateId> unmet;
+      for (const sched::UpdateId d : su.deps) {
+        if (completed_.count(d) == 0) unmet.insert(d);
+      }
+      if (unmet.empty()) {
+        ready.push_back(su.update.id);
+        ++in_flight_;
+      } else {
+        for (const sched::UpdateId d : unmet) rdeps_[d].push_back(su.update.id);
+        blocked_[su.update.id] = std::move(unmet);
+      }
+    }
+    return ready;
+  }
+
+  std::vector<sched::UpdateId> complete(sched::UpdateId id) {
+    std::vector<sched::UpdateId> ready;
+    if (updates_.count(id) == 0 || completed_.count(id) != 0) return ready;
+    completed_.insert(id);
+    const auto self = blocked_.find(id);
+    if (self != blocked_.end()) {
+      blocked_.erase(self);
+    } else if (in_flight_ > 0) {
+      --in_flight_;
+    }
+    const auto it = rdeps_.find(id);
+    if (it == rdeps_.end()) return ready;
+    for (const sched::UpdateId dependent : it->second) {
+      const auto bit = blocked_.find(dependent);
+      if (bit == blocked_.end()) continue;
+      bit->second.erase(id);
+      if (bit->second.empty()) {
+        blocked_.erase(bit);
+        ready.push_back(dependent);
+        ++in_flight_;
+      }
+    }
+    rdeps_.erase(it);
+    return ready;
+  }
+
+  std::size_t in_flight() const { return in_flight_; }
+  std::size_t blocked() const { return blocked_.size(); }
+
+ private:
+  std::map<sched::UpdateId, sched::Update> updates_;
+  std::map<sched::UpdateId, std::set<sched::UpdateId>> blocked_;
+  std::map<sched::UpdateId, std::vector<sched::UpdateId>> rdeps_;
+  std::set<sched::UpdateId> completed_;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace cicero::bench

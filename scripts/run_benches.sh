@@ -49,6 +49,13 @@ echo "Validating run report"
 python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_fig11a.report.json"
 
 echo
+echo "Running bench_scale --smoke -> $repo_root/BENCH_scale.report.json"
+CICERO_REPORT_DIR="$repo_root" "$build_dir/bench/bench_scale" --smoke
+
+echo "Validating scale run report"
+python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_scale.report.json"
+
+echo
 # Chaos smoke: one deterministic lossy-network run.  The chaos binary is
 # only present when the full test tree was built (obs-smoke CI builds
 # selected bench/example targets only), so its absence is not an error.

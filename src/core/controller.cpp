@@ -332,8 +332,9 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
 void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
   const auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
+  sim_.cancel(it->second.timer);  // re-arm: at most one pending timer per id
   const std::uint64_t epoch = it->second.epoch;
-  sim_.after(delay, [this, id, epoch, delay] {
+  it->second.timer = sim_.after_cancellable(delay, [this, id, epoch, delay] {
     const auto fl = inflight_.find(id);
     if (fl == inflight_.end() || fl->second.epoch != epoch) return;  // acked or re-armed
     if (fault_ == ControllerFault::kSilent || !tracker_.knows(id)) {
@@ -358,6 +359,13 @@ void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
     dispatch_update(tracker_.update(id), fl->second.cause);
     arm_ack_timer(id, delay * 2);
   });
+}
+
+void Controller::disarm_ack_timer(sched::UpdateId id) {
+  const auto it = inflight_.find(id);
+  if (it == inflight_.end()) return;
+  sim_.cancel(it->second.timer);
+  inflight_.erase(it);
 }
 
 void Controller::dispatch_update(const sched::Update& update, const EventId& cause) {
@@ -442,7 +450,7 @@ void Controller::on_ack(const AckMsg& ack) {
   }
   ++acks_received_;
   m_acks_.inc();
-  inflight_.erase(ack.update_id);  // disarms the retransmission loop
+  disarm_ack_timer(ack.update_id);  // cancels the pending retransmission wakeup
   const auto it = update_sent_at_.find(ack.update_id);
   if (it != update_sent_at_.end()) {
     if (config_.obs != nullptr) {

@@ -216,13 +216,19 @@ class Controller {
   std::map<sched::UpdateId, FrostPartialMsg> frost_sent_partials_;
 
   /// Released updates awaiting a verified switch ack; drives the ack
-  /// timeout/retransmission loop.  `epoch` orphans stale timers when an
-  /// entry is re-armed (e.g. the id re-enters after a membership change).
+  /// timeout/retransmission loop.  `timer` is the pending wakeup,
+  /// cancelled outright when the ack lands (O(1) in the simulator's
+  /// indexed heap) so the common all-acks-arrive path leaves no deferred
+  /// no-op events behind; `epoch` additionally orphans stale timers when
+  /// an entry is re-armed (e.g. the id re-enters after a membership
+  /// change).
   struct Inflight {
     EventId cause;
     std::uint32_t attempt = 0;  ///< retransmissions so far
     std::uint64_t epoch = 0;
+    sim::Simulator::TimerId timer;
   };
+  void disarm_ack_timer(sched::UpdateId id);
   std::map<sched::UpdateId, Inflight> inflight_;
 
   std::uint64_t events_seen_ = 0;

@@ -7,6 +7,17 @@
 // update parallelism (§3.3): updates whose dependence sets are disjoint
 // flow through the tracker concurrently.
 //
+// Representation: one dense node array indexed by a flat-hash id->slot
+// map, with reverse-dependence edges in an intrusive per-node linked list
+// threaded through a shared edge pool.  The old implementation kept three
+// `std::map`s (updates, blocked-with-unmet-sets, rdeps) whose node churn
+// dominated controller CPU once schedules reached fat-tree path lengths;
+// here `complete()` is one hash probe plus a walk of the completed
+// node's edge chain, decrementing each dependent's unmet counter — no
+// allocation, no tree rebalancing.  External semantics are unchanged and
+// pinned by tests/sched/depgraph_property_test.cpp, which replays random
+// schedules against a map-based reference model.
+//
 // `has_cycle` validates schedules (a cyclic schedule could never make
 // progress; the paper's optimal-order work shows such cases exist, and a
 // correct scheduler must fall back to packet-waits instead of emitting a
@@ -14,11 +25,10 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <vector>
 
 #include "sched/update.hpp"
+#include "util/flat_hash.hpp"
 
 namespace cicero::sched {
 
@@ -40,21 +50,40 @@ class DependencyTracker {
   /// Updates released but not yet completed.
   std::size_t in_flight() const { return in_flight_; }
   /// Updates not yet released.
-  std::size_t blocked() const { return blocked_.size(); }
+  std::size_t blocked() const { return blocked_; }
   /// Updates not yet completed (released + blocked); the chaos suite
   /// asserts this drains to zero at quiescence under message loss.
-  std::size_t pending() const { return in_flight_ + blocked_.size(); }
-  bool idle() const { return in_flight_ == 0 && blocked_.empty(); }
+  std::size_t pending() const { return in_flight_ + blocked_; }
+  bool idle() const { return in_flight_ == 0 && blocked_ == 0; }
 
-  const Update& update(UpdateId id) const { return updates_.at(id); }
-  bool knows(UpdateId id) const { return updates_.count(id) != 0; }
+  const Update& update(UpdateId id) const;
+  bool knows(UpdateId id) const { return index_.contains(id); }
 
  private:
-  std::map<UpdateId, Update> updates_;
-  std::map<UpdateId, std::set<UpdateId>> blocked_;   ///< id -> unmet deps
-  std::map<UpdateId, std::vector<UpdateId>> rdeps_;  ///< dep -> dependents
-  std::set<UpdateId> completed_;
+  static constexpr std::uint32_t kNoEdge = UINT32_MAX;
+
+  enum class State : std::uint8_t { kBlocked, kInFlight, kCompleted };
+
+  struct Node {
+    Update update;
+    State state = State::kBlocked;
+    std::uint32_t unmet = 0;      ///< uncompleted dependencies (kBlocked only)
+    std::uint32_t rdep_head = kNoEdge;  ///< first dependent edge
+    std::uint32_t rdep_tail = kNoEdge;  ///< appended in insertion order, so
+                                        ///< release order matches the old maps
+  };
+  struct Edge {
+    std::uint32_t dependent;  ///< node slot waiting on the owner of this edge
+    std::uint32_t next = kNoEdge;
+  };
+
+  void add_rdep(std::uint32_t dep_slot, std::uint32_t dependent_slot);
+
+  util::FlatHashMap<UpdateId, std::uint32_t> index_;  ///< id -> slot in nodes_
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
   std::size_t in_flight_ = 0;
+  std::size_t blocked_ = 0;
 };
 
 }  // namespace cicero::sched

@@ -1,7 +1,8 @@
 #include "sched/scheduler.hpp"
 
-#include <map>
 #include <stdexcept>
+
+#include "util/flat_hash.hpp"
 
 namespace cicero::sched {
 
@@ -120,41 +121,45 @@ UpdateSchedule DionysusLiteScheduler::build(const RouteIntent& intent,
 
 UpdateSchedule DionysusLiteScheduler::build_batch(const std::vector<RouteIntent>& intents,
                                                   UpdateId first_id) const {
-  // Per-intent reverse-path chains...
+  // Per-intent reverse-path chains, with the capacity-release index built
+  // incrementally as each chain is emitted: every TEARDOWN update
+  // registers its directed (switch -> next hop) link in `released` right
+  // away, and only the establish updates are revisited afterwards to pick
+  // up their dependence edges.  The former implementation re-scanned the
+  // whole batch through per-intent index vectors and a `std::map` keyed by
+  // node pairs, which was quadratic-ish in batch size once fat-tree paths
+  // made chains long; the flat-hash index keeps the scan one pass + one
+  // probe per establish update.
   UpdateSchedule out;
   UpdateId next = first_id;
-  std::vector<std::pair<const RouteIntent*, std::vector<std::size_t>>> intent_updates;
+  util::FlatHashMap<std::uint64_t, std::vector<UpdateId>> released;
+  std::vector<std::size_t> establishes;  ///< out.updates indices to resolve
   for (const auto& intent : intents) {
     UpdateSchedule s = build(intent, next);
-    std::vector<std::size_t> idxs;
     for (auto& su : s.updates) {
       next = std::max(next, su.update.id + 1);
-      idxs.push_back(out.updates.size());
+      const Update& u = su.update;
+      if (intent.kind == RouteIntent::Kind::kTeardown) {
+        // Cross-intent capacity edge source: this teardown releases the
+        // link's reserved bandwidth (the Fig. 3 scenario).
+        released[util::ordered_pair_key(u.switch_node, u.rule.next_hop)].push_back(u.id);
+      } else {
+        establishes.push_back(out.updates.size());
+      }
       out.updates.push_back(std::move(su));
     }
-    intent_updates.emplace_back(&intent, std::move(idxs));
   }
 
-  // ...plus cross-intent capacity edges: an ESTABLISH whose path shares a
-  // directed (switch -> next hop) link with a TEARDOWN in the same batch
-  // waits for that teardown's update on the shared switch, so the link's
-  // capacity is released before it is re-consumed (the Fig. 3 scenario).
-  std::map<std::pair<net::NodeIndex, net::NodeIndex>, std::vector<UpdateId>> released;
-  for (const auto& [intent, idxs] : intent_updates) {
-    if (intent->kind != RouteIntent::Kind::kTeardown) continue;
-    for (const std::size_t i : idxs) {
-      const Update& u = out.updates[i].update;
-      released[{u.switch_node, u.rule.next_hop}].push_back(u.id);
-    }
-  }
-  for (auto& [intent, idxs] : intent_updates) {
-    if (intent->kind != RouteIntent::Kind::kEstablish) continue;
-    for (const std::size_t i : idxs) {
-      ScheduledUpdate& su = out.updates[i];
-      const auto it = released.find({su.update.switch_node, su.update.rule.next_hop});
-      if (it != released.end()) {
-        for (const UpdateId dep : it->second) su.deps.push_back(dep);
-      }
+  // An ESTABLISH sharing a directed link with any TEARDOWN in the batch
+  // waits for those teardown updates, so capacity is released before it is
+  // re-consumed.  Resolved after the emit loop because a teardown may
+  // appear later in the batch than the establishes that must wait for it.
+  for (const std::size_t i : establishes) {
+    ScheduledUpdate& su = out.updates[i];
+    const auto* deps =
+        released.find(util::ordered_pair_key(su.update.switch_node, su.update.rule.next_hop));
+    if (deps != nullptr) {
+      su.deps.insert(su.deps.end(), deps->begin(), deps->end());
     }
   }
   return out;

@@ -18,16 +18,17 @@ void CpuServer::set_obs(obs::Observability* obs, obs::TracePid pid, obs::TraceTi
   }
 }
 
-obs::Histogram& CpuServer::op_histogram(const char* op) {
-  const auto it = op_hist_.find(op);
-  if (it != op_hist_.end()) return it->second;
-  return op_hist_
-      .emplace(op, obs_->metrics.histogram(std::string("cpu.op.") + op + "_ms",
-                                           obs::latency_buckets_ms()))
-      .first->second;
+obs::Histogram& CpuServer::op_histogram(std::string_view op) {
+  obs::Histogram* hist = op_hist_.find(op);
+  if (hist != nullptr) return *hist;  // content hit: no allocation
+  return *op_hist_
+              .try_emplace(op, obs_->metrics.histogram(
+                                   std::string("cpu.op.").append(op) + "_ms",
+                                   obs::latency_buckets_ms()))
+              .first;
 }
 
-void CpuServer::execute(SimTime cost, const char* op, std::function<void()> done) {
+void CpuServer::execute(SimTime cost, std::string_view op, std::function<void()> done) {
   if (cost < 0) throw std::invalid_argument("CpuServer::execute: negative cost");
   const SimTime start = std::max(sim_.now(), busy_until_);
   const SimTime finish = start + cost;
@@ -47,7 +48,7 @@ void CpuServer::execute(SimTime cost, const char* op, std::function<void()> done
     queue_wait_ms_.observe(to_ms(start - sim_.now()));
     op_histogram(op).observe(to_ms(cost));
     if (obs_->trace.enabled() && cost > 0) {
-      obs_->trace.complete(pid_, tid_, op, start, cost);
+      obs_->trace.complete(pid_, tid_, std::string(op).c_str(), start, cost);
     }
   }
   sim_.at(finish, std::move(done));

@@ -17,11 +17,13 @@
 #pragma once
 
 #include <functional>
-#include <map>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_hash.hpp"
 
 namespace cicero::sim {
 
@@ -34,15 +36,17 @@ class CpuServer {
 
   /// Enqueues `cost` nanoseconds of work; `done` fires when the work
   /// completes (after queueing behind earlier work).  cost >= 0.  `op`
-  /// names the cost-model operation for metrics/tracing and must be a
-  /// string literal (cached by pointer identity).
-  void execute(SimTime cost, const char* op, std::function<void()> done);
+  /// names the cost-model operation for metrics/tracing; it is keyed by
+  /// CONTENT (hashed), so the same name used from different translation
+  /// units lands in the same histogram — keying by `const char*` literal
+  /// identity used to register duplicate handles per TU.
+  void execute(SimTime cost, std::string_view op, std::function<void()> done);
   void execute(SimTime cost, std::function<void()> done) {
     execute(cost, "task", std::move(done));
   }
 
   /// Convenience: charge cost with no completion action.
-  void charge(SimTime cost, const char* op = "task") {
+  void charge(SimTime cost, std::string_view op = "task") {
     execute(cost, op, [] {});
   }
 
@@ -60,7 +64,7 @@ class CpuServer {
   std::vector<double> utilisation_windows(SimTime window, SimTime horizon) const;
 
  private:
-  obs::Histogram& op_histogram(const char* op);
+  obs::Histogram& op_histogram(std::string_view op);
 
   Simulator& sim_;
   SimTime busy_until_ = 0;
@@ -72,7 +76,10 @@ class CpuServer {
   obs::TraceTid tid_ = 0;
   obs::Counter tasks_;
   obs::Histogram queue_wait_ms_;
-  std::map<const char*, obs::Histogram> op_hist_;  ///< keyed by literal identity
+  /// Keyed by operation-name content (heterogeneous string_view lookup on
+  /// owned std::string keys), so the hot path neither allocates on a hit
+  /// nor splits histograms across identical literals in different TUs.
+  util::FlatHashMap<std::string, obs::Histogram, util::StringHash> op_hist_;
 };
 
 }  // namespace cicero::sim

@@ -1,15 +1,11 @@
 #include "sim/faults.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace cicero::sim {
 
-namespace {
-std::pair<NodeId, NodeId> link_key(NodeId a, NodeId b) {
-  return {std::min(a, b), std::max(a, b)};
-}
-}  // namespace
+using util::ordered_pair_key;
+using util::unordered_pair_key;
 
 FaultInjector::FaultInjector(Simulator& simulator, NetworkSim& network, std::uint64_t seed)
     : sim_(simulator), rng_(seed) {
@@ -25,7 +21,7 @@ void FaultInjector::set_uniform_loss(double p) {
 
 void FaultInjector::set_link_loss(NodeId a, NodeId b, double p) {
   if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultInjector: loss not in [0,1]");
-  link_loss_[link_key(a, b)] = p;
+  link_loss_[unordered_pair_key(a, b)] = p;
 }
 
 void FaultInjector::clear_loss() {
@@ -43,7 +39,7 @@ void FaultInjector::set_node_down(NodeId node, bool down) {
 
 void FaultInjector::drop_next(NodeId from, NodeId to, std::uint32_t count) {
   if (count == 0) return;
-  targeted_[{from, to}] += count;
+  targeted_[ordered_pair_key(from, to)] += count;
 }
 
 void FaultInjector::partition(const std::vector<NodeId>& side_a,
@@ -69,31 +65,34 @@ void FaultInjector::schedule_partition(SimTime start, SimTime heal_at,
 bool FaultInjector::should_drop(NodeId from, NodeId to) {
   ++seen_;
 
-  const auto t = targeted_.find({from, to});
-  if (t != targeted_.end()) {
-    if (--t->second == 0) targeted_.erase(t);
-    ++dropped_targeted_;
-    return true;
+  if (!targeted_.empty()) {
+    std::uint32_t* t = targeted_.find(ordered_pair_key(from, to));
+    if (t != nullptr) {
+      if (--*t == 0) targeted_.erase(ordered_pair_key(from, to));
+      ++dropped_targeted_;
+      return true;
+    }
   }
 
-  if (down_nodes_.count(from) != 0 || down_nodes_.count(to) != 0) {
+  if (down_nodes_.contains(from) || down_nodes_.contains(to)) {
     ++dropped_down_;
     return true;
   }
 
   if (partitioned_) {
-    const auto sa = partition_side_.find(from);
-    const auto sb = partition_side_.find(to);
-    if (sa != partition_side_.end() && sb != partition_side_.end() &&
-        sa->second != sb->second) {
+    const int* sa = partition_side_.find(from);
+    const int* sb = partition_side_.find(to);
+    if (sa != nullptr && sb != nullptr && *sa != *sb) {
       ++dropped_partition_;
       return true;
     }
   }
 
   double p = uniform_loss_;
-  const auto l = link_loss_.find(link_key(from, to));
-  if (l != link_loss_.end()) p = l->second;
+  if (!link_loss_.empty()) {
+    const double* l = link_loss_.find(unordered_pair_key(from, to));
+    if (l != nullptr) p = *l;
+  }
   if (p > 0.0 && rng_.chance(p)) {
     ++dropped_loss_;
     return true;

@@ -23,13 +23,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <set>
 #include <utility>
 #include <vector>
 
 #include "sim/network.hpp"
 #include "sim/simulator.hpp"
+#include "util/flat_hash.hpp"
 #include "util/rng.hpp"
 
 namespace cicero::sim {
@@ -53,7 +52,7 @@ class FaultInjector {
   // --- node crash model ---
   /// While down, every message from or to `node` is dropped.
   void set_node_down(NodeId node, bool down);
-  bool node_down(NodeId node) const { return down_nodes_.count(node) != 0; }
+  bool node_down(NodeId node) const { return down_nodes_.contains(node); }
 
   // --- one-shot targeted drops ---
   /// Drops the next `count` messages sent from `from` to `to`.
@@ -88,14 +87,17 @@ class FaultInjector {
  private:
   bool should_drop(NodeId from, NodeId to);
 
+  // Flat-hash state: should_drop() sits on every send of a scale run, so
+  // each rule class costs one open-addressing probe instead of a tree
+  // walk.  Keys pack the node pair into one u64 (see util/flat_hash.hpp).
   Simulator& sim_;
   util::Rng rng_;
   double uniform_loss_ = 0.0;
-  std::map<std::pair<NodeId, NodeId>, double> link_loss_;  ///< key: minmax pair
-  std::set<NodeId> down_nodes_;
-  std::map<std::pair<NodeId, NodeId>, std::uint32_t> targeted_;
+  util::FlatHashMap<std::uint64_t, double> link_loss_;  ///< key: unordered pair
+  util::FlatHashSet<NodeId> down_nodes_;
+  util::FlatHashMap<std::uint64_t, std::uint32_t> targeted_;  ///< key: (from, to)
   bool partitioned_ = false;
-  std::map<NodeId, int> partition_side_;
+  util::FlatHashMap<NodeId, int> partition_side_;
 
   std::uint64_t seen_ = 0;
   std::uint64_t dropped_targeted_ = 0;

@@ -5,13 +5,26 @@
 // instant run in the order they were scheduled — this tie-break is what
 // makes whole-protocol runs bit-reproducible.
 //
+// The queue is an indexed 4-ary heap over 24-byte plain entries, with the
+// callbacks parked in a slot arena off to the side:
+//   * sift operations move only (time, seq, slot) triples, never a
+//     std::function, so pushes/pops stay inside a few cache lines even
+//     with hundreds of thousands of pending events (the thousand-switch
+//     topologies of bench_scale);
+//   * `cancel()` is O(1): it frees the callback and bumps the slot's
+//     generation, turning the heap entry into a tombstone that pop
+//     discards.  Ack/retransmit timers — armed per update, cancelled on
+//     the ack that almost always arrives first — stop costing a deferred
+//     no-op wakeup each.
+//   Tombstones are compacted in bulk (one O(n) heapify) when they
+//   outnumber live events, so a cancel-heavy run's queue stays dense.
+//
 // The simulator replaces the paper's DeterLab testbed (DESIGN.md §1): all
 // latency, bandwidth and CPU effects are modeled as scheduled events.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -22,13 +35,33 @@ class Simulator {
  public:
   using Callback = std::function<void()>;
 
+  /// Handle to a cancellable scheduled event.  Value type; a default
+  /// constructed id is invalid and cancel() on it is a no-op.
+  struct TimerId {
+    std::uint32_t slot = UINT32_MAX;
+    std::uint32_t gen = 0;
+    bool valid() const { return slot != UINT32_MAX; }
+  };
+
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t` (must be >= now()).
-  void at(SimTime t, Callback fn);
+  void at(SimTime t, Callback fn) { schedule(t, std::move(fn)); }
 
   /// Schedules `fn` `delay` nanoseconds from now (delay >= 0).
-  void after(SimTime delay, Callback fn) { at(now_ + delay, std::move(fn)); }
+  void after(SimTime delay, Callback fn) { schedule(now_ + delay, std::move(fn)); }
+
+  /// As `at`/`after`, but the returned id can cancel the event later.
+  TimerId at_cancellable(SimTime t, Callback fn) { return schedule(t, std::move(fn)); }
+  TimerId after_cancellable(SimTime delay, Callback fn) {
+    return schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event in O(1).  Returns true if the event was still
+  /// pending (it will never fire); false if it already fired, was already
+  /// cancelled, or the id is invalid.  The callback is destroyed
+  /// immediately, so captured resources are released at cancel time.
+  bool cancel(TimerId id);
 
   /// Runs the next event; returns false if the queue is empty.
   bool step();
@@ -40,31 +73,52 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run();
 
-  bool empty() const { return queue_.empty(); }
+  bool empty() const { return live_ == 0; }
   std::uint64_t events_processed() const { return events_processed_; }
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
+  /// Pending (armed, uncancelled) events.
+  std::size_t pending_events() const { return live_; }
 
   /// Hard cap on processed events to catch accidental livelock in tests;
   /// 0 disables.  step() throws std::runtime_error past the cap.
   void set_event_cap(std::uint64_t cap) { event_cap_ = cap; }
 
  private:
+  /// Heap entries are tombstoned by a generation mismatch with their slot.
   struct Entry {
     SimTime time;
     std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+  };
+  struct Slot {
     Callback fn;
+    std::uint32_t gen = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+
+  static bool earlier(const Entry& a, const Entry& b) {
+    return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+  }
+
+  TimerId schedule(SimTime t, Callback fn);
+  bool entry_live(const Entry& e) const { return slots_[e.slot].gen == e.gen; }
+  void release_slot(std::uint32_t slot);
+  /// Drops tombstones off the heap top; afterwards heap_ is empty or its
+  /// root is live.
+  void prune_top();
+  void maybe_compact();
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
   std::uint64_t event_cap_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::size_t live_ = 0;  ///< armed entries in heap_ (heap_.size() - tombstones)
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace cicero::sim

@@ -1,0 +1,140 @@
+#include "workload/topo_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "util/flat_hash.hpp"
+#include "util/rng.hpp"
+
+namespace cicero::workload {
+
+namespace {
+
+std::string indexed(const char* stem, std::uint32_t i) {
+  return std::string(stem) + std::to_string(i);
+}
+
+}  // namespace
+
+net::Topology fat_tree(std::uint32_t k, const FatTreeOptions& options) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("fat_tree: k must be even and >= 2");
+  }
+  const std::uint32_t half = k / 2;
+  const std::uint32_t hosts_per_edge = options.hosts_per_edge == 0 ? half : options.hosts_per_edge;
+  const sim::SimTime lat = sim::microseconds(25);
+  const double edge_bw = options.edge_link_gbps * 1e9;
+  const double fabric_bw = options.fabric_link_gbps * 1e9;
+
+  net::Topology topo;
+
+  // Core layer: (k/2)^2 switches in k/2 groups of k/2.  Group g serves
+  // aggregation position g of every pod.
+  std::vector<net::NodeIndex> core(half * half);
+  const net::DomainId core_domain = options.domain_per_pod ? k : 0;
+  for (std::uint32_t c = 0; c < half * half; ++c) {
+    core[c] = topo.add_switch(indexed("core", c), net::Placement{0, 0, 0}, core_domain);
+  }
+
+  for (std::uint32_t p = 0; p < k; ++p) {
+    const net::DomainId domain = options.domain_per_pod ? p : 0;
+    std::vector<net::NodeIndex> agg(half);
+    for (std::uint32_t a = 0; a < half; ++a) {
+      agg[a] = topo.add_switch(indexed("agg", p * half + a), net::Placement{0, p, 0}, domain);
+      // Aggregation position a uplinks to every switch of core group a.
+      for (std::uint32_t c = 0; c < half; ++c) {
+        topo.add_link(agg[a], core[a * half + c], fabric_bw, lat);
+      }
+    }
+    for (std::uint32_t e = 0; e < half; ++e) {
+      const std::uint32_t rack = p * half + e;  // globally unique rack id
+      const net::NodeIndex edge =
+          topo.add_switch(indexed("edge", rack), net::Placement{0, p, rack}, domain);
+      for (std::uint32_t a = 0; a < half; ++a) {
+        topo.add_link(edge, agg[a], fabric_bw, lat);
+      }
+      for (std::uint32_t h = 0; h < hosts_per_edge; ++h) {
+        const net::NodeIndex host = topo.add_host(indexed("host", rack * hosts_per_edge + h),
+                                                  net::Placement{0, p, rack}, domain);
+        topo.add_link(host, edge, edge_bw, sim::microseconds(15));
+      }
+    }
+  }
+  return topo;
+}
+
+net::Topology wan(std::uint32_t n, const WanOptions& options) {
+  if (n < 3) throw std::invalid_argument("wan: need at least 3 switches");
+  const double bw = options.link_gbps * 1e9;
+
+  net::Topology topo;
+  std::vector<net::NodeIndex> sw(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Each backbone switch is its own "rack"; regions of 32 switches form
+    // pods so locality-aware workloads still have structure to exploit.
+    const net::Placement place{0, i / 32, i};
+    const net::DomainId domain = options.domain_per_region ? i / 32 : 0;
+    sw[i] = topo.add_switch(indexed("wan", i), place, domain);
+    for (std::uint32_t h = 0; h < options.hosts_per_switch; ++h) {
+      const net::NodeIndex host =
+          topo.add_host(indexed("whost", i * options.hosts_per_switch + h), place, domain);
+      topo.add_link(host, sw[i], bw, sim::microseconds(50));
+    }
+  }
+
+  // Ring for guaranteed connectivity.
+  for (std::uint32_t i = 0; i < n; ++i) {
+    topo.add_link(sw[i], sw[(i + 1) % n], bw, options.hop_latency);
+  }
+
+  // Seeded chords; deduplicated so link_between stays unambiguous.
+  util::Rng rng(options.seed);
+  util::FlatHashSet<std::uint64_t> used;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    used.insert(util::unordered_pair_key(sw[i], sw[(i + 1) % n]));
+  }
+  const auto chords = static_cast<std::uint64_t>(options.chord_fraction * static_cast<double>(n));
+  for (std::uint64_t placed = 0, attempts = 0; placed < chords && attempts < chords * 20;
+       ++attempts) {
+    const auto a = static_cast<std::uint32_t>(rng.next_below(n));
+    const auto b = static_cast<std::uint32_t>(rng.next_below(n));
+    if (a == b) continue;
+    if (!used.insert(util::unordered_pair_key(sw[a], sw[b]))) continue;
+    // Chord latency scales with ring distance, like a geographic link.
+    const std::uint32_t dist = std::min(a < b ? b - a : a - b, n - (a < b ? b - a : a - b));
+    topo.add_link(sw[a], sw[b], bw,
+                  options.hop_latency * static_cast<sim::SimTime>(std::max(1u, dist / 4)));
+    ++placed;
+  }
+  return topo;
+}
+
+std::vector<Flow> scale_flows(const net::Topology& topo, std::size_t count,
+                              double arrival_rate_per_sec, std::uint64_t seed) {
+  if (arrival_rate_per_sec <= 0.0) {
+    throw std::invalid_argument("scale_flows: rate must be > 0");
+  }
+  const std::vector<net::NodeIndex> hosts = topo.hosts();
+  if (hosts.size() < 2) throw std::invalid_argument("scale_flows: need >= 2 hosts");
+
+  util::Rng rng(seed);
+  std::vector<Flow> flows;
+  flows.reserve(count);
+  double t_sec = 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    t_sec += rng.exponential(arrival_rate_per_sec);
+    Flow f;
+    f.arrival = sim::from_sec(t_sec);
+    f.src_host = hosts[rng.next_below(hosts.size())];
+    do {
+      f.dst_host = hosts[rng.next_below(hosts.size())];
+    } while (f.dst_host == f.src_host);
+    f.size_bytes = 64.0 * 1024.0;
+    f.reserved_bps = 1e6;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace cicero::workload

@@ -1,0 +1,72 @@
+// Scale-topology generators for the thousand-switch benchmarks.
+//
+// The paper evaluates Cicero on a Facebook-style fabric (net::topology
+// builders); these generators produce the two shapes used to push the
+// update pipeline well past the paper's scale:
+//
+//   * `fat_tree(k)` — the canonical k-ary fat-tree (Al-Fares et al.):
+//     k pods of k/2 edge + k/2 aggregation switches and (k/2)^2 core
+//     switches, k/2 hosts per edge switch.  k = 16 yields 320 switches
+//     and 1024 hosts — the bench_scale CI target.
+//
+//   * `wan(n)` — an n-switch wide-area backbone: a ring for guaranteed
+//     connectivity plus seeded random chords up to an average degree of
+//     ~3.4, which approximates the Internet Topology Zoo mesh densities
+//     the paper's DT backbone is drawn from.  One host per switch by
+//     default so every switch terminates traffic.
+//
+// `scale_flows` is the matching workload: Poisson arrivals over uniform
+// random distinct host pairs.  Uniform (rather than the Facebook locality
+// mixes of workload.hpp) is deliberate for scaling runs: it maximises the
+// number of distinct switch tables touched, which is the stress axis for
+// the scheduler/dependency machinery being measured.
+//
+// All generators are deterministic functions of their arguments (plus the
+// explicit seed for `wan` chords and `scale_flows`); the seed-sweep suite
+// relies on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "workload/workload.hpp"
+
+namespace cicero::workload {
+
+struct FatTreeOptions {
+  /// Hosts attached to each edge switch; 0 means the canonical k/2.
+  std::uint32_t hosts_per_edge = 0;
+  /// One control domain per pod (cores get their own interconnect
+  /// domain) when true; a single domain 0 otherwise.  Scale benches use
+  /// a single domain so control-plane size stays constant across k.
+  bool domain_per_pod = false;
+  double edge_link_gbps = 10.0;
+  double fabric_link_gbps = 40.0;
+};
+
+/// Builds the k-ary fat-tree (k even, >= 2): k*k/2 edge + k*k/2
+/// aggregation + (k/2)^2 core switches, hosts under the edge layer.
+net::Topology fat_tree(std::uint32_t k, const FatTreeOptions& options = {});
+
+struct WanOptions {
+  /// Hosts attached to each backbone switch.
+  std::uint32_t hosts_per_switch = 1;
+  /// Extra chord links beyond the ring, as a fraction of n (0.7 gives
+  /// average switch degree ~3.4, Topology-Zoo-like).
+  double chord_fraction = 0.7;
+  std::uint64_t seed = 1;  ///< chord placement
+  double link_gbps = 100.0;
+  sim::SimTime hop_latency = sim::milliseconds(4);
+  bool domain_per_region = false;  ///< ~32 switches per domain when true
+};
+
+/// Builds an n-switch WAN backbone (n >= 3): ring + seeded chords.
+net::Topology wan(std::uint32_t n, const WanOptions& options = {});
+
+/// Poisson arrivals over uniform random distinct host pairs; sorted by
+/// arrival time.  Deterministic in (topo, count, rate, seed).
+std::vector<Flow> scale_flows(const net::Topology& topo, std::size_t count,
+                              double arrival_rate_per_sec, std::uint64_t seed);
+
+}  // namespace cicero::workload

@@ -76,5 +76,35 @@ TEST(CpuServer, WindowValidation) {
   EXPECT_THROW(cpu.utilisation_windows(0, milliseconds(10)), std::invalid_argument);
 }
 
+TEST(CpuServer, OpHistogramsKeyByContentNotPointerIdentity) {
+  // Regression: op histograms used to be keyed by `const char*`, i.e. by
+  // the literal's ADDRESS.  The same op name reaching the server through
+  // different buffers (different translation units, or runtime-built
+  // strings) registered duplicate histogram handles.  Content keying must
+  // give one cell no matter which buffer the name arrives in.
+  Simulator s;
+  obs::Observability obs;
+  CpuServer cpu(s);
+  cpu.set_obs(&obs, 1, 1);
+
+  const std::string heap_name = std::string("update.") + "sign";  // distinct buffer
+  static const char literal_name[] = "update.sign";
+  s.at(0, [&] {
+    cpu.execute(milliseconds(1), literal_name, [] {});
+    cpu.execute(milliseconds(2), std::string_view(heap_name), [] {});
+    cpu.execute(milliseconds(3), "update.sign", [] {});
+  });
+  s.run();
+
+  std::size_t cells = 0;
+  for (const auto& [name, cell] : obs.metrics.histograms()) {
+    if (name == "cpu.op.update.sign_ms") {
+      ++cells;
+      EXPECT_EQ(cell->count, 3u);  // all three observations in ONE cell
+    }
+  }
+  EXPECT_EQ(cells, 1u);
+}
+
 }  // namespace
 }  // namespace cicero::sim

@@ -83,5 +83,96 @@ TEST(Simulator, CountsEvents) {
   EXPECT_EQ(s.events_processed(), 7u);
 }
 
+TEST(SimulatorCancel, CancelledCallbackNeverRuns) {
+  Simulator s;
+  bool fired = false;
+  const Simulator::TimerId id = s.after_cancellable(10, [&] { fired = true; });
+  EXPECT_TRUE(id.valid());
+  EXPECT_EQ(s.pending_events(), 1u);
+  EXPECT_TRUE(s.cancel(id));
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_processed(), 0u);
+}
+
+TEST(SimulatorCancel, CancelAfterFireAndDoubleCancelReturnFalse) {
+  Simulator s;
+  const Simulator::TimerId id = s.after_cancellable(5, [] {});
+  s.run();
+  EXPECT_FALSE(s.cancel(id));  // already fired
+  const Simulator::TimerId id2 = s.after_cancellable(5, [] {});
+  EXPECT_TRUE(s.cancel(id2));
+  EXPECT_FALSE(s.cancel(id2));  // already cancelled
+  EXPECT_FALSE(s.cancel(Simulator::TimerId{}));  // never armed
+}
+
+TEST(SimulatorCancel, SlotReuseDoesNotConfuseStaleIds) {
+  // After a cancel, the arena slot is recycled for the next timer; the
+  // stale id's generation must not cancel the new tenant.
+  Simulator s;
+  const Simulator::TimerId old_id = s.after_cancellable(10, [] {});
+  EXPECT_TRUE(s.cancel(old_id));
+  bool fired = false;
+  const Simulator::TimerId new_id = s.after_cancellable(20, [&] { fired = true; });
+  EXPECT_EQ(new_id.slot, old_id.slot);  // recycled
+  EXPECT_NE(new_id.gen, old_id.gen);
+  EXPECT_FALSE(s.cancel(old_id));  // stale handle is inert
+  s.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorCancel, SurvivingEventsKeepDeterministicOrder) {
+  // Cancel every other same-time event: survivors must still run in
+  // insertion order, exactly as if the cancelled ones were never armed.
+  Simulator s;
+  std::vector<int> ran;
+  std::vector<Simulator::TimerId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(s.at_cancellable(50, [&ran, i] { ran.push_back(i); }));
+  }
+  for (int i = 0; i < 100; i += 2) EXPECT_TRUE(s.cancel(ids[static_cast<std::size_t>(i)]));
+  s.run();
+  std::vector<int> expected;
+  for (int i = 1; i < 100; i += 2) expected.push_back(i);
+  EXPECT_EQ(ran, expected);
+}
+
+TEST(SimulatorCancel, HeavyChurnCompactsAndStaysOrdered) {
+  // The retransmit pattern at scale: arm a far-out timer, cancel it
+  // shortly after, thousands of times.  Exercises lazy pruning and bulk
+  // compaction; live events must be unaffected.
+  Simulator s;
+  std::uint64_t live_fired = 0;
+  SimTime last_time = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const SimTime t = 10 + i;
+    const Simulator::TimerId timer = s.at_cancellable(t + 1'000'000, [] { FAIL(); });
+    s.at(t, [&, timer, t] {
+      EXPECT_TRUE(s.cancel(timer));
+      EXPECT_GE(t, last_time);
+      last_time = t;
+      ++live_fired;
+    });
+  }
+  s.run();
+  EXPECT_EQ(live_fired, 5000u);
+  EXPECT_EQ(s.events_cancelled(), 5000u);
+  EXPECT_EQ(s.events_processed(), 5000u);
+  EXPECT_EQ(s.pending_events(), 0u);
+}
+
+TEST(SimulatorCancel, RunUntilAdvancesPastCancelledTail) {
+  // A queue holding only cancelled entries is logically empty: run_until
+  // must land exactly on the horizon and empty() must agree.
+  Simulator s;
+  const Simulator::TimerId id = s.at_cancellable(100, [] { FAIL(); });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_until(50);
+  EXPECT_EQ(s.now(), 50);
+  EXPECT_TRUE(s.empty());
+}
+
 }  // namespace
 }  // namespace cicero::sim

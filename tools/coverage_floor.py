@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Soft line-coverage floor over a gcovr JSON report.
+
+Usage:
+    coverage_floor.py coverage.json --floor src/sched=80 --floor src/sim=75
+
+Aggregates gcovr's per-file line counts under each requested directory
+prefix and prints a table.  Floors are SOFT by default: a shortfall prints
+a prominent warning (and is visible in the uploaded artifact) without
+failing the job, so coverage trends gate reviews rather than merges.
+Pass --hard to turn shortfalls into a non-zero exit instead.
+"""
+
+import argparse
+import json
+import sys
+
+
+def parse_floor(spec: str):
+    prefix, _, pct = spec.partition("=")
+    if not pct:
+        raise argparse.ArgumentTypeError(f"floor must be <prefix>=<percent>: {spec!r}")
+    return prefix.rstrip("/"), float(pct)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("report", help="gcovr --json output")
+    ap.add_argument("--floor", action="append", type=parse_floor, default=[],
+                    metavar="PREFIX=PCT", help="line-coverage floor for a directory prefix")
+    ap.add_argument("--hard", action="store_true",
+                    help="exit non-zero on shortfall (default: warn only)")
+    args = ap.parse_args()
+
+    with open(args.report, encoding="utf-8") as f:
+        data = json.load(f)
+
+    totals = {prefix: [0, 0] for prefix, _ in args.floor}  # covered, total
+    for entry in data.get("files", []):
+        name = entry.get("file", "")
+        for prefix in totals:
+            if not name.startswith(prefix + "/") and name != prefix:
+                continue
+            for line in entry.get("lines", []):
+                if line.get("gcovr/noncode", False):
+                    continue
+                totals[prefix][1] += 1
+                if line.get("count", 0) > 0:
+                    totals[prefix][0] += 1
+
+    shortfalls = []
+    floors = dict(args.floor)
+    print(f"{'prefix':<16} {'lines':>8} {'covered':>8} {'pct':>7} {'floor':>7}")
+    for prefix, (covered, total) in totals.items():
+        pct = 100.0 * covered / total if total else 0.0
+        floor = floors[prefix]
+        print(f"{prefix:<16} {total:>8} {covered:>8} {pct:>6.1f}% {floor:>6.1f}%")
+        if total == 0:
+            shortfalls.append(f"{prefix}: no lines matched (path mismatch?)")
+        elif pct < floor:
+            shortfalls.append(f"{prefix}: {pct:.1f}% < floor {floor:.1f}%")
+
+    if shortfalls:
+        for s in shortfalls:
+            print(f"WARNING: coverage floor shortfall — {s}", file=sys.stderr)
+        if args.hard:
+            return 1
+    else:
+        print("coverage floors satisfied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
