@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -27,16 +28,26 @@ inline void print_header(const std::string& experiment, const std::string& descr
 
 /// Builds a deployment in cost-model mode (real crypto validated by the
 /// test suite; sweeps use calibrated simulated costs for tractable runs).
+/// `threads > 1` enables the sharded parallel engine when the topology
+/// has enough domains; otherwise the sequential fast path runs.
 inline std::unique_ptr<core::Deployment> make_dep(core::FrameworkKind fw, net::Topology topo,
                                                   std::size_t controllers = 4,
-                                                  bool teardown = false) {
+                                                  bool teardown = false,
+                                                  std::uint32_t threads = 1) {
   core::DeploymentParams dp;
   dp.framework = fw;
   dp.controllers_per_domain = controllers;
   dp.real_crypto = false;
   dp.teardown_after_flow = teardown;
   dp.seed = 42;
+  dp.threads = threads;
   return std::make_unique<core::Deployment>(std::move(topo), dp);
+}
+
+/// Monotonic wall clock in seconds, for the standard timing fields below.
+inline double wall_clock_sec() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
 }
 
 /// Injects a workload and runs to (near-)quiescence.
@@ -84,13 +95,22 @@ inline std::string metric_slug(const std::string& label) {
 /// `<slug(label)>.` prefix: the full metrics registry, the process-wide
 /// crypto op counters (reset afterwards so runs don't bleed into each
 /// other), and the completion/setup CDFs.
-inline void report_run(obs::RunReport& report, core::Deployment& dep, const std::string& label) {
+/// Every run carries two standard fields so reports stay comparable
+/// across thread counts and machines: `<slug>.threads` (worker shards
+/// backing run(); 1 = sequential fast path) and, when the caller
+/// measured one, `<slug>.wall_sec` (wall-clock duration of the run).
+inline void report_run(obs::RunReport& report, core::Deployment& dep, const std::string& label,
+                       double wall_sec = -1.0) {
   const std::string prefix = metric_slug(label) + ".";
   report.add_metrics(dep.obs().metrics, prefix);
   report.add_crypto_ops(obs::crypto_ops(), prefix);
   obs::crypto_ops().reset();
   report.add_cdf(prefix + "completion_ms", dep.completion_cdf());
   report.add_cdf(prefix + "setup_ms", dep.setup_cdf());
+  obs::MetricsRegistry standard;
+  standard.gauge(prefix + "threads").set(static_cast<double>(dep.worker_shards()));
+  if (wall_sec >= 0.0) standard.gauge(prefix + "wall_sec").set(wall_sec);
+  report.add_metrics(standard);
 }
 
 /// Writes the report as BENCH_<id>.report.json in the working directory

@@ -6,7 +6,10 @@
 //   1. counter.inc / histogram.observe / tracer record calls against a
 //      DISABLED registry/tracer perform ZERO heap allocations;
 //   2. the same calls against an ENABLED registry also allocate nothing
-//      (all storage is resolved at handle-construction time).
+//      (all storage is resolved at handle-construction time);
+//   3. NetworkSim::multicast copies the payload once per fan-out, not
+//      once per destination (allocated bytes stay ~1 payload no matter
+//      how many recipients).
 // Wall-clock per-op costs are printed for information only (they vary
 // with the host and are not asserted).
 #include <chrono>
@@ -14,17 +17,25 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <string>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 std::uint64_t g_allocs = 0;
+std::uint64_t g_bytes = 0;
 bool g_counting = false;
 }  // namespace
 
 void* operator new(std::size_t n) {
-  if (g_counting) ++g_allocs;
+  if (g_counting) {
+    ++g_allocs;
+    g_bytes += n;
+  }
   if (void* p = std::malloc(n ? n : 1)) return p;
   throw std::bad_alloc();
 }
@@ -111,6 +122,46 @@ int main() {
                       measure([&](std::uint64_t) { tracer.instant(1, 0, "mark"); }));
     if (tracer.event_count() != 0) {
       std::fprintf(stderr, "FAIL: disabled tracer buffered %zu events\n", tracer.event_count());
+      ++failures;
+    }
+  }
+
+  {
+    // Multicast fan-out: the shared-payload send path must allocate the
+    // message bytes ONCE per fan-out, not once per destination.  With a
+    // 1 MiB payload and 64 recipients, per-destination copying would
+    // allocate ~64 MiB; the shared path stays within 2 payloads (one
+    // shared copy + per-event bookkeeping, which is KBs, not MBs).
+    sim::Simulator sim;
+    sim::NetworkSim net(sim);
+    constexpr std::size_t kDst = 64;
+    constexpr std::size_t kPayload = 1 << 20;
+    const sim::NodeId src = net.add_node("src");
+    std::vector<sim::NodeId> dst;
+    std::uint64_t delivered = 0;
+    for (std::size_t i = 0; i < kDst; ++i) {
+      const sim::NodeId node = net.add_node("dst" + std::to_string(i));
+      net.set_handler(node,
+                      [&delivered](sim::NodeId, const util::Bytes&) { ++delivered; });
+      dst.push_back(node);
+    }
+    const util::Bytes payload(kPayload, 0xAB);
+    g_allocs = 0;
+    g_bytes = 0;
+    g_counting = true;
+    net.multicast(src, dst, payload);
+    sim.run();
+    g_counting = false;
+    std::printf("%-28s %8.2f MB allocated, %llu allocs (%zu-way 1 MiB fan-out)\n",
+                "net.multicast (shared)", static_cast<double>(g_bytes) / (1024.0 * 1024.0),
+                static_cast<unsigned long long>(g_allocs), kDst);
+    if (delivered != kDst) {
+      std::fprintf(stderr, "FAIL: multicast delivered %llu of %zu\n",
+                   static_cast<unsigned long long>(delivered), kDst);
+      ++failures;
+    }
+    if (g_bytes > 2 * kPayload) {
+      std::fprintf(stderr, "FAIL: multicast send path copied the payload per destination\n");
       ++failures;
     }
   }

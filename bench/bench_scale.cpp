@@ -20,6 +20,15 @@
 // `--smoke` trims the sweep to the two CI acceptance topologies —
 // k = 16 fat-tree (320 switches / 1024 hosts) and a 1000-switch WAN —
 // with a reduced flow count, sized to finish in a CI smoke job.
+//
+// `--threads N` runs the deployments on the sharded parallel engine
+// (N worker shards over domain-partitioned topologies).  Passing the
+// flag — even `--threads 1` — switches the topologies to one control
+// domain per pod/region so thread counts compare like-for-like;
+// without it the single-domain baseline topologies are unchanged.
+//
+// `--large` appends the 10k-switch WAN and k = 32 fat-tree scenarios
+// (out of CI budget; for dedicated scaling runs).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -159,14 +168,15 @@ struct ScaleConfig {
   std::size_t flows;
 };
 
-void run_scale_config(obs::RunReport& report, ScaleConfig cfg) {
+void run_scale_config(obs::RunReport& report, ScaleConfig cfg, std::uint32_t threads) {
   const std::size_t switches = cfg.topo.switches().size();
   const std::size_t hosts = cfg.topo.hosts().size();
   const std::vector<workload::Flow> flows =
       workload::scale_flows(cfg.topo, cfg.flows, 600.0, /*seed=*/11);
 
   const double t0 = now_sec();
-  auto dep = bench::make_dep(core::FrameworkKind::kCicero, std::move(cfg.topo));
+  auto dep = bench::make_dep(core::FrameworkKind::kCicero, std::move(cfg.topo),
+                             /*controllers=*/4, /*teardown=*/false, threads);
   dep->inject(flows);
   dep->run(sim::from_sec(static_cast<double>(cfg.flows) / 600.0 + 20.0));
   const double wall = now_sec() - t0;
@@ -175,7 +185,8 @@ void run_scale_config(obs::RunReport& report, ScaleConfig cfg) {
   for (const net::NodeIndex s : dep->topology().switches()) {
     applied += dep->switch_at(s).updates_applied();
   }
-  const auto events = dep->simulator().events_processed();
+  const std::uint64_t events = dep->events_processed();
+  const std::uint32_t shards = dep->worker_shards();
   const double rss = peak_rss_mb();
 
   const std::string prefix = "scale." + cfg.name + ".";
@@ -185,29 +196,46 @@ void run_scale_config(obs::RunReport& report, ScaleConfig cfg) {
   obs::MetricsRegistry gauges;
   gauges.gauge(prefix + "switches").set(static_cast<double>(switches));
   gauges.gauge(prefix + "hosts").set(static_cast<double>(hosts));
+  gauges.gauge(prefix + "threads").set(static_cast<double>(shards));
   gauges.gauge(prefix + "wall_sec").set(wall);
   gauges.gauge(prefix + "events_per_sec").set(static_cast<double>(events) / wall);
   gauges.gauge(prefix + "updates_per_sec").set(static_cast<double>(applied) / wall);
   gauges.gauge(prefix + "peak_rss_mb").set(rss);
   report.add_metrics(gauges);
 
-  std::printf("  %-14s %5zu sw %5zu hosts : %8.2fs wall  %10.0f ev/s  %8.0f upd/s  %7.1f MB\n",
-              cfg.name.c_str(), switches, hosts, wall, static_cast<double>(events) / wall,
-              static_cast<double>(applied) / wall, rss);
+  std::printf(
+      "  %-14s %5zu sw %5zu hosts %2u thr : %8.2fs wall  %10.0f ev/s  %8.0f upd/s  %7.1f MB\n",
+      cfg.name.c_str(), switches, hosts, shards, wall, static_cast<double>(events) / wall,
+      static_cast<double>(applied) / wall, rss);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
+  bool large = false;
+  std::uint32_t threads = 1;
+  bool domains = false;  // --threads given: use domain-partitioned topologies
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--large") == 0) large = true;
+    if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<std::uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (threads == 0) threads = 1;
+      domains = true;
+    }
   }
 
   cicero::bench::print_header(
       "scale", smoke ? "thousand-switch pipeline (CI smoke)" : "thousand-switch pipeline");
   cicero::obs::RunReport report("scale");
   report.set_meta("mode", smoke ? "smoke" : "full");
+  report.set_meta("threads", static_cast<std::int64_t>(threads));
+
+  cicero::workload::FatTreeOptions ft;
+  ft.domain_per_pod = domains;
+  cicero::workload::WanOptions wo;
+  wo.domain_per_region = domains;
 
   // End-to-end deployments first, smallest first: VmHWM is monotonic per
   // process, so running these before the (memory-hungrier) structure
@@ -215,12 +243,16 @@ int main(int argc, char** argv) {
   std::printf("end-to-end scale runs:\n");
   std::vector<ScaleConfig> configs;
   if (!smoke) {
-    configs.push_back({"fat_tree_k8", cicero::workload::fat_tree(8), 400});
-    configs.push_back({"wan_250", cicero::workload::wan(250), 300});
+    configs.push_back({"fat_tree_k8", cicero::workload::fat_tree(8, ft), 400});
+    configs.push_back({"wan_250", cicero::workload::wan(250, wo), 300});
   }
-  configs.push_back({"fat_tree_k16", cicero::workload::fat_tree(16), smoke ? 120u : 600u});
-  configs.push_back({"wan_1000", cicero::workload::wan(1000), smoke ? 80u : 400u});
-  for (auto& cfg : configs) run_scale_config(report, std::move(cfg));
+  configs.push_back({"fat_tree_k16", cicero::workload::fat_tree(16, ft), smoke ? 120u : 600u});
+  configs.push_back({"wan_1000", cicero::workload::wan(1000, wo), smoke ? 80u : 400u});
+  if (large) {
+    configs.push_back({"fat_tree_k32", cicero::workload::fat_tree(32, ft), 800});
+    configs.push_back({"wan_10000", cicero::workload::wan(10000, wo), 600});
+  }
+  for (auto& cfg : configs) run_scale_config(report, std::move(cfg), threads);
 
   // 1a. Event queue.  500k outstanding timers at steady state (500 ms
   // timeout / 1 us ack gap) — the backlog the retransmission machinery

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 #include <stdexcept>
+#include <tuple>
 
 #include "util/logging.hpp"
+#include "workload/topo_gen.hpp"
 
 namespace cicero::core {
 
@@ -20,10 +23,16 @@ Deployment::Deployment(net::Topology topology, DeploymentParams params)
     throw std::invalid_argument(
         "Deployment: the FROST backend requires controller aggregation");
   }
-  obs_.trace.set_clock([this] { return sim_.now(); });
-  util::set_log_clock([this] { return sim_.now(); }, this);
+  setup_parallel();
+  if (psim_ == nullptr) {
+    // The trace/log clocks read the sequential simulator; in parallel
+    // mode there is no single "now", so neither hook is installed
+    // (tracing is rejected in setup_parallel, logging prints untimed).
+    obs_.trace.set_clock([this] { return sim_.now(); });
+    util::set_log_clock([this] { return sim_.now(); }, this);
+  }
   net_ = std::make_unique<sim::NetworkSim>(sim_);
-  net_->set_obs(&obs_);
+  net_->set_obs(psim_ == nullptr ? &obs_ : nullptr);
   net_->set_latency_fn([this](sim::NodeId a, sim::NodeId b) { return latency(a, b); });
   // The fault seed is derived from (not equal to) the workload seed so the
   // two random streams never alias; inert until a fault is configured.
@@ -31,6 +40,77 @@ Deployment::Deployment(net::Topology topology, DeploymentParams params)
                                                 params_.seed ^ 0xFA17FA17FA17FA17ULL);
   build_nodes();
   wire_handlers();
+  if (psim_ != nullptr) {
+    std::vector<obs::Observability*> shard_obs;
+    for (const auto& o : shard_obs_) shard_obs.push_back(o.get());
+    net_->enable_parallel(*psim_, node_shard_, shard_obs);
+    faults_->enable_sharded(psim_->shards(), node_shard_);
+  }
+}
+
+void Deployment::setup_parallel() {
+  if (params_.threads <= 1) return;
+  if (params_.trace) {
+    throw std::invalid_argument("Deployment: tracing requires threads == 1");
+  }
+  const bool global_plane = params_.framework == FrameworkKind::kCentralized ||
+                            params_.framework == FrameworkKind::kCrashTolerant;
+  // One global control plane means every switch talks to one domain —
+  // nothing to shard; likewise a single-domain topology.  Both keep the
+  // sequential fast path (psim_ stays null).
+  if (global_plane) return;
+  const workload::DomainPartition part = workload::partition_domains(topo_, params_.threads);
+  if (part.shards <= 1) return;
+  shard_of_domain_ = part.shard_of;
+  const sim::SimTime lookahead = min_cross_shard_latency();
+  if (lookahead <= 0 || lookahead == sim::kNever) {
+    shard_of_domain_.clear();
+    return;
+  }
+  sim::ParallelSim::Options opt;
+  opt.shards = part.shards;
+  opt.lookahead = lookahead;
+  psim_ = std::make_unique<sim::ParallelSim>(opt);
+  shard_obs_.reserve(part.shards);
+  for (std::uint32_t s = 0; s < part.shards; ++s) {
+    shard_obs_.push_back(std::make_unique<obs::Observability>(params_.metrics, false));
+  }
+  flow_shards_ = std::vector<FlowShard>(part.shards);
+  CICERO_LOG_INFO(kLog, "parallel mode: %u shards over %zu domains, lookahead %lld ns",
+                  part.shards, shard_of_domain_.size(),
+                  static_cast<long long>(lookahead));
+}
+
+sim::SimTime Deployment::min_cross_shard_latency() const {
+  // Latency classification only looks at (dc, pod, is_switch), so the
+  // scan runs over distinct placement classes, not node pairs.
+  struct Cls {
+    std::uint32_t shard;
+    Placement2 p;
+  };
+  std::vector<Cls> classes;
+  std::set<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t, bool>> seen;
+  const auto add = [&](std::uint32_t shard, const Placement2& p) {
+    if (seen.insert({shard, p.dc, p.pod, p.is_switch}).second) classes.push_back({shard, p});
+  };
+  for (const net::NodeIndex sw : topo_.switches()) {
+    const auto& n = topo_.node(sw);
+    add(shard_of_domain_.at(n.domain), Placement2{n.placement.dc, n.placement.pod, true});
+  }
+  for (const net::DomainId d : topo_.domains()) {
+    // Controllers are placed at their domain's first switch (build_plane).
+    const auto sws = topo_.switches_in_domain(d);
+    const net::Placement p = sws.empty() ? net::Placement{} : topo_.node(sws.front()).placement;
+    add(shard_of_domain_.at(d), Placement2{p.dc, p.pod, false});
+  }
+  sim::SimTime best = sim::kNever;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    for (std::size_t j = i + 1; j < classes.size(); ++j) {
+      if (classes[i].shard == classes[j].shard) continue;
+      best = std::min(best, latency_between(classes[i].p, classes[j].p));
+    }
+  }
+  return best;
 }
 
 Deployment::~Deployment() { util::clear_log_clock(this); }
@@ -44,6 +124,7 @@ void Deployment::build_nodes() {
   for (const net::NodeIndex sw : topo_.switches()) {
     const sim::NodeId node = net_->add_node("sw:" + topo_.node(sw).name);
     switch_nodes_[sw] = node;
+    node_shard_.push_back(shard_of_domain(topo_.node(sw).domain));
     const auto& p = topo_.node(sw).placement;
     node_place_[node] = Placement2{p.dc, p.pod, true};
     if (obs_.trace.enabled()) {
@@ -85,9 +166,9 @@ void Deployment::build_nodes() {
     }
     cfg.real_crypto = params_.real_crypto;
     cfg.domain = d;
-    cfg.obs = &obs_;
+    cfg.obs = obs_for_domain(d);
     pki_.register_origin(sw, cfg.key.pk);
-    auto runtime = std::make_unique<SwitchRuntime>(sim_, *net_, std::move(cfg));
+    auto runtime = std::make_unique<SwitchRuntime>(sim_for_domain(d), *net_, std::move(cfg));
     runtime->add_applied_observer(
         [this, sw](const sched::Update& u) { on_switch_applied(sw, u); });
     switches_[sw] = std::move(runtime);
@@ -101,7 +182,7 @@ void Deployment::build_nodes() {
     const net::DomainId dom = d;
     for (const std::uint32_t id : plane.member_ids) {
       auto ctrl = std::make_unique<Controller>(
-          sim_, *net_, member_config(plane, id),
+          sim_for_domain(dom), *net_, member_config(plane, id),
           Controller::Environment{&topo_, &scheduler_, &pki_, switch_nodes_, directory});
       ctrl->set_on_membership(
           [this, dom](const Event& e) { on_membership_event(dom, e); });
@@ -114,6 +195,7 @@ std::uint32_t Deployment::provision_controller(net::DomainId domain,
                                                const net::Placement& placement) {
   const std::uint32_t id = next_ctrl_id_++;
   const sim::NodeId node = net_->add_node("ctrl:" + std::to_string(id));
+  node_shard_.push_back(shard_of_domain(domain));
   node_place_[node] = Placement2{placement.dc, placement.pod, false};
   ctrl_nodes_[id] = node;
   ctrl_domain_[id] = domain;
@@ -204,7 +286,7 @@ Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t i
   cfg.bft_timeout = params_.bft_timeout;
   cfg.ack_timeout = params_.ack_timeout;
   cfg.update_max_retries = params_.update_max_retries;
-  cfg.obs = &obs_;
+  cfg.obs = obs_for_domain(plane.domain);
   return cfg;
 }
 
@@ -230,8 +312,10 @@ sim::SimTime Deployment::latency(sim::NodeId a, sim::NodeId b) const {
   if (ia == node_place_.end() || ib == node_place_.end()) {
     return params_.costs.ctrl_switch_latency;
   }
-  const Placement2& pa = ia->second;
-  const Placement2& pb = ib->second;
+  return latency_between(ia->second, ib->second);
+}
+
+sim::SimTime Deployment::latency_between(const Placement2& pa, const Placement2& pb) const {
   if (pa.dc != pb.dc) {
     // WAN ring distance scales the cross-DC latency.
     const std::uint32_t dcs = static_cast<std::uint32_t>(topo_.domains().size()) + 2;
@@ -263,7 +347,7 @@ void Deployment::set_controller_fault(std::uint32_t id, ControllerFault fault) {
 void Deployment::fail_link(net::NodeIndex a, net::NodeIndex b) {
   topo_.set_link_up(topo_.link_between(a, b), false);
   // Routes may change under every cached path: recompute lazily.
-  path_cache_.clear();
+  for (auto& fs : flow_shards_) fs.path_cache.clear();
   for (const net::NodeIndex side : {a, b}) {
     const auto it = switches_.find(side);
     if (it != switches_.end()) {
@@ -274,7 +358,7 @@ void Deployment::fail_link(net::NodeIndex a, net::NodeIndex b) {
 
 void Deployment::restore_link(net::NodeIndex a, net::NodeIndex b) {
   topo_.set_link_up(topo_.link_between(a, b), true);
-  path_cache_.clear();
+  for (auto& fs : flow_shards_) fs.path_cache.clear();
 }
 
 void Deployment::crash_switch(net::NodeIndex sw) {
@@ -300,72 +384,124 @@ std::size_t Deployment::pending_updates() const {
 // Flow driver
 // ---------------------------------------------------------------------------
 
+const std::vector<net::NodeIndex>& Deployment::flow_path(
+    FlowShard& fs, const std::pair<net::NodeIndex, net::NodeIndex>& key) {
+  auto it = fs.path_cache.find(key);
+  if (it == fs.path_cache.end()) {
+    it = fs.path_cache.emplace(key, topo_.shortest_path(key.first, key.second)).first;
+  }
+  return it->second;
+}
+
 void Deployment::inject(const std::vector<workload::Flow>& flows) {
   const std::size_t base = records_.size();
   // Arrival times are relative to the injection instant, so workloads can
   // be injected into an already-running deployment.
-  const sim::SimTime t0 = sim_.now();
+  const sim::SimTime t0 = psim_ != nullptr ? psim_->shard(0).now() : sim_.now();
   for (std::size_t i = 0; i < flows.size(); ++i) {
     FlowRecord rec;
     rec.flow = flows[i];
     rec.flow.arrival += t0;
     records_.push_back(rec);
     const std::size_t idx = base + i;
-    sim_.at(records_[idx].flow.arrival, [this, idx] {
+    // Every flow event (arrival, readiness, teardown) runs on the shard of
+    // its ingress switch's domain so the flow driver never races: each
+    // FlowShard has exactly one writer thread.
+    const net::NodeIndex ingress_sw = topo_.host_tor(records_[idx].flow.src_host);
+    const std::uint32_t ss = shard_of_domain(topo_.node(ingress_sw).domain);
+    sim::Simulator& ssim = psim_ != nullptr ? psim_->shard(ss) : sim_;
+    ssim.at(records_[idx].flow.arrival, [this, idx, ss] {
+      sim::Simulator& ssim = psim_ != nullptr ? psim_->shard(ss) : sim_;
       FlowRecord& r = records_[idx];
       const net::FlowMatch match{r.flow.src_host, r.flow.dst_host};
       const net::NodeIndex ingress = topo_.host_tor(r.flow.src_host);
+      FlowShard& fs = flow_shards_[ss];
 
-      auto path_it = path_cache_.find({match.src_host, match.dst_host});
-      if (path_it == path_cache_.end()) {
-        path_it = path_cache_
-                      .emplace(std::make_pair(match.src_host, match.dst_host),
-                               topo_.shortest_path(match.src_host, match.dst_host))
-                      .first;
-      }
-      const auto& path = path_it->second;
+      const auto& path = flow_path(fs, {match.src_host, match.dst_host});
       if (path.size() < 3) return;  // unroutable
 
       const sim::SimTime transmit =
           topo_.path_latency(path) +
           sim::from_sec(r.flow.size_bytes * 8.0 / params_.costs.flow_effective_bps);
 
-      // Is the whole route already installed?  (Reverse-path order means
-      // checking every switch; rules may have been torn down mid-path.)
+      // Is the route already installed?  Sequential mode checks the whole
+      // path (rules may have been torn down mid-path); parallel mode may
+      // only read its own shard's switches, so it checks the ingress rule —
+      // reverse-path install order makes that the last rule to appear.
       bool ready = true;
-      for (std::size_t p = 1; p + 1 < path.size(); ++p) {
-        if (!switches_.at(path[p])->table().has(match)) {
-          ready = false;
-          break;
+      if (psim_ == nullptr) {
+        for (std::size_t p = 1; p + 1 < path.size(); ++p) {
+          if (!switches_.at(path[p])->table().has(match)) {
+            ready = false;
+            break;
+          }
         }
+      } else {
+        ready = switches_.at(ingress)->table().has(match);
       }
       if (ready) {
         r.rule_reused = true;
-        r.route_ready = sim_.now();
-        r.completion = sim_.now() + transmit;
+        r.route_ready = ssim.now();
+        r.completion = ssim.now() + transmit;
         r.completed = true;
         if (params_.teardown_after_flow) {
-          sim_.at(r.completion,
+          ssim.at(r.completion,
                   [this, ingress, match] { switches_.at(ingress)->request_teardown(match); });
         }
         return;
       }
 
-      // Emit the miss at the ingress switch and wait for the full path.
+      // Emit the miss at the ingress switch and wait for the rule.
       switches_.at(ingress)->packet_in(match, r.flow.reserved_bps);
-      waiting_flows_.emplace(std::make_pair(match.src_host, match.dst_host), idx);
+      fs.waiting.emplace(std::make_pair(match.src_host, match.dst_host), idx);
     });
   }
 }
 
 void Deployment::on_switch_applied(net::NodeIndex sw, const sched::Update& update) {
-  (void)sw;
   if (update.op != sched::UpdateOp::kInstall) return;
   const auto key = std::make_pair(update.rule.match.src_host, update.rule.match.dst_host);
-  auto [begin, end] = waiting_flows_.equal_range(key);
+
+  if (psim_ != nullptr) {
+    // Parallel mode: the ingress rule is installed last (reverse-path
+    // order), so its arrival alone marks the flow ready; non-ingress
+    // installs are ignored.  The callback runs on the ingress shard's
+    // worker (its own switch applied the rule), matching the FlowShard's
+    // single-writer discipline.
+    const net::NodeIndex ingress = topo_.host_tor(update.rule.match.src_host);
+    if (sw != ingress) return;
+    const std::uint32_t ss = shard_of_domain(topo_.node(ingress).domain);
+    FlowShard& fs = flow_shards_[ss];
+    sim::Simulator& ssim = psim_->shard(ss);
+    auto [begin, end] = fs.waiting.equal_range(key);
+    std::vector<std::size_t> ready;
+    for (auto it = begin; it != end; ++it) ready.push_back(it->second);
+    if (ready.empty()) return;
+    fs.waiting.erase(key);
+    const auto& path = flow_path(fs, key);
+    for (const std::size_t idx : ready) {
+      FlowRecord& r = records_[idx];
+      const sim::SimTime transmit =
+          topo_.path_latency(path) +
+          sim::from_sec(r.flow.size_bytes * 8.0 / params_.costs.flow_effective_bps);
+      r.route_ready = ssim.now();
+      r.completion = ssim.now() + transmit;
+      r.completed = true;
+      if (params_.teardown_after_flow) {
+        const net::FlowMatch match = update.rule.match;
+        ssim.at(r.completion,
+                [this, ingress, match] { switches_.at(ingress)->request_teardown(match); });
+      }
+    }
+    return;
+  }
+
+  (void)sw;
+  FlowShard& fs = flow_shards_[0];
+  auto [begin, end] = fs.waiting.equal_range(key);
   std::vector<std::size_t> ready;
   for (auto it = begin; it != end; ++it) {
-    const auto& path = path_cache_.at(key);
+    const auto& path = fs.path_cache.at(key);
     bool all = true;
     for (std::size_t p = 1; p + 1 < path.size(); ++p) {
       if (!switches_.at(path[p])->table().has(update.rule.match)) {
@@ -376,11 +512,11 @@ void Deployment::on_switch_applied(net::NodeIndex sw, const sched::Update& updat
     if (all) ready.push_back(it->second);
   }
   if (ready.empty()) return;
-  waiting_flows_.erase(key);
+  fs.waiting.erase(key);
 
   for (const std::size_t idx : ready) {
     FlowRecord& r = records_[idx];
-    const auto& path = path_cache_.at(key);
+    const auto& path = fs.path_cache.at(key);
     const sim::SimTime transmit =
         topo_.path_latency(path) +
         sim::from_sec(r.flow.size_bytes * 8.0 / params_.costs.flow_effective_bps);
@@ -396,7 +532,25 @@ void Deployment::on_switch_applied(net::NodeIndex sw, const sched::Update& updat
   }
 }
 
-void Deployment::run(sim::SimTime horizon) { sim_.run_until(horizon); }
+void Deployment::run(sim::SimTime horizon) {
+  if (psim_ != nullptr) {
+    psim_->run_until(horizon);
+    merge_shard_metrics();
+    return;
+  }
+  sim_.run_until(horizon);
+}
+
+void Deployment::merge_shard_metrics() {
+  if (psim_ == nullptr || !params_.metrics) return;
+  // The deployment-wide registry is write-idle in parallel mode (every
+  // component records into its shard's registry), so zero+fold is
+  // repeatable across successive run() calls.
+  obs_.metrics.zero();
+  std::vector<const obs::MetricsRegistry*> sources;
+  for (const auto& o : shard_obs_) sources.push_back(&o->metrics);
+  obs_.metrics.merge_sum(sources);
+}
 
 // ---------------------------------------------------------------------------
 // Metrics
@@ -460,6 +614,9 @@ net::TableMap Deployment::table_map() const {
 // ---------------------------------------------------------------------------
 
 std::uint32_t Deployment::add_controller(net::DomainId domain) {
+  if (psim_ != nullptr) {
+    throw std::logic_error("add_controller: membership changes require threads == 1");
+  }
   Plane& plane = planes_.at(domain);
   // (i) provision keys/identifier and hand the directory entry out before
   // the proposal, mirroring the paper's bootstrap step.
@@ -477,6 +634,9 @@ std::uint32_t Deployment::add_controller(net::DomainId domain) {
 }
 
 void Deployment::remove_controller(std::uint32_t id) {
+  if (psim_ != nullptr) {
+    throw std::logic_error("remove_controller: membership changes require threads == 1");
+  }
   const net::DomainId domain = ctrl_domain_.at(id);
   Plane& plane = planes_.at(domain);
   // Any live member that detected the failure proposes the removal.

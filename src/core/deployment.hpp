@@ -36,6 +36,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/stats.hpp"
 #include "workload/workload.hpp"
@@ -67,6 +68,15 @@ struct DeploymentParams {
   /// Simulation-time tracing (buffers every span in memory); off by
   /// default — enable for runs whose trace you intend to export.
   bool trace = false;
+  /// Worker threads for the sharded parallel simulation engine.  1 (the
+  /// default) runs the exact single-threaded event loop — bit-identical
+  /// to the pre-parallel engine.  >1 groups the topology's control
+  /// domains into min(threads, domains) shards, one worker each,
+  /// synchronized with conservative lookahead (DESIGN.md §12); requires
+  /// trace == false.  Single-domain topologies and the centralized /
+  /// crash-tolerant frameworks (one global control plane) degenerate to
+  /// the sequential fast path regardless of this value.
+  std::uint32_t threads = 1;
 };
 
 /// Per-flow measurement record.
@@ -93,7 +103,19 @@ class Deployment {
   void run(sim::SimTime horizon = sim::seconds(600));
 
   // --- accessors ---
-  sim::Simulator& simulator() { return sim_; }
+  /// Sequential mode: the one event loop.  Parallel mode: shard 0 (whose
+  /// clock, like every shard's, ends each run() at the horizon).
+  sim::Simulator& simulator() { return psim_ != nullptr ? psim_->shard(0) : sim_; }
+  /// True when this deployment runs on the sharded parallel engine.
+  bool parallel_mode() const { return psim_ != nullptr; }
+  /// Worker shards backing run(); 1 in sequential mode.
+  std::uint32_t worker_shards() const { return psim_ != nullptr ? psim_->shards() : 1; }
+  /// The parallel engine, or nullptr in sequential mode (tests).
+  sim::ParallelSim* parallel_engine() { return psim_.get(); }
+  /// Events executed across all shards (mode-agnostic; benches).
+  std::uint64_t events_processed() const {
+    return psim_ != nullptr ? psim_->events_processed() : sim_.events_processed();
+  }
   sim::NetworkSim& network() { return *net_; }
   const net::Topology& topology() const { return topo_; }
   SwitchRuntime& switch_at(net::NodeIndex topo_index) { return *switches_.at(topo_index); }
@@ -160,6 +182,8 @@ class Deployment {
     std::set<EventId> membership_seen;
   };
 
+  struct Placement2;
+  void setup_parallel();
   void build_nodes();
   void build_plane(net::DomainId domain, const std::vector<net::NodeIndex>& domain_switches);
   std::uint32_t provision_controller(net::DomainId domain, const net::Placement& placement);
@@ -167,6 +191,20 @@ class Deployment {
   std::vector<Controller::MemberInfo> member_infos(const Plane& plane) const;
   void wire_handlers();
   sim::SimTime latency(sim::NodeId a, sim::NodeId b) const;
+  sim::SimTime latency_between(const Placement2& pa, const Placement2& pb) const;
+  sim::SimTime min_cross_shard_latency() const;
+  std::uint32_t shard_of_domain(net::DomainId d) const {
+    if (psim_ == nullptr) return 0;
+    const auto it = shard_of_domain_.find(d);
+    return it == shard_of_domain_.end() ? 0 : it->second;
+  }
+  sim::Simulator& sim_for_domain(net::DomainId d) {
+    return psim_ != nullptr ? psim_->shard(shard_of_domain(d)) : sim_;
+  }
+  obs::Observability* obs_for_domain(net::DomainId d) {
+    return psim_ != nullptr ? shard_obs_.at(shard_of_domain(d)).get() : &obs_;
+  }
+  void merge_shard_metrics();
   void on_switch_applied(net::NodeIndex sw, const sched::Update& update);
   void on_membership_event(net::DomainId domain, const Event& e);
   void run_membership_change(net::DomainId domain, const Event& e);
@@ -181,10 +219,17 @@ class Deployment {
 
   net::Topology topo_;
   DeploymentParams params_;
-  sim::Simulator sim_;
+  sim::Simulator sim_;  ///< the sequential event loop (unused when psim_ set)
   /// Declared before net_/switches_/controllers_: the metric handles they
   /// hold point into this registry, so it must outlive them.
   obs::Observability obs_;
+  /// Parallel mode only: the sharded engine, one metrics registry per
+  /// shard (merged into obs_ after every run), the domain->shard cut and
+  /// the NodeId->shard map.  All empty/null in sequential mode.
+  std::unique_ptr<sim::ParallelSim> psim_;
+  std::vector<std::unique_ptr<obs::Observability>> shard_obs_;
+  std::map<net::DomainId, std::uint32_t> shard_of_domain_;
+  std::vector<std::uint32_t> node_shard_;
   std::unique_ptr<sim::NetworkSim> net_;
   /// Installed as net_'s drop hook; must outlive every send, so it lives
   /// right next to the network it instruments.
@@ -205,10 +250,17 @@ class Deployment {
   std::uint32_t next_ctrl_id_ = 0;
   std::set<std::uint32_t> removed_;  ///< silenced ex-members (ids never reused)
 
-  // flow driver state
+  // flow driver state: records_ is shared (disjoint elements per shard);
+  // the waiting set and path cache are striped by the ingress switch's
+  // shard so the driver never locks.  Sequential mode is stripe 0 only.
+  struct FlowShard {
+    std::multimap<std::pair<net::NodeIndex, net::NodeIndex>, std::size_t> waiting;
+    std::map<std::pair<net::NodeIndex, net::NodeIndex>, std::vector<net::NodeIndex>> path_cache;
+  };
+  const std::vector<net::NodeIndex>& flow_path(FlowShard& fs,
+                                               const std::pair<net::NodeIndex, net::NodeIndex>& key);
   std::vector<FlowRecord> records_;
-  std::multimap<std::pair<net::NodeIndex, net::NodeIndex>, std::size_t> waiting_flows_;
-  std::map<std::pair<net::NodeIndex, net::NodeIndex>, std::vector<net::NodeIndex>> path_cache_;
+  std::vector<FlowShard> flow_shards_{1};
 };
 
 }  // namespace cicero::core

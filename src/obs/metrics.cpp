@@ -1,5 +1,7 @@
 #include "obs/metrics.hpp"
 
+#include <stdexcept>
+
 namespace cicero::obs {
 
 std::vector<double> latency_buckets_ms() {
@@ -46,6 +48,51 @@ Histogram MetricsRegistry::histogram(const std::string& name, std::vector<double
     it = histograms_.emplace(name, &histogram_cells_.back()).first;
   }
   return Histogram{it->second};
+}
+
+void MetricsRegistry::zero() {
+  for (auto& cell : counter_cells_) cell = 0;
+  for (auto& cell : gauge_cells_) cell = 0.0;
+  for (auto& cell : histogram_cells_) {
+    cell.counts.assign(cell.counts.size(), 0);
+    cell.count = 0;
+    cell.sum = 0.0;
+    cell.min = 0.0;
+    cell.max = 0.0;
+  }
+}
+
+void MetricsRegistry::merge_sum(const std::vector<const MetricsRegistry*>& sources) {
+  if (!enabled_) return;
+  for (const MetricsRegistry* src : sources) {
+    if (src == nullptr || !src->enabled_) continue;
+    for (const auto& [name, cell] : src->counters_) {
+      counter(name);  // materialize the destination cell
+      *counters_.at(name) += *cell;
+    }
+    for (const auto& [name, cell] : src->gauges_) {
+      gauge(name);
+      *gauges_.at(name) += *cell;
+    }
+    for (const auto& [name, cell] : src->histograms_) {
+      histogram(name, cell->bounds);
+      HistogramCell& dst = *histograms_.at(name);
+      if (dst.bounds != cell->bounds) {
+        throw std::logic_error("MetricsRegistry::merge_sum: bucket bounds differ for " + name);
+      }
+      if (cell->count == 0) continue;
+      for (std::size_t i = 0; i < dst.counts.size(); ++i) dst.counts[i] += cell->counts[i];
+      if (dst.count == 0) {
+        dst.min = cell->min;
+        dst.max = cell->max;
+      } else {
+        if (cell->min < dst.min) dst.min = cell->min;
+        if (cell->max > dst.max) dst.max = cell->max;
+      }
+      dst.count += cell->count;
+      dst.sum += cell->sum;
+    }
+  }
 }
 
 std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {

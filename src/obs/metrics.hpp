@@ -13,6 +13,7 @@
 // record methods entirely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <map>
@@ -133,6 +134,17 @@ class MetricsRegistry {
   const std::map<std::string, HistogramCell*>& histograms() const { return histograms_; }
   std::uint64_t counter_value(const std::string& name) const;
 
+  /// Zeroes every existing cell in place; names and outstanding handles
+  /// stay valid.  Pairs with merge_sum for repeatable fold-ins.
+  void zero();
+
+  /// Accumulates every metric of `sources` into this registry: counters
+  /// and gauges add, histograms merge bucket-wise (the same name must
+  /// carry the same bucket bounds).  Used to fold the per-shard
+  /// registries of a parallel run into the deployment-wide view; sources
+  /// are folded in order, so the result is deterministic.
+  void merge_sum(const std::vector<const MetricsRegistry*>& sources);
+
  private:
   bool enabled_;
   // deques: stable addresses across growth (handles keep raw pointers).
@@ -147,17 +159,29 @@ class MetricsRegistry {
 /// Process-wide crypto operation counters, incremented directly by the
 /// crypto kernels (they have no registry in scope and must stay cheap).
 /// The run-report writer snapshots them; `reset` scopes them to one run.
+/// Atomic because parallel-mode workers may sign/verify concurrently; the
+/// single-threaded cost is one lock-free RMW per (expensive) crypto op.
 struct CryptoOpCounters {
-  std::uint64_t schnorr_sign = 0;
-  std::uint64_t schnorr_verify = 0;
-  std::uint64_t partial_sign = 0;
-  std::uint64_t partial_verify = 0;
-  std::uint64_t aggregate = 0;
-  std::uint64_t threshold_verify = 0;
-  std::uint64_t frost_sign = 0;
-  std::uint64_t frost_aggregate = 0;
-  std::uint64_t frost_verify = 0;
-  void reset() { *this = CryptoOpCounters{}; }
+  std::atomic<std::uint64_t> schnorr_sign{0};
+  std::atomic<std::uint64_t> schnorr_verify{0};
+  std::atomic<std::uint64_t> partial_sign{0};
+  std::atomic<std::uint64_t> partial_verify{0};
+  std::atomic<std::uint64_t> aggregate{0};
+  std::atomic<std::uint64_t> threshold_verify{0};
+  std::atomic<std::uint64_t> frost_sign{0};
+  std::atomic<std::uint64_t> frost_aggregate{0};
+  std::atomic<std::uint64_t> frost_verify{0};
+  void reset() {
+    schnorr_sign = 0;
+    schnorr_verify = 0;
+    partial_sign = 0;
+    partial_verify = 0;
+    aggregate = 0;
+    threshold_verify = 0;
+    frost_sign = 0;
+    frost_aggregate = 0;
+    frost_verify = 0;
+  }
 };
 CryptoOpCounters& crypto_ops();
 

@@ -7,11 +7,41 @@ namespace cicero::sim {
 using util::ordered_pair_key;
 using util::unordered_pair_key;
 
+namespace {
+/// SplitMix64 finalizer: decorrelates per-shard RNG streams derived from
+/// one base seed.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
 FaultInjector::FaultInjector(Simulator& simulator, NetworkSim& network, std::uint64_t seed)
-    : sim_(simulator), rng_(seed) {
+    : sim_(simulator), seed_(seed) {
+  stripes_.emplace_back(seed);
   network.set_drop_fn([this](NodeId from, NodeId to, const util::Bytes&) {
     return should_drop(from, to);
   });
+}
+
+void FaultInjector::enable_sharded(std::uint32_t shards,
+                                   std::vector<std::uint32_t> node_shard) {
+  if (shards == 0) throw std::invalid_argument("FaultInjector: need >= 1 shard");
+  for (const std::uint32_t s : node_shard) {
+    if (s >= shards) throw std::invalid_argument("FaultInjector: shard out of range");
+  }
+  sharded_ = true;
+  node_shard_ = std::move(node_shard);
+  stripes_.clear();
+  stripes_.reserve(shards);
+  // Stripe 0 keeps the base stream (so a one-shard "parallel" run draws
+  // the sequential sequence); stripes s > 0 get decorrelated forks.
+  stripes_.emplace_back(seed_);
+  for (std::uint32_t s = 1; s < shards; ++s) {
+    stripes_.emplace_back(seed_ ^ mix64(s));
+  }
 }
 
 void FaultInjector::set_uniform_loss(double p) {
@@ -39,7 +69,16 @@ void FaultInjector::set_node_down(NodeId node, bool down) {
 
 void FaultInjector::drop_next(NodeId from, NodeId to, std::uint32_t count) {
   if (count == 0) return;
-  targeted_[ordered_pair_key(from, to)] += count;
+  std::lock_guard<std::mutex> lk(targeted_mu_);
+  std::uint32_t& slot = targeted_[ordered_pair_key(from, to)];
+  if (slot == 0) targeted_rules_.fetch_add(1, std::memory_order_relaxed);
+  slot += count;
+}
+
+void FaultInjector::clear_targeted() {
+  std::lock_guard<std::mutex> lk(targeted_mu_);
+  targeted_.clear();
+  targeted_rules_.store(0, std::memory_order_relaxed);
 }
 
 void FaultInjector::partition(const std::vector<NodeId>& side_a,
@@ -58,24 +97,35 @@ void FaultInjector::heal() {
 void FaultInjector::schedule_partition(SimTime start, SimTime heal_at,
                                        std::vector<NodeId> side_a, std::vector<NodeId> side_b) {
   if (heal_at < start) throw std::invalid_argument("FaultInjector: heal before start");
+  if (sharded_) {
+    // A mid-run flip would race every worker's partition checks; parallel
+    // chaos scenarios use static partitions configured between windows.
+    throw std::logic_error("FaultInjector: schedule_partition needs sequential mode");
+  }
   sim_.at(start, [this, a = std::move(side_a), b = std::move(side_b)] { partition(a, b); });
   sim_.at(heal_at, [this] { heal(); });
 }
 
 bool FaultInjector::should_drop(NodeId from, NodeId to) {
-  ++seen_;
+  Stripe& st =
+      stripes_[sharded_ && from < node_shard_.size() ? node_shard_[from] : 0];
+  ++st.seen;
 
-  if (!targeted_.empty()) {
+  if (targeted_rules_.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard<std::mutex> lk(targeted_mu_);
     std::uint32_t* t = targeted_.find(ordered_pair_key(from, to));
     if (t != nullptr) {
-      if (--*t == 0) targeted_.erase(ordered_pair_key(from, to));
-      ++dropped_targeted_;
+      if (--*t == 0) {
+        targeted_.erase(ordered_pair_key(from, to));
+        targeted_rules_.fetch_sub(1, std::memory_order_relaxed);
+      }
+      ++st.dropped_targeted;
       return true;
     }
   }
 
   if (down_nodes_.contains(from) || down_nodes_.contains(to)) {
-    ++dropped_down_;
+    ++st.dropped_down;
     return true;
   }
 
@@ -83,7 +133,7 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
     const int* sa = partition_side_.find(from);
     const int* sb = partition_side_.find(to);
     if (sa != nullptr && sb != nullptr && *sa != *sb) {
-      ++dropped_partition_;
+      ++st.dropped_partition;
       return true;
     }
   }
@@ -93,8 +143,8 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
     const double* l = link_loss_.find(unordered_pair_key(from, to));
     if (l != nullptr) p = *l;
   }
-  if (p > 0.0 && rng_.chance(p)) {
-    ++dropped_loss_;
+  if (p > 0.0 && st.rng.chance(p)) {
+    ++st.dropped_loss;
     return true;
   }
   return false;

@@ -20,9 +20,22 @@
 // deterministic order, so a run is bit-reproducible from (workload seed,
 // fault seed).  With no probabilistic rules configured the injector
 // consumes no randomness at all.
+//
+// Parallel mode (enable_sharded): should_drop runs concurrently on every
+// worker, always on the *source* node's shard.  RNG and counters are
+// striped per shard — shard s draws from its own stream forked from the
+// base seed, so a parallel run stays deterministic (each source's drops
+// are a pure function of that shard's send order).  The fault precedence
+// order above is unchanged; the shared rule tables are either immutable
+// while workers run (loss rates, down set, partition sides — configured
+// between windows) or mutex-guarded (the self-consuming targeted rules).
+// Sequential mode keeps the original single stripe and stays lock-free on
+// the hot path bar one relaxed atomic load.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -39,6 +52,13 @@ class FaultInjector {
   /// must outlive every send on the network (own it next to the
   /// NetworkSim).
   FaultInjector(Simulator& simulator, NetworkSim& network, std::uint64_t seed);
+
+  /// Stripes RNG + drop counters across `shards`, with `node_shard[n]`
+  /// naming node n's home shard.  Call before the first parallel window.
+  /// schedule_partition is unavailable afterwards (it needs the global
+  /// sequential clock); static partitions/crashes configured between
+  /// windows still work.
+  void enable_sharded(std::uint32_t shards, std::vector<std::uint32_t> node_shard);
 
   // --- probabilistic loss ---
   /// Uniform per-message loss probability for every link without a
@@ -58,7 +78,7 @@ class FaultInjector {
   /// Drops the next `count` messages sent from `from` to `to`.
   void drop_next(NodeId from, NodeId to, std::uint32_t count = 1);
   /// Revokes every unexpired drop_next rule (ends a targeted blackout).
-  void clear_targeted() { targeted_.clear(); }
+  void clear_targeted();
 
   // --- partitions ---
   /// Starts a partition: messages between a node in `side_a` and a node in
@@ -70,40 +90,60 @@ class FaultInjector {
   bool partitioned() const { return partitioned_; }
   /// Schedules a partition-and-heal window at absolute sim times
   /// (`start` <= `heal_at`); windows may be queued back to back to model
-  /// flapping links.
+  /// flapping links.  Sequential mode only.
   void schedule_partition(SimTime start, SimTime heal_at, std::vector<NodeId> side_a,
                           std::vector<NodeId> side_b);
 
-  // --- stats ---
-  std::uint64_t seen() const { return seen_; }
-  std::uint64_t dropped_targeted() const { return dropped_targeted_; }
-  std::uint64_t dropped_down() const { return dropped_down_; }
-  std::uint64_t dropped_partition() const { return dropped_partition_; }
-  std::uint64_t dropped_loss() const { return dropped_loss_; }
+  // --- stats (summed over shard stripes; read between windows) ---
+  std::uint64_t seen() const { return sum(&Stripe::seen); }
+  std::uint64_t dropped_targeted() const { return sum(&Stripe::dropped_targeted); }
+  std::uint64_t dropped_down() const { return sum(&Stripe::dropped_down); }
+  std::uint64_t dropped_partition() const { return sum(&Stripe::dropped_partition); }
+  std::uint64_t dropped_loss() const { return sum(&Stripe::dropped_loss); }
   std::uint64_t dropped_total() const {
-    return dropped_targeted_ + dropped_down_ + dropped_partition_ + dropped_loss_;
+    return dropped_targeted() + dropped_down() + dropped_partition() + dropped_loss();
   }
 
  private:
   bool should_drop(NodeId from, NodeId to);
 
+  /// Per-shard mutable state: one writer thread each, padded against
+  /// false sharing.  Sequential mode is exactly one stripe.
+  struct alignas(64) Stripe {
+    explicit Stripe(std::uint64_t seed) : rng(seed) {}
+    util::Rng rng;
+    std::uint64_t seen = 0;
+    std::uint64_t dropped_targeted = 0;
+    std::uint64_t dropped_down = 0;
+    std::uint64_t dropped_partition = 0;
+    std::uint64_t dropped_loss = 0;
+  };
+
+  std::uint64_t sum(std::uint64_t Stripe::* field) const {
+    std::uint64_t total = 0;
+    for (const Stripe& s : stripes_) total += s.*field;
+    return total;
+  }
+
   // Flat-hash state: should_drop() sits on every send of a scale run, so
   // each rule class costs one open-addressing probe instead of a tree
   // walk.  Keys pack the node pair into one u64 (see util/flat_hash.hpp).
   Simulator& sim_;
-  util::Rng rng_;
+  std::uint64_t seed_;
+  bool sharded_ = false;
+  std::vector<std::uint32_t> node_shard_;
+  std::vector<Stripe> stripes_;
   double uniform_loss_ = 0.0;
   util::FlatHashMap<std::uint64_t, double> link_loss_;  ///< key: unordered pair
   util::FlatHashSet<NodeId> down_nodes_;
+  /// Targeted rules mutate as they fire (self-consuming), so parallel
+  /// sends serialize on targeted_mu_; the atomic rule count keeps the
+  /// no-rules hot path to one relaxed load.
+  std::mutex targeted_mu_;
+  std::atomic<std::uint64_t> targeted_rules_{0};
   util::FlatHashMap<std::uint64_t, std::uint32_t> targeted_;  ///< key: (from, to)
   bool partitioned_ = false;
   util::FlatHashMap<NodeId, int> partition_side_;
-
-  std::uint64_t seen_ = 0;
-  std::uint64_t dropped_targeted_ = 0;
-  std::uint64_t dropped_down_ = 0;
-  std::uint64_t dropped_partition_ = 0;
-  std::uint64_t dropped_loss_ = 0;
 };
 
 }  // namespace cicero::sim

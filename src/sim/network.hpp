@@ -7,14 +7,24 @@
 // the data-plane *payload* traffic is modeled analytically in the flow
 // driver (net/flows) rather than packet-by-packet — the paper's metrics
 // only need control-message timing plus flow transmission times.
+//
+// Parallel mode (enable_parallel): every node is pinned to a ParallelSim
+// shard.  A send runs on its source node's shard; same-shard delivery is
+// an ordinary local event, cross-shard delivery goes through the engine's
+// deterministic mailboxes.  Stats/metric cells are striped per shard
+// (each cache-line-padded stripe has a single writer thread) and summed
+// on read.  Without enable_parallel nothing changes: one stripe, one
+// Simulator — the sequential path is the pre-parallel code, bit for bit.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 #include "util/bytes.hpp"
 
@@ -54,38 +64,71 @@ class NetworkSim {
   /// Uniform default latency when no latency function is installed.
   void set_default_latency(SimTime latency) { default_latency_ = latency; }
 
+  /// Switches delivery to the sharded engine: node `n` lives on shard
+  /// `node_shard[n]` and every send executes on its source's shard.  Call
+  /// once, after all nodes are added (adding nodes afterwards throws —
+  /// membership changes are a sequential-mode feature).  `shard_obs[s]`,
+  /// when non-null, receives shard `s`'s stripe of the net.* metrics.
+  void enable_parallel(ParallelSim& engine, std::vector<std::uint32_t> node_shard,
+                       const std::vector<obs::Observability*>& shard_obs);
+  bool parallel() const { return par_ != nullptr; }
+
   /// Sends `msg` from `from` to `to`; delivery is scheduled at
   /// now + latency unless dropped.  Messages between the same pair are NOT
   /// forcibly ordered (like UDP); protocol layers must tolerate reordering,
   /// though with a deterministic latency function FIFO order emerges.
   void send(NodeId from, NodeId to, util::Bytes msg);
 
-  /// Convenience multicast (independent unicasts).
+  /// Multicast as independent unicasts that SHARE one immutable payload
+  /// buffer: the fan-out costs one allocation total instead of one copy
+  /// per recipient.  (With a mutate hook installed the copying path is
+  /// kept — mutation needs a private buffer per message.)
   void multicast(NodeId from, const std::vector<NodeId>& to, const util::Bytes& msg);
 
-  std::uint64_t messages_sent() const { return messages_sent_; }
-  std::uint64_t messages_delivered() const { return messages_delivered_; }
-  std::uint64_t messages_dropped() const { return messages_dropped_; }
-  std::uint64_t bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return sum(&ShardStats::sent); }
+  std::uint64_t messages_delivered() const { return sum(&ShardStats::delivered); }
+  std::uint64_t messages_dropped() const { return sum(&ShardStats::dropped); }
+  std::uint64_t bytes_sent() const { return sum(&ShardStats::bytes); }
 
  private:
+  /// One stripe of counters/handles; exactly one writer thread each
+  /// (sequential mode uses stripe 0 only).  Padded so neighbouring
+  /// stripes never share a cache line.
+  struct alignas(64) ShardStats {
+    std::uint64_t sent = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t bytes = 0;
+    obs::Counter m_sent;
+    obs::Counter m_delivered;
+    obs::Counter m_dropped;
+    obs::Counter m_bytes;
+    obs::Histogram msg_bytes;
+    obs::Histogram link_latency_ms;
+  };
+
+  std::uint64_t sum(std::uint64_t ShardStats::* field) const {
+    std::uint64_t total = 0;
+    for (const ShardStats& s : stats_) total += s.*field;
+    return total;
+  }
+  void bind_stats(ShardStats& stats, obs::Observability* obs);
+  std::uint32_t shard_of(NodeId node) const { return par_ != nullptr ? node_shard_[node] : 0; }
+  /// Common send path; `shared` non-null selects the zero-copy fan-out.
+  void do_send(NodeId from, NodeId to, util::Bytes owned,
+               std::shared_ptr<const util::Bytes> shared);
+  void deliver(NodeId from, NodeId to, const util::Bytes& msg, std::uint32_t dst_shard);
+
   Simulator& sim_;
+  ParallelSim* par_ = nullptr;
+  std::vector<std::uint32_t> node_shard_;
   std::vector<std::string> names_;
   std::vector<Handler> handlers_;
   LatencyFn latency_fn_;
   DropFn drop_fn_;
   MutateFn mutate_fn_;
   SimTime default_latency_ = microseconds(100);
-  obs::Counter m_sent_;
-  obs::Counter m_delivered_;
-  obs::Counter m_dropped_;
-  obs::Counter m_bytes_;
-  obs::Histogram msg_bytes_;
-  obs::Histogram link_latency_ms_;
-  std::uint64_t messages_sent_ = 0;
-  std::uint64_t messages_delivered_ = 0;
-  std::uint64_t messages_dropped_ = 0;
-  std::uint64_t bytes_sent_ = 0;
+  std::vector<ShardStats> stats_{1};
 };
 
 }  // namespace cicero::sim

@@ -1,0 +1,178 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace cicero::sim {
+
+ParallelSim::ParallelSim(const Options& options) {
+  if (options.shards == 0) {
+    throw std::invalid_argument("ParallelSim: need at least one shard");
+  }
+  if (options.shards > 1 && options.lookahead <= 0) {
+    throw std::invalid_argument(
+        "ParallelSim: multi-shard runs need a positive lookahead");
+  }
+  lookahead_ = options.lookahead;
+  shards_.reserve(options.shards);
+  for (std::uint32_t s = 0; s < options.shards; ++s) {
+    shards_.push_back(std::make_unique<Simulator>());
+  }
+  mailboxes_.resize(static_cast<std::size_t>(options.shards) * options.shards);
+  for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
+  next_time_.resize(options.shards);
+  scratch_.resize(options.shards);
+}
+
+ParallelSim::~ParallelSim() = default;
+
+void ParallelSim::post(std::uint32_t src, std::uint32_t dst, SimTime t, Callback fn) {
+  if (src >= shards() || dst >= shards()) {
+    throw std::invalid_argument("ParallelSim::post: unknown shard");
+  }
+  if (src == dst) {  // same shard: an ordinary local event
+    shards_[src]->at(t, std::move(fn));
+    return;
+  }
+  // The conservative-window safety argument rests on this bound: a peer
+  // can only be handed work at or beyond its current window's end.
+  if (t < shards_[src]->now() + lookahead_) {
+    throw std::logic_error("ParallelSim::post: delivery inside the lookahead window");
+  }
+  Mailbox& mb = mailbox(src, dst);
+  std::lock_guard<std::mutex> lk(mb.mu);
+  mb.items.push_back(Posted{t, mb.next_seq++, std::move(fn)});
+  ++mb.posts;
+}
+
+void ParallelSim::drain_into(std::uint32_t dst) {
+  std::vector<Drained>& merged = scratch_[dst];
+  merged.clear();
+  for (std::uint32_t src = 0; src < shards(); ++src) {
+    if (src == dst) continue;
+    Mailbox& mb = mailbox(src, dst);
+    std::lock_guard<std::mutex> lk(mb.mu);
+    for (Posted& p : mb.items) {
+      merged.push_back(Drained{p.time, src, p.seq, std::move(p.fn)});
+    }
+    mb.items.clear();
+  }
+  // Deterministic merge: (time, source shard, per-stream send order) is a
+  // total order over inbound events, so the local heap's insertion
+  // sequence — and with it every same-instant tie-break downstream — is
+  // independent of thread scheduling.
+  std::sort(merged.begin(), merged.end(), [](const Drained& a, const Drained& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Drained& d : merged) shards_[dst]->at(d.time, std::move(d.fn));
+  merged.clear();
+}
+
+void ParallelSim::reduce() noexcept {
+  if (aborting_.load(std::memory_order_relaxed)) {
+    done_ = true;
+    return;
+  }
+  SimTime t_min = kNever;
+  for (const PerShard& p : next_time_) t_min = std::min(t_min, p.next);
+  if (t_min == kNever || t_min > horizon_) {
+    done_ = true;
+    return;
+  }
+  done_ = false;
+  ++rounds_;
+  // Window [t_min, t_min + lookahead), clipped so events exactly at the
+  // horizon still run (run_until semantics are inclusive).
+  window_end_ = horizon_ - t_min >= lookahead_ ? t_min + lookahead_ : horizon_ + 1;
+}
+
+void ParallelSim::run_until(SimTime horizon) {
+  if (shards_.size() == 1) {
+    // Sequential fast path: no threads, no barriers, no mailboxes — the
+    // underlying Simulator runs exactly as in the single-threaded engine.
+    shards_[0]->run_until(horizon);
+    return;
+  }
+
+  const std::uint32_t n = shards();
+  horizon_ = horizon;
+  done_ = false;
+  aborting_.store(false, std::memory_order_relaxed);
+
+  std::barrier window_open(static_cast<std::ptrdiff_t>(n), [this]() noexcept { reduce(); });
+  std::barrier window_closed(static_cast<std::ptrdiff_t>(n));
+
+  auto record_error = [this] {
+    std::lock_guard<std::mutex> lk(error_mu_);
+    if (!error_) error_ = std::current_exception();
+    aborting_.store(true, std::memory_order_relaxed);
+  };
+
+  auto worker = [&](std::uint32_t s) {
+    while (true) {
+      try {
+        drain_into(s);
+        next_time_[s].next = shards_[s]->next_time();
+      } catch (...) {
+        record_error();
+        next_time_[s].next = kNever;
+      }
+      window_open.arrive_and_wait();  // completion step published the window
+      if (done_) break;
+      try {
+        shards_[s]->run_window(window_end_);
+      } catch (...) {
+        record_error();  // keep arriving at barriers; reduce() ends the run
+      }
+      window_closed.arrive_and_wait();
+    }
+    if (!aborting_.load(std::memory_order_relaxed)) {
+      // Quiescent or past the horizon: park every clock at the horizon so
+      // later injections see a consistent "now" (run_until semantics).
+      shards_[s]->run_until(horizon_);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (std::uint32_t s = 1; s < n; ++s) threads.emplace_back(worker, s);
+  worker(0);
+  for (std::thread& t : threads) t.join();
+
+  if (error_) {
+    std::exception_ptr e = std::exchange(error_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+std::uint64_t ParallelSim::cross_shard_posts() const {
+  std::uint64_t total = 0;
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->mu);
+    total += mb->posts;
+  }
+  return total;
+}
+
+std::uint64_t ParallelSim::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->events_processed();
+  return total;
+}
+
+std::size_t ParallelSim::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& s : shards_) total += s->pending_events();
+  for (const auto& mb : mailboxes_) {
+    std::lock_guard<std::mutex> lk(mb->mu);
+    total += mb->items.size();
+  }
+  return total;
+}
+
+}  // namespace cicero::sim

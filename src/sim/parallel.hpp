@@ -1,0 +1,143 @@
+// Conservative-lookahead parallel discrete-event engine.
+//
+// ParallelSim shards one logical simulation across N per-shard Simulator
+// instances (each the existing indexed 4-ary heap) and runs them on one
+// worker thread apiece, synchronized in bounded time windows:
+//
+//   round:  (1) every shard drains its inbound mailboxes, merging the
+//               entries into its local heap in deterministic
+//               (time, src-shard, src-seq) order;
+//           (2) phase barrier; the completion step reduces the global
+//               floor  t_min = min over shards of next-event-time  and
+//               publishes the window  [t_min, t_min + lookahead);
+//           (3) every shard runs its local events with time < window end;
+//           (4) phase barrier; repeat until no shard has work left
+//               (or the horizon is reached).
+//
+// Safety: `lookahead` must be a lower bound on the latency of every
+// cross-shard interaction.  An event executing at time tau >= t_min can
+// only post cross-shard work for  tau + latency >= t_min + lookahead,
+// i.e. at or after the window end — so nothing a peer does during the
+// current window can add events a shard would have had to execute inside
+// it, and each shard may run its window without further coordination.
+// Progress: the shard owning t_min always executes at least one event per
+// round, so the loop terminates.
+//
+// Determinism contract: the mailbox merge order makes a parallel run a
+// pure function of (inputs, shard assignment) — N-threaded runs are
+// reproducible run-to-run.  They are NOT event-interleaving-identical to
+// the 1-shard run (shards interleave differently between domains), which
+// is why the sequential fast path below bypasses this machinery entirely:
+// with one shard, run_until() delegates straight to the underlying
+// Simulator and stays bit-identical to the single-threaded engine.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace cicero::sim {
+
+class ParallelSim {
+ public:
+  using Callback = Simulator::Callback;
+
+  struct Options {
+    std::uint32_t shards = 1;
+    /// Minimum latency of any cross-shard interaction; must be > 0 when
+    /// shards > 1 (a zero-lookahead partition cannot make progress).
+    SimTime lookahead = 0;
+  };
+
+  explicit ParallelSim(const Options& options);
+  ~ParallelSim();
+
+  ParallelSim(const ParallelSim&) = delete;
+  ParallelSim& operator=(const ParallelSim&) = delete;
+
+  std::uint32_t shards() const { return static_cast<std::uint32_t>(shards_.size()); }
+  Simulator& shard(std::uint32_t s) { return *shards_.at(s); }
+  const Simulator& shard(std::uint32_t s) const { return *shards_.at(s); }
+  SimTime lookahead() const { return lookahead_; }
+
+  /// Schedules `fn` at absolute time `t` on shard `dst` from shard `src`.
+  /// During a window this is the only legal way to touch another shard;
+  /// `t` must honor the lookahead (t >= src now + lookahead — enforced).
+  /// Also callable between run_until calls (workers quiescent), e.g. for
+  /// fault injection from the driving thread.
+  void post(std::uint32_t src, std::uint32_t dst, SimTime t, Callback fn);
+
+  /// Runs all shards until every heap and mailbox is empty or the next
+  /// event is past `horizon`; every shard's clock ends at `horizon`.
+  /// With one shard this is exactly Simulator::run_until (no threads, no
+  /// barriers — the bit-identical sequential fast path).
+  void run_until(SimTime horizon);
+
+  // --- introspection (tests, benches) ---
+  /// True when the last run_until took the no-thread sequential path.
+  bool sequential_fast_path() const { return shards_.size() == 1; }
+  std::uint64_t barrier_rounds() const { return rounds_; }
+  std::uint64_t cross_shard_posts() const;
+  std::uint64_t events_processed() const;
+  std::size_t pending_events() const;
+
+ private:
+  struct Posted {
+    SimTime time;
+    std::uint64_t seq;  ///< per-mailbox send order (per (src,dst) stream)
+    Callback fn;
+  };
+  /// One direction of one shard pair.  The mutex is uncontended in
+  /// steady state (one producer, one consumer, touched a handful of
+  /// times per window) and gives the drain a clean happens-before edge.
+  struct Mailbox {
+    std::mutex mu;
+    std::vector<Posted> items;
+    std::uint64_t next_seq = 0;
+    std::uint64_t posts = 0;
+  };
+
+  Mailbox& mailbox(std::uint32_t src, std::uint32_t dst) {
+    return *mailboxes_[src * shards_.size() + dst];
+  }
+  void drain_into(std::uint32_t dst);
+  void reduce() noexcept;  ///< barrier completion: window floor + done flag
+
+  SimTime lookahead_ = 0;
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+
+  // Round state: written by workers strictly between the barriers that
+  // workers and the completion step already order, so plain fields are
+  // race-free (each slot has exactly one writer per phase).
+  struct alignas(64) PerShard {
+    SimTime next = kNever;
+  };
+  std::vector<PerShard> next_time_;
+  SimTime horizon_ = 0;
+  SimTime window_end_ = 0;
+  bool done_ = false;  ///< written only by the barrier completion step
+  std::atomic<bool> aborting_{false};
+  std::uint64_t rounds_ = 0;
+  /// Per-destination drain scratch (capacity reuse across rounds; each
+  /// vector is touched only by its owning worker).
+  struct Drained {
+    SimTime time;
+    std::uint32_t src;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  std::vector<std::vector<Drained>> scratch_;
+
+  // Worker-raised exception, republished on the driving thread.
+  std::mutex error_mu_;
+  std::exception_ptr error_;
+};
+
+}  // namespace cicero::sim

@@ -105,6 +105,19 @@ void Simulator::run() {
   }
 }
 
+SimTime Simulator::next_time() {
+  prune_top();
+  return heap_.empty() ? kNever : heap_.front().time;
+}
+
+void Simulator::run_window(SimTime end) {
+  while (true) {
+    prune_top();
+    if (heap_.empty() || heap_.front().time >= end) break;
+    step();
+  }
+}
+
 void Simulator::sift_up(std::size_t i) {
   Entry e = heap_[i];
   while (i > 0) {

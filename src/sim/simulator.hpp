@@ -73,6 +73,17 @@ class Simulator {
   /// Runs until the event queue is empty.
   void run();
 
+  /// Timestamp of the next pending event, or kNever when the queue is
+  /// empty.  Used by the parallel engine to compute the global window
+  /// floor; prunes tombstones off the top as a side effect.
+  SimTime next_time();
+
+  /// Runs every event with time strictly before `end` (the parallel
+  /// engine's half-open window [floor, floor + lookahead)); unlike
+  /// run_until, now() is left at the last executed event, NOT advanced to
+  /// `end` — cross-shard arrivals may still land inside the window.
+  void run_window(SimTime end);
+
   bool empty() const { return live_ == 0; }
   std::uint64_t events_processed() const { return events_processed_; }
   std::uint64_t events_cancelled() const { return events_cancelled_; }

@@ -137,4 +137,36 @@ std::vector<Flow> scale_flows(const net::Topology& topo, std::size_t count,
   return flows;
 }
 
+DomainPartition partition_domains(const net::Topology& topo, std::uint32_t max_shards) {
+  const std::vector<net::DomainId> domains = topo.domains();  // sorted
+  DomainPartition part;
+  if (domains.empty()) return part;
+  part.shards = std::min<std::uint32_t>(std::max(1u, max_shards),
+                                        static_cast<std::uint32_t>(domains.size()));
+
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> weight(domains.size());
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    weight[i] = topo.switches_in_domain(domains[i]).size();
+    total += weight[i];
+  }
+
+  // Contiguous balanced cut: advance to the next shard once its share of
+  // the total switch weight is met, but never leave fewer domains than
+  // shards still to fill (every shard gets at least one domain).
+  std::uint32_t s = 0;
+  std::uint64_t acc = 0;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    part.shard_of[domains[i]] = s;
+    acc += weight[i];
+    if (s + 1 < part.shards) {
+      const bool quota_met = acc * part.shards >= total * (s + 1);
+      const std::size_t domains_left = domains.size() - 1 - i;
+      const std::size_t shards_left = part.shards - 1 - s;
+      if ((quota_met && domains_left >= shards_left) || domains_left == shards_left) ++s;
+    }
+  }
+  return part;
+}
+
 }  // namespace cicero::workload

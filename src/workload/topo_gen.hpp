@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 #include "net/topology.hpp"
@@ -68,5 +69,20 @@ net::Topology wan(std::uint32_t n, const WanOptions& options = {});
 /// arrival time.  Deterministic in (topo, count, rate, seed).
 std::vector<Flow> scale_flows(const net::Topology& topo, std::size_t count,
                               double arrival_rate_per_sec, std::uint64_t seed);
+
+/// Domain -> shard assignment for the parallel simulation engine.
+struct DomainPartition {
+  std::uint32_t shards = 1;
+  std::map<net::DomainId, std::uint32_t> shard_of;  ///< every topo domain
+};
+
+/// Cuts the topology's control domains (sorted by id) into at most
+/// `max_shards` contiguous runs of near-equal switch count.  Contiguity is
+/// the topology-aware part: wan() numbers regions along the ring and
+/// fat_tree() numbers pods in order, so ring/pod neighbours — the domains
+/// that exchange the most cross-domain events — land on the same shard
+/// whenever the balance allows.  Deterministic in (topo, max_shards);
+/// never returns more shards than domains.
+DomainPartition partition_domains(const net::Topology& topo, std::uint32_t max_shards);
 
 }  // namespace cicero::workload

@@ -1,0 +1,187 @@
+// Parallel-mode outcome equivalence: the same scenario driven with
+// threads=N and threads=1 must produce identical protocol outcomes —
+// the same set of completed flows and fully drained dependency trackers
+// — even though the N-thread run interleaves domains differently.
+// Also covers the degenerate configurations that must silently take the
+// sequential fast path, and the ones that are rejected outright.
+//
+// Labeled `parallel` in ctest; the ThreadSanitizer CI job runs exactly
+// this label.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "integration/helpers.hpp"
+#include "workload/topo_gen.hpp"
+
+namespace cicero {
+namespace {
+
+using core::FrameworkKind;
+using testing::completed_count;
+
+std::unique_ptr<core::Deployment> make_dep(FrameworkKind fw, net::Topology topo,
+                                           std::uint32_t threads,
+                                           std::size_t controllers = 4) {
+  core::DeploymentParams dp;
+  dp.framework = fw;
+  dp.controllers_per_domain = controllers;
+  dp.real_crypto = false;  // cost-model mode: these runs stress scale, not crypto
+  dp.seed = 12345;
+  dp.threads = threads;
+  return std::make_unique<core::Deployment>(std::move(topo), dp);
+}
+
+net::Topology pod_fabric() {
+  workload::FatTreeOptions opt;
+  opt.domain_per_pod = true;  // 4 pod domains + the core domain
+  return workload::fat_tree(4, opt);
+}
+
+net::Topology region_wan(std::uint32_t n = 96) {
+  workload::WanOptions opt;
+  opt.domain_per_region = true;  // one domain per 32 switches
+  return workload::wan(n, opt);
+}
+
+std::vector<workload::Flow> scenario_flows(const net::Topology& topo, std::size_t count,
+                                           std::uint64_t seed = 7) {
+  return workload::scale_flows(topo, count, /*rate=*/300.0, seed);
+}
+
+std::set<std::size_t> completed_set(const core::Deployment& dep) {
+  std::set<std::size_t> done;
+  const auto& records = dep.flow_records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].completed) done.insert(i);
+  }
+  return done;
+}
+
+// --- outcome equivalence -------------------------------------------------
+
+TEST(ParallelEquivalence, FatTreeOutcomesMatchSequential) {
+  const auto run_mode = [](std::uint32_t threads) {
+    auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), threads);
+    EXPECT_EQ(dep->parallel_mode(), threads > 1);
+    const auto flows = scenario_flows(dep->topology(), 60);
+    dep->inject(flows);
+    dep->run(sim::seconds(30));
+    EXPECT_EQ(dep->pending_updates(), 0u);
+    return completed_set(*dep);
+  };
+  const auto seq = run_mode(1);
+  const auto par = run_mode(4);
+  EXPECT_FALSE(seq.empty());
+  EXPECT_EQ(seq, par);
+}
+
+TEST(ParallelEquivalence, WanOutcomesMatchSequentialAcrossSeeds) {
+  for (const std::uint64_t seed : {7ull, 21ull, 99ull}) {
+    const auto run_mode = [seed](std::uint32_t threads) {
+      auto dep = make_dep(FrameworkKind::kCicero, region_wan(), threads);
+      const auto flows = scenario_flows(dep->topology(), 40, seed);
+      dep->inject(flows);
+      dep->run(sim::seconds(30));
+      EXPECT_EQ(dep->pending_updates(), 0u);
+      return completed_set(*dep);
+    };
+    const auto seq = run_mode(1);
+    const auto par = run_mode(3);
+    EXPECT_FALSE(seq.empty()) << "seed " << seed;
+    EXPECT_EQ(seq, par) << "seed " << seed;
+  }
+}
+
+TEST(ParallelEquivalence, ChaosLossCompletesAllFlowsInBothModes) {
+  // 8% uniform loss.  The parallel run shards the drop RNG, so the two
+  // modes lose *different* messages — but retransmission must land every
+  // flow and drain every tracker either way.
+  const auto run_mode = [](std::uint32_t threads) {
+    auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), threads);
+    dep->faults().set_uniform_loss(0.08);
+    const auto flows = scenario_flows(dep->topology(), 30);
+    dep->inject(flows);
+    dep->run(sim::seconds(120));
+    EXPECT_GT(dep->faults().dropped_loss(), 0u);  // the loss did bite
+    EXPECT_EQ(completed_count(*dep), flows.size());
+    EXPECT_EQ(dep->pending_updates(), 0u);
+    return completed_set(*dep);
+  };
+  const auto seq = run_mode(1);
+  const auto par = run_mode(4);
+  EXPECT_EQ(seq, par);  // both = all flows
+}
+
+TEST(ParallelEquivalence, ParallelRunIsDeterministicRunToRun) {
+  // Same scenario, threads=4, twice: identical completion sets AND
+  // identical per-flow timestamps (parallel-mode self-determinism).
+  const auto run_once = [] {
+    auto dep = make_dep(FrameworkKind::kCicero, region_wan(), 4);
+    dep->faults().set_uniform_loss(0.05);
+    const auto flows = scenario_flows(dep->topology(), 30);
+    dep->inject(flows);
+    dep->run(sim::seconds(120));
+    std::vector<std::pair<sim::SimTime, sim::SimTime>> stamps;
+    for (const auto& r : dep->flow_records()) {
+      stamps.emplace_back(r.route_ready, r.completion);
+    }
+    return stamps;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// --- degenerate configurations ------------------------------------------
+
+TEST(ParallelEquivalence, SingleDomainTopologyTakesSequentialFastPath) {
+  // Default fat_tree has one control domain: nothing to shard, so
+  // threads=4 must silently degenerate to the sequential engine.
+  auto dep = make_dep(FrameworkKind::kCicero, workload::fat_tree(4), 4);
+  EXPECT_FALSE(dep->parallel_mode());
+  EXPECT_EQ(dep->worker_shards(), 1u);
+  const auto flows = scenario_flows(dep->topology(), 20);
+  dep->inject(flows);
+  dep->run(sim::seconds(30));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+TEST(ParallelEquivalence, GlobalControlPlaneTakesSequentialFastPath) {
+  // The centralized baseline has one global plane spanning all domains:
+  // every update crosses it, so it degenerates to sequential too.
+  auto dep = make_dep(FrameworkKind::kCentralized, pod_fabric(), 4, 1);
+  EXPECT_FALSE(dep->parallel_mode());
+  const auto flows = scenario_flows(dep->topology(), 20);
+  dep->inject(flows);
+  dep->run(sim::seconds(30));
+  EXPECT_EQ(completed_count(*dep), flows.size());
+}
+
+TEST(ParallelEquivalence, ThreadsEqualOneIsUntouchedSequentialEngine) {
+  auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), 1);
+  EXPECT_FALSE(dep->parallel_mode());
+  EXPECT_EQ(dep->parallel_engine(), nullptr);
+}
+
+// --- rejected configurations --------------------------------------------
+
+TEST(ParallelEquivalence, TracingRequiresSequentialMode) {
+  core::DeploymentParams dp;
+  dp.framework = FrameworkKind::kCicero;
+  dp.real_crypto = false;
+  dp.trace = true;
+  dp.threads = 4;
+  EXPECT_THROW(core::Deployment(pod_fabric(), dp), std::invalid_argument);
+}
+
+TEST(ParallelEquivalence, MembershipChangesRequireSequentialMode) {
+  auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), 4);
+  ASSERT_TRUE(dep->parallel_mode());
+  EXPECT_THROW(dep->add_controller(0), std::logic_error);
+  EXPECT_THROW(dep->remove_controller(0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cicero

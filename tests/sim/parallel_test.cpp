@@ -1,0 +1,184 @@
+// ParallelSim engine contract: the sequential fast path, the
+// deterministic (time, src-shard, seq) mailbox merge, lookahead
+// enforcement, and cross-shard timer-cancel races across window
+// boundaries.  These tests run with real worker threads (where shards
+// > 1) and are labeled `parallel` in ctest, which is also what the
+// ThreadSanitizer CI job runs.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace cicero::sim {
+namespace {
+
+TEST(ParallelSim, OneShardTakesSequentialFastPath) {
+  ParallelSim::Options opt;
+  opt.shards = 1;
+  ParallelSim eng(opt);
+  int ran = 0;
+  eng.shard(0).after(microseconds(10), [&] { ++ran; });
+  eng.shard(0).after(microseconds(20), [&] { ++ran; });
+  eng.run_until(seconds(1));
+  EXPECT_TRUE(eng.sequential_fast_path());
+  EXPECT_EQ(eng.barrier_rounds(), 0u);  // no windows, no barriers
+  EXPECT_EQ(eng.cross_shard_posts(), 0u);
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(eng.shard(0).now(), seconds(1));
+}
+
+TEST(ParallelSim, CtorRejectsZeroLookaheadWithMultipleShards) {
+  ParallelSim::Options opt;
+  opt.shards = 2;
+  opt.lookahead = 0;
+  EXPECT_THROW(ParallelSim eng(opt), std::invalid_argument);
+}
+
+TEST(ParallelSim, PostInsideLookaheadWindowThrows) {
+  ParallelSim::Options opt;
+  opt.shards = 2;
+  opt.lookahead = microseconds(100);
+  ParallelSim eng(opt);
+  // Shards are quiescent at t=0: a delivery before t=lookahead would
+  // violate the conservative window and must be rejected.
+  EXPECT_THROW(eng.post(0, 1, microseconds(99), [] {}), std::logic_error);
+  EXPECT_NO_THROW(eng.post(0, 1, microseconds(100), [] {}));
+}
+
+// Same-time cross-shard events from different source shards must execute
+// in (time, src shard, per-stream seq) order — the determinism contract.
+TEST(ParallelSim, DrainsMailboxesInDeterministicMergeOrder) {
+  std::vector<int> order;
+  const auto run_once = [&order] {
+    order.clear();
+    ParallelSim::Options opt;
+    opt.shards = 4;
+    opt.lookahead = microseconds(50);
+    ParallelSim eng(opt);
+    const SimTime t = microseconds(200);
+    // Post from sources 3, 1, 2 (descending-ish, out of src order) with
+    // two entries per stream; all at the same target time on shard 0.
+    for (const std::uint32_t src : {3u, 1u, 2u}) {
+      for (int k = 0; k < 2; ++k) {
+        const int tag = static_cast<int>(src) * 10 + k;
+        eng.post(src, 0, t, [&order, tag] { order.push_back(tag); });
+      }
+    }
+    eng.run_until(seconds(1));
+    EXPECT_EQ(eng.cross_shard_posts(), 6u);
+  };
+  run_once();
+  const std::vector<int> expect = {10, 11, 20, 21, 30, 31};
+  EXPECT_EQ(order, expect);
+  const std::vector<int> first = order;
+  run_once();  // a second identical run merges identically
+  EXPECT_EQ(order, first);
+}
+
+// A multi-hop token ring crossing every shard boundary: exercises many
+// windows (each hop lands exactly one lookahead ahead) and must produce
+// the identical per-shard execution trace on every run.
+struct Pinger {
+  ParallelSim* eng;
+  std::uint32_t shards;
+  SimTime hop_latency;
+  int max_hops;
+  std::vector<std::vector<SimTime>>* log;
+
+  void hop(std::uint32_t s, int n) {
+    (*log)[s].push_back(eng->shard(s).now());
+    if (n >= max_hops) return;
+    const std::uint32_t next = (s + 1) % shards;
+    eng->post(s, next, eng->shard(s).now() + hop_latency,
+              [this, next, n] { hop(next, n + 1); });
+  }
+};
+
+TEST(ParallelSim, TokenRingIsDeterministicAcrossRuns) {
+  const auto run_once = [] {
+    ParallelSim::Options opt;
+    opt.shards = 3;
+    opt.lookahead = microseconds(100);
+    ParallelSim eng(opt);
+    std::vector<std::vector<SimTime>> log(opt.shards);
+    Pinger pinger{&eng, opt.shards, microseconds(100), 60, &log};
+    eng.shard(0).at(microseconds(5), [&pinger] { pinger.hop(0, 0); });
+    eng.run_until(seconds(1));
+    EXPECT_FALSE(eng.sequential_fast_path());
+    EXPECT_GT(eng.barrier_rounds(), 0u);
+    EXPECT_EQ(eng.pending_events(), 0u);
+    for (std::uint32_t s = 0; s < opt.shards; ++s) {
+      EXPECT_EQ(eng.shard(s).now(), seconds(1));
+    }
+    return log;
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+  // 61 hops total, round-robin across 3 shards starting at shard 0.
+  ASSERT_EQ(a[0].size() + a[1].size() + a[2].size(), 61u);
+}
+
+// Cross-shard timer cancellation racing the window boundary: shard 1
+// posts cancel events that land on shard 0 one nanosecond before (even
+// i) or five microseconds after (odd i) the timer's deadline.  The
+// engine must resolve every race the same way on every run: early
+// cancels always win, late cancels always lose.
+TEST(ParallelSim, CrossShardTimerCancelRacesAreDeterministic) {
+  constexpr int kTimers = 48;
+  const auto run_once = [] {
+    ParallelSim::Options opt;
+    opt.shards = 2;
+    opt.lookahead = microseconds(100);
+    ParallelSim eng(opt);
+    const SimTime delay = microseconds(250);
+    std::vector<Simulator::TimerId> ids(kTimers);
+    std::vector<char> fired(kTimers, 0);
+    for (int i = 0; i < kTimers; ++i) {
+      const SimTime arm = microseconds(37) * (i + 1);
+      eng.shard(0).at(arm, [&eng, &ids, &fired, i, delay] {
+        ids[i] = eng.shard(0).after_cancellable(delay, [&fired, i] { fired[i] = 1; });
+      });
+      const SimTime deadline = arm + delay;
+      const SimTime arrive = i % 2 == 0 ? deadline - 1 : deadline + microseconds(5);
+      // Shard 1 sends the cancel so it arrives exactly at `arrive`.
+      eng.shard(1).at(arrive - eng.lookahead(), [&eng, &ids, i] {
+        eng.post(1, 0, eng.shard(1).now() + eng.lookahead(),
+                 [&eng, &ids, i] { eng.shard(0).cancel(ids[i]); });
+      });
+    }
+    eng.run_until(seconds(1));
+    EXPECT_EQ(eng.pending_events(), 0u);
+    return fired;
+  };
+  const auto a = run_once();
+  for (int i = 0; i < kTimers; ++i) {
+    EXPECT_EQ(a[i] != 0, i % 2 != 0) << "timer " << i;
+  }
+  EXPECT_EQ(a, run_once());
+}
+
+// Posts far beyond the horizon stay pending; the clocks still advance to
+// the horizon, and a later run_until picks the events up.
+TEST(ParallelSim, HorizonStopsBeforeFutureEventsAndResumes) {
+  ParallelSim::Options opt;
+  opt.shards = 2;
+  opt.lookahead = microseconds(100);
+  ParallelSim eng(opt);
+  int ran = 0;
+  eng.post(0, 1, seconds(5), [&ran] { ++ran; });
+  eng.run_until(seconds(1));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(eng.shard(0).now(), seconds(1));
+  EXPECT_EQ(eng.shard(1).now(), seconds(1));
+  eng.run_until(seconds(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+}  // namespace
+}  // namespace cicero::sim
