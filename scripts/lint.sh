@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Entry point for the repo's static checks.  Today that is ct-lint (the
-# constant-time / secret-taint policy scanner); run both the tree scan and
-# the linter's own self-test so a silently-broken linter can't pass CI.
+# Entry point for the repo's policy linters:
+#   - ct-lint:  constant-time / secret-taint rules over crypto code
+#   - simlint:  determinism & shard-safety rules over the simulation core
+# Each linter runs its own self-test first, so a silently-broken linter
+# (a regex that stopped matching, a rule that stopped firing) can't pass
+# CI by scanning nothing.  Both share tools/lintlib.py for file walking,
+# noise stripping and suppression handling.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 
 python3 "${ROOT}/tools/ctlint/ctlint.py" --self-test
 python3 "${ROOT}/tools/ctlint/ctlint.py" --root "${ROOT}"
+python3 "${ROOT}/tools/simlint/simlint.py" --self-test
+python3 "${ROOT}/tools/simlint/simlint.py" --root "${ROOT}"

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# clang-tidy gate for the CI `analyze` job.
+#
+# Configures a dedicated build tree with a compile-commands database,
+# runs clang-tidy (profile: .clang-tidy at the repo root) over every
+# first-party translation unit under src/, and compares the findings to
+# the checked-in baseline (tools/tidy_baseline.txt).  The baseline is
+# empty by policy — any finding fails the gate; fix it at the source or
+# NOLINT it with a justification in the code.
+#
+# Usage: scripts/tidy.sh [build-dir]
+#   build-dir defaults to build-tidy; CI caches it so reconfiguration
+#   (and clang-tidy's header re-parsing) is incremental across runs.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-${ROOT}/build-tidy}"
+BASELINE="${ROOT}/tools/tidy_baseline.txt"
+
+TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "tidy.sh: '${TIDY}' not found on PATH." >&2
+  echo "tidy.sh: install clang-tidy (or set CLANG_TIDY=<binary>); the" >&2
+  echo "tidy.sh: container used for local development ships only gcc, so" >&2
+  echo "tidy.sh: this gate normally runs in the CI analyze job." >&2
+  exit 2
+fi
+
+# Compile-commands only — the database does not need a completed build,
+# so -DCMAKE_EXPORT_COMPILE_COMMANDS is enough and no `cmake --build`
+# happens here.  Prefer clang as the compiler when available so the
+# database's flags match what clang-tidy's bundled clang understands.
+CONFIG_ARGS=(-DCMAKE_EXPORT_COMPILE_COMMANDS=ON)
+if command -v clang++ >/dev/null 2>&1; then
+  CONFIG_ARGS+=(-DCMAKE_CXX_COMPILER=clang++)
+fi
+cmake -S "${ROOT}" -B "${BUILD_DIR}" "${CONFIG_ARGS[@]}" >/dev/null
+
+mapfile -t SOURCES < <(cd "${ROOT}" && find src -name '*.cpp' | sort)
+if [[ "${#SOURCES[@]}" -eq 0 ]]; then
+  echo "tidy.sh: no sources found under src/ — wrong checkout?" >&2
+  exit 2
+fi
+
+echo "tidy.sh: scanning ${#SOURCES[@]} translation units with ${TIDY}"
+FINDINGS_RAW="$(mktemp)"
+trap 'rm -f "${FINDINGS_RAW}"' EXIT
+STATUS=0
+(cd "${ROOT}" && "${TIDY}" -p "${BUILD_DIR}" --quiet "${SOURCES[@]}" \
+  >"${FINDINGS_RAW}" 2>/dev/null) || STATUS=$?
+
+# Normalize findings to "file:line: check-name" so baseline entries are
+# stable across absolute paths and message wording changes.
+FINDINGS="$(sed -n -E \
+  "s#^(${ROOT}/)?([^ :]+):([0-9]+):[0-9]+: (warning|error): .*\[([a-z0-9.-]+)\]\$#\2:\3: \5#p" \
+  "${FINDINGS_RAW}" | sort -u)"
+ACCEPTED="$(grep -v -E '^\s*(#|$)' "${BASELINE}" | sort -u || true)"
+NEW="$(comm -23 <(printf '%s\n' "${FINDINGS}" | sed '/^$/d') \
+                <(printf '%s\n' "${ACCEPTED}" | sed '/^$/d') || true)"
+
+if [[ -n "${NEW}" ]]; then
+  echo "tidy.sh: findings not covered by tools/tidy_baseline.txt:" >&2
+  printf '%s\n' "${NEW}" >&2
+  echo "tidy.sh: fix them at the source (or NOLINT with a justification" >&2
+  echo "tidy.sh: comment); the baseline stays empty by policy." >&2
+  exit 1
+fi
+if [[ "${STATUS}" -ne 0 && -z "${FINDINGS}" ]]; then
+  # clang-tidy failed without producing findings (bad database, crash):
+  # surface it instead of passing vacuously.
+  echo "tidy.sh: ${TIDY} exited ${STATUS} with no parseable findings:" >&2
+  tail -n 20 "${FINDINGS_RAW}" >&2
+  exit "${STATUS}"
+fi
+echo "tidy.sh: clean"

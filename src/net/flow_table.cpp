@@ -1,28 +1,37 @@
 #include "net/flow_table.hpp"
 
+#include <algorithm>
+
 namespace cicero::net {
 
 void FlowTable::install(const FlowRule& rule) {
-  rules_[rule.match] = rule;
+  rules_[key(rule.match)] = rule;
   ++version_;
 }
 
 bool FlowTable::remove(const FlowMatch& match) {
-  const bool erased = rules_.erase(match) != 0;
+  const bool erased = rules_.erase(key(match));
   if (erased) ++version_;
   return erased;
 }
 
 std::optional<FlowRule> FlowTable::lookup(const FlowMatch& match) const {
-  const auto it = rules_.find(match);
-  if (it == rules_.end()) return std::nullopt;
-  return it->second;
+  const FlowRule* r = rules_.find(key(match));
+  if (r == nullptr) return std::nullopt;
+  return *r;
 }
 
 std::vector<FlowRule> FlowTable::rules() const {
   std::vector<FlowRule> out;
   out.reserve(rules_.size());
-  for (const auto& [m, r] : rules_) out.push_back(r);
+  // simlint-ordered: collect-then-sort — the visitation only gathers the
+  // rules; the (src, dst) sort below fixes the order before any caller
+  // can act on it.
+  rules_.for_each([&out](std::uint64_t, const FlowRule& r) { out.push_back(r); });
+  std::sort(out.begin(), out.end(), [](const FlowRule& a, const FlowRule& b) {
+    if (a.match.src_host != b.match.src_host) return a.match.src_host < b.match.src_host;
+    return a.match.dst_host < b.match.dst_host;
+  });
   return out;
 }
 

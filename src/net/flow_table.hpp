@@ -9,12 +9,11 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/topology.hpp"
+#include "util/flat_hash.hpp"
 
 namespace cicero::net {
 
@@ -22,13 +21,6 @@ struct FlowMatch {
   NodeIndex src_host = kNoNode;
   NodeIndex dst_host = kNoNode;
   bool operator==(const FlowMatch&) const = default;
-};
-
-struct FlowMatchHash {
-  std::size_t operator()(const FlowMatch& m) const {
-    return std::hash<std::uint64_t>()((static_cast<std::uint64_t>(m.src_host) << 32) |
-                                      m.dst_host);
-  }
 };
 
 struct FlowRule {
@@ -48,16 +40,26 @@ class FlowTable {
   bool remove(const FlowMatch& match);
 
   std::optional<FlowRule> lookup(const FlowMatch& match) const;
-  bool has(const FlowMatch& match) const { return rules_.count(match) != 0; }
+  bool has(const FlowMatch& match) const { return rules_.contains(key(match)); }
 
   std::size_t size() const { return rules_.size(); }
   std::uint64_t version() const { return version_; }
 
-  /// Snapshot of all rules (order unspecified).
+  /// Snapshot of all rules, sorted by (src_host, dst_host).  Consumers
+  /// iterate the snapshot to emit events (crash recovery, link-failure
+  /// re-routing) and to accumulate floating-point link loads, so the
+  /// order must not leak hash placement (DESIGN.md §13).
   std::vector<FlowRule> rules() const;
 
  private:
-  std::unordered_map<FlowMatch, FlowRule, FlowMatchHash> rules_;
+  /// Flat-hash key: the (src, dst) host pair packed into one u64, so the
+  /// per-packet lookup is one mix + probe and placement responds to the
+  /// CICERO_HASH_SALT determinism sweep like every other hot table.
+  static std::uint64_t key(const FlowMatch& m) {
+    return (static_cast<std::uint64_t>(m.src_host) << 32) | m.dst_host;
+  }
+
+  util::FlatHashMap<std::uint64_t, FlowRule> rules_;
   std::uint64_t version_ = 0;
 };
 

@@ -161,6 +161,10 @@ class MetricsRegistry {
 /// The run-report writer snapshots them; `reset` scopes them to one run.
 /// Atomic because parallel-mode workers may sign/verify concurrently; the
 /// single-threaded cost is one lock-free RMW per (expensive) crypto op.
+/// Per-field atomics are the whole synchronization story here (no mutex,
+/// nothing for CICERO_GUARDED_BY to guard — see DESIGN.md §13); callers
+/// must only reset()/snapshot between windows, when workers are
+/// quiescent, or counts can straddle the boundary.
 struct CryptoOpCounters {
   std::atomic<std::uint64_t> schnorr_sign{0};
   std::atomic<std::uint64_t> schnorr_verify{0};

@@ -69,14 +69,14 @@ void FaultInjector::set_node_down(NodeId node, bool down) {
 
 void FaultInjector::drop_next(NodeId from, NodeId to, std::uint32_t count) {
   if (count == 0) return;
-  std::lock_guard<std::mutex> lk(targeted_mu_);
+  util::MutexLock lk(targeted_mu_);
   std::uint32_t& slot = targeted_[ordered_pair_key(from, to)];
   if (slot == 0) targeted_rules_.fetch_add(1, std::memory_order_relaxed);
   slot += count;
 }
 
 void FaultInjector::clear_targeted() {
-  std::lock_guard<std::mutex> lk(targeted_mu_);
+  util::MutexLock lk(targeted_mu_);
   targeted_.clear();
   targeted_rules_.store(0, std::memory_order_relaxed);
 }
@@ -112,7 +112,7 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
   ++st.seen;
 
   if (targeted_rules_.load(std::memory_order_relaxed) != 0) {
-    std::lock_guard<std::mutex> lk(targeted_mu_);
+    util::MutexLock lk(targeted_mu_);
     std::uint32_t* t = targeted_.find(ordered_pair_key(from, to));
     if (t != nullptr) {
       if (--*t == 0) {

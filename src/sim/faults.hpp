@@ -35,7 +35,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -43,6 +42,7 @@
 #include "sim/simulator.hpp"
 #include "util/flat_hash.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace cicero::sim {
 
@@ -138,10 +138,12 @@ class FaultInjector {
   util::FlatHashSet<NodeId> down_nodes_;
   /// Targeted rules mutate as they fire (self-consuming), so parallel
   /// sends serialize on targeted_mu_; the atomic rule count keeps the
-  /// no-rules hot path to one relaxed load.
-  std::mutex targeted_mu_;
+  /// no-rules hot path to one relaxed load.  Checked by the CI analyze
+  /// job: the map is CICERO_GUARDED_BY the mutex.
+  util::Mutex targeted_mu_;
   std::atomic<std::uint64_t> targeted_rules_{0};
-  util::FlatHashMap<std::uint64_t, std::uint32_t> targeted_;  ///< key: (from, to)
+  util::FlatHashMap<std::uint64_t, std::uint32_t> targeted_
+      CICERO_GUARDED_BY(targeted_mu_);  ///< key: (from, to)
   bool partitioned_ = false;
   util::FlatHashMap<NodeId, int> partition_side_;
 };

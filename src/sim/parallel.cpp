@@ -43,7 +43,7 @@ void ParallelSim::post(std::uint32_t src, std::uint32_t dst, SimTime t, Callback
     throw std::logic_error("ParallelSim::post: delivery inside the lookahead window");
   }
   Mailbox& mb = mailbox(src, dst);
-  std::lock_guard<std::mutex> lk(mb.mu);
+  util::MutexLock lk(mb.mu);
   mb.items.push_back(Posted{t, mb.next_seq++, std::move(fn)});
   ++mb.posts;
 }
@@ -54,7 +54,7 @@ void ParallelSim::drain_into(std::uint32_t dst) {
   for (std::uint32_t src = 0; src < shards(); ++src) {
     if (src == dst) continue;
     Mailbox& mb = mailbox(src, dst);
-    std::lock_guard<std::mutex> lk(mb.mu);
+    util::MutexLock lk(mb.mu);
     for (Posted& p : mb.items) {
       merged.push_back(Drained{p.time, src, p.seq, std::move(p.fn)});
     }
@@ -108,7 +108,7 @@ void ParallelSim::run_until(SimTime horizon) {
   std::barrier window_closed(static_cast<std::ptrdiff_t>(n));
 
   auto record_error = [this] {
-    std::lock_guard<std::mutex> lk(error_mu_);
+    util::MutexLock lk(error_mu_);
     if (!error_) error_ = std::current_exception();
     aborting_.store(true, std::memory_order_relaxed);
   };
@@ -144,16 +144,22 @@ void ParallelSim::run_until(SimTime horizon) {
   worker(0);
   for (std::thread& t : threads) t.join();
 
-  if (error_) {
-    std::exception_ptr e = std::exchange(error_, nullptr);
-    std::rethrow_exception(e);
+  // Workers are joined, but the analysis (rightly) has no notion of
+  // join-ordering — take the lock to read the published error.
+  std::exception_ptr error;
+  {
+    util::MutexLock lk(error_mu_);
+    error = std::exchange(error_, nullptr);
+  }
+  if (error) {
+    std::rethrow_exception(error);
   }
 }
 
 std::uint64_t ParallelSim::cross_shard_posts() const {
   std::uint64_t total = 0;
   for (const auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> lk(mb->mu);
+    util::MutexLock lk(mb->mu);
     total += mb->posts;
   }
   return total;
@@ -169,7 +175,7 @@ std::size_t ParallelSim::pending_events() const {
   std::size_t total = 0;
   for (const auto& s : shards_) total += s->pending_events();
   for (const auto& mb : mailboxes_) {
-    std::lock_guard<std::mutex> lk(mb->mu);
+    util::MutexLock lk(mb->mu);
     total += mb->items.size();
   }
   return total;

@@ -42,26 +42,46 @@ constexpr std::uint64_t hash_mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-/// Default hasher: integral keys get the 64-bit mix; other types fall back
-/// to std::hash (deterministic for everything we key on except pointers,
-/// which callers must not use as keys — see CpuServer's op histograms).
+// Placement salt for the determinism sweep (DESIGN.md §13).  The salt
+// perturbs only where keys land in FlatHashMap/FlatHashSet slot arrays —
+// never RNG seeding or any simulated quantity — so two runs under
+// different salts must produce bit-identical run reports; a divergence
+// proves some output iterated a table in placement order.  Configured at
+// build time via -DCICERO_HASH_SALT=<u64> (default 0: the historical
+// placement) and overridable at runtime for the in-process sweep test.
+#ifndef CICERO_HASH_SALT
+#define CICERO_HASH_SALT 0
+#endif
+inline std::uint64_t g_hash_salt = CICERO_HASH_SALT;
+
+/// Runtime override for the salt sweep test.  Call only while no table
+/// is live: existing tables keep their old placement and would miss
+/// lookups hashed with the new salt.
+inline void set_hash_salt(std::uint64_t salt) { g_hash_salt = salt; }
+inline std::uint64_t hash_salt() { return g_hash_salt; }
+
+/// Default hasher: integral keys get the salted 64-bit mix; other types
+/// fall back to std::hash (deterministic for everything we key on except
+/// pointers, which callers must not use as keys — see CpuServer's op
+/// histograms, and simlint's pointer-key rule).
 template <typename K>
 struct FlatHash {
   std::uint64_t operator()(const K& k) const {
     if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
-      return hash_mix64(static_cast<std::uint64_t>(k));
+      return hash_mix64(static_cast<std::uint64_t>(k) ^ g_hash_salt);
     } else {
-      return static_cast<std::uint64_t>(std::hash<K>{}(k));
+      return static_cast<std::uint64_t>(std::hash<K>{}(k)) ^ g_hash_salt;
     }
   }
 };
 
-/// FNV-1a over the character content; shared by std::string and
-/// std::string_view keys so the two are interchangeable at lookup time.
+/// FNV-1a over the character content (basis offset by the placement
+/// salt); shared by std::string and std::string_view keys so the two are
+/// interchangeable at lookup time.
 struct StringHash {
   using is_transparent = void;
   std::uint64_t operator()(std::string_view s) const {
-    std::uint64_t h = 0xCBF29CE484222325ULL;
+    std::uint64_t h = 0xCBF29CE484222325ULL ^ g_hash_salt;
     for (const char c : s) {
       h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
       h *= 0x100000001B3ULL;

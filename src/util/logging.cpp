@@ -27,6 +27,10 @@ const char* level_name(LogLevel l) {
 
 LogLevel level_from_env() {
   LogLevel level = LogLevel::kWarn;
+  // simlint-allow: ambient-nondet — one-time log-level config load (the
+  // result is latched in mutable_level's static); logging verbosity never
+  // feeds simulation state, so the environment stays a display-only knob.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): called once, before any thread
   if (const char* env = std::getenv("CICERO_LOG_LEVEL")) {
     if (!parse_log_level(env, level)) {
       std::fprintf(stderr, "[WARN ] %-10s unknown CICERO_LOG_LEVEL '%s' ignored\n", "logging",

@@ -1,0 +1,86 @@
+// Clang thread-safety annotations for the parallel engine's lock surface.
+//
+// The macros compile to clang's capability attributes under clang and to
+// nothing elsewhere, so annotating a member costs nothing in the gcc
+// production build while the CI `analyze` job (cmake -DCICERO_ANALYZE=ON,
+// clang, -Wthread-safety -Werror=thread-safety) proves at compile time
+// that every CICERO_GUARDED_BY member is only touched with its mutex
+// held.  This is the static side of the shard-safety contract
+// (DESIGN.md §13); TSan remains the dynamic side.
+//
+// libstdc++'s std::mutex carries no capability attributes, so the
+// analysis cannot see through it: lock through the annotated wrapper
+// below (`util::Mutex` + scoped `util::MutexLock`) instead of
+// std::mutex + std::lock_guard anywhere a CICERO_GUARDED_BY member
+// exists.  The wrapper is a zero-cost shim over std::mutex — same
+// lock/unlock, one word of state, no extra indirection.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CICERO_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define CICERO_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a type to be a lockable capability ("mutex").
+#define CICERO_CAPABILITY(x) CICERO_THREAD_ANNOTATION(capability(x))
+/// Declares an RAII type that acquires in its ctor, releases in its dtor.
+#define CICERO_SCOPED_CAPABILITY CICERO_THREAD_ANNOTATION(scoped_lockable)
+/// Data member readable/writable only with `x` held.
+#define CICERO_GUARDED_BY(x) CICERO_THREAD_ANNOTATION(guarded_by(x))
+/// Pointed-to data readable/writable only with `x` held.
+#define CICERO_PT_GUARDED_BY(x) CICERO_THREAD_ANNOTATION(pt_guarded_by(x))
+/// Function callable only with the capability held (caller locks).
+#define CICERO_REQUIRES(...) \
+  CICERO_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+/// Function acquires the capability and does not release it.
+#define CICERO_ACQUIRE(...) \
+  CICERO_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+/// Function releases a held capability.
+#define CICERO_RELEASE(...) \
+  CICERO_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+/// Function acquires the capability when returning `b`.
+#define CICERO_TRY_ACQUIRE(b, ...) \
+  CICERO_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+/// Function must be called with the capability NOT held.
+#define CICERO_EXCLUDES(...) \
+  CICERO_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+/// Escape hatch: suppress analysis for one function (justify in a
+/// comment; simlint-style review applies).
+#define CICERO_NO_THREAD_SAFETY_ANALYSIS \
+  CICERO_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace cicero::util {
+
+/// std::mutex with the capability attribute the analysis needs.
+class CICERO_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() CICERO_ACQUIRE() { mu_.lock(); }
+  void unlock() CICERO_RELEASE() { mu_.unlock(); }
+  bool try_lock() CICERO_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over util::Mutex (std::lock_guard is opaque to the
+/// analysis, this is not).
+class CICERO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) CICERO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() CICERO_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace cicero::util

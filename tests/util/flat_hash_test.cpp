@@ -103,6 +103,42 @@ TEST(FlatHashMap, ForEachIsDeterministicForSameHistory) {
   EXPECT_EQ(build(), build());  // same history => same slot order
 }
 
+// RAII salt override: tables built inside the scope use the given
+// placement salt; the default (0) is restored on exit so later tests see
+// the historical placement.
+struct ScopedHashSalt {
+  explicit ScopedHashSalt(std::uint64_t salt) { set_hash_salt(salt); }
+  ~ScopedHashSalt() { set_hash_salt(0); }
+};
+
+TEST(FlatHashMap, HashSaltPerturbsPlacementButNotContents) {
+  auto build = [] {
+    FlatHashMap<std::uint64_t, int> m;
+    for (std::uint64_t k = 0; k < 100; ++k) m[k * 17] = static_cast<int>(k);
+    std::vector<std::uint64_t> order;
+    m.for_each([&](std::uint64_t k, int) { order.push_back(k); });
+    // Every key still found under the active salt.
+    for (std::uint64_t k = 0; k < 100; ++k) EXPECT_TRUE(m.contains(k * 17));
+    return order;
+  };
+  const std::vector<std::uint64_t> base = build();
+  std::vector<std::uint64_t> salted;
+  {
+    ScopedHashSalt guard(0x9E3779B97F4A7C15ULL);
+    salted = build();
+  }
+  // Identical contents, different slot order: the salt moved placement —
+  // this is what lets the salt sweep (DESIGN.md §13) catch code that
+  // leaks iteration order into run output.
+  EXPECT_NE(base, salted);
+  std::vector<std::uint64_t> a = base;
+  std::vector<std::uint64_t> b = salted;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(build(), base);  // salt restored: historical placement is back
+}
+
 TEST(FlatHashSet, InsertContainsErase) {
   FlatHashSet<std::uint32_t> s;
   EXPECT_TRUE(s.insert(7));

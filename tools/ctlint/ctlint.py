@@ -24,6 +24,10 @@ policy surface the type system cannot see:
 Suppressions: a line (or its predecessor) containing `ctlint-allow:` is
 exempt; the text after the colon should name the rule and justify it.
 
+The file walking, suppression parsing and fixture self-test harness live
+in tools/lintlib.py, shared with simlint (the determinism / shard-safety
+linter).
+
 Usage:
   ctlint.py [--root DIR]     lint the tree, exit 1 on violations
   ctlint.py --self-test      run the linter against tools/ctlint/fixtures
@@ -33,12 +37,15 @@ Usage:
 
 from __future__ import annotations
 
-import argparse
 import re
 import sys
 from pathlib import Path
 
-SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.cc", "*.h")
+sys.path.insert(0, str(Path(__file__).resolve().parents[1]))
+import lintlib  # noqa: E402
+from lintlib import Violation, allowed, strip_noise  # noqa: E402
+
+ALLOW_MARK = "ctlint-allow:"
 
 # Files whose destructors guard key material: each MUST reference
 # util::secure_wipe somewhere (the wipe-on-destroy contract).
@@ -59,39 +66,10 @@ BANNED_FN_RE = re.compile(
 MEMCMP_RE = re.compile(r"\b(memcmp|strcmp|strncmp)\s*\(")
 DECLASSIFY_RE = re.compile(r"\bdeclassify\s*\(")
 BRANCH_HEAD_RE = re.compile(r"\b(if|while|switch)\s*\(")
-ALLOW_MARK = "ctlint-allow:"
 
 
-class Violation:
-    def __init__(self, path: str, line: int, rule: str, text: str):
-        self.path = path
-        self.line = line
-        self.rule = rule
-        self.text = text
-
-    def __str__(self) -> str:
-        return f"{self.path}:{self.line}: [{self.rule}] {self.text}"
-
-
-def strip_noise(line: str) -> str:
-    """Removes string/char literals and // comments so regexes don't match
-    inside them.  (Block comments are handled a line at a time upstream.)"""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
-    return line.split("//", 1)[0]
-
-
-def allowed(lines: list[str], idx: int) -> bool:
-    """True if line idx (0-based) carries or follows a ctlint-allow marker."""
-    if ALLOW_MARK in lines[idx]:
-        return True
-    # Walk back over an immediately preceding comment block.
-    j = idx - 1
-    while j >= 0 and lines[j].lstrip().startswith("//"):
-        if ALLOW_MARK in lines[j]:
-            return True
-        j -= 1
-    return False
+def ct_allowed(lines: list[str], idx: int) -> bool:
+    return allowed(lines, idx, ALLOW_MARK)
 
 
 def branch_spans(lines: list[str]) -> list[tuple[int, int, str]]:
@@ -129,41 +107,40 @@ def branch_spans(lines: list[str]) -> list[tuple[int, int, str]]:
 
 def lint_file(path: Path, rel: str, out: list[Violation]) -> None:
     try:
-        text = path.read_text(encoding="utf-8", errors="replace")
+        lines = lintlib.read_lines(path)
     except OSError as e:
         out.append(Violation(rel, 0, "io-error", str(e)))
         return
-    lines = text.splitlines()
     in_crypto = rel.startswith("src/crypto/")
     in_tests = rel.startswith("tests/") or rel.startswith("tools/ctlint/fixtures/")
 
     for i, raw in enumerate(lines):
         clean = strip_noise(raw)
         lineno = i + 1
-        if BANNED_FN_RE.search(clean) and not allowed(lines, i):
+        if BANNED_FN_RE.search(clean) and not ct_allowed(lines, i):
             out.append(
                 Violation(rel, lineno, "banned-fn",
                           "libc randomness is banned; use crypto::Drbg"))
-        if in_crypto and MEMCMP_RE.search(clean) and not allowed(lines, i):
+        if in_crypto and MEMCMP_RE.search(clean) and not ct_allowed(lines, i):
             out.append(
                 Violation(rel, lineno, "memcmp-in-crypto",
                           "variable-time byte compare; use ct::ct_eq"))
         if DECLASSIFY_RE.search(clean):
-            if not (in_crypto or in_tests) and not allowed(lines, i):
+            if not (in_crypto or in_tests) and not ct_allowed(lines, i):
                 out.append(
                     Violation(rel, lineno, "declassify-scope",
                               "declassify() is only permitted under src/crypto/ "
                               "and tests/"))
             # `%` in the same expression as a declassify: variable-time mod.
             after = clean[DECLASSIFY_RE.search(clean).end():]
-            if re.search(r"%(?![=%])", after) and not allowed(lines, i):
+            if re.search(r"%(?![=%])", after) and not ct_allowed(lines, i):
                 out.append(
                     Violation(rel, lineno, "secret-mod",
                               "variable-time % on a declassified value"))
 
     for start, end, cond in branch_spans(lines):
         if DECLASSIFY_RE.search(cond):
-            if any(allowed(lines, k) for k in range(start, end + 1)):
+            if any(ct_allowed(lines, k) for k in range(start, end + 1)):
                 continue
             out.append(
                 Violation(rel, start + 1, "secret-branch",
@@ -174,7 +151,7 @@ def lint_file(path: Path, rel: str, out: list[Violation]) -> None:
         clean = strip_noise(raw)
         m = DECLASSIFY_RE.search(clean)
         if m and "?" in clean[m.end():] and ":" in clean[m.end():]:
-            if not allowed(lines, i):
+            if not ct_allowed(lines, i):
                 out.append(
                     Violation(rel, i + 1, "secret-branch",
                               "declassify() feeding a ternary — secret-"
@@ -183,13 +160,8 @@ def lint_file(path: Path, rel: str, out: list[Violation]) -> None:
 
 def lint_tree(root: Path) -> list[Violation]:
     out: list[Violation] = []
-    for top in ("src", "tests"):
-        base = root / top
-        if not base.is_dir():
-            continue
-        for glob in SOURCE_GLOBS:
-            for path in sorted(base.rglob(glob)):
-                lint_file(path, path.relative_to(root).as_posix(), out)
+    for path, rel in lintlib.iter_source_files(root, ("src", "tests")):
+        lint_file(path, rel, out)
     for rel in WIPE_REQUIRED:
         path = root / rel
         if not path.is_file():
@@ -201,81 +173,23 @@ def lint_tree(root: Path) -> list[Violation]:
     return out
 
 
-def self_test(root: Path) -> int:
+# The bad fixture is scanned once as if it lived in src/crypto (the
+# crypto-only rules apply) and once as src/core (the declassify scope rule
+# fires instead of the crypto-only memcmp rule).
+SELF_TEST_CASES = (
+    lintlib.SelfTestCase("bad_secret_branch.cpp", "src/crypto/bad_secret_branch.cpp",
+                         {"secret-branch", "banned-fn", "memcmp-in-crypto", "secret-mod"}),
+    lintlib.SelfTestCase("bad_secret_branch.cpp", "src/core/bad_secret_branch.cpp",
+                         {"secret-branch", "banned-fn", "secret-mod", "declassify-scope"}),
+    lintlib.SelfTestCase("good_usage.cpp", "tools/ctlint/fixtures/good_usage.cpp", set()),
+)
+
+
+def self_test(_root: Path) -> int:
     fixtures = Path(__file__).resolve().parent / "fixtures"
-    failures = 0
-
-    def check(name: str, expected_rules: set[str]) -> None:
-        nonlocal failures
-        out: list[Violation] = []
-        rel = f"tools/ctlint/fixtures/{name}"
-        lint_file(fixtures / name, rel, out)
-        got = {v.rule for v in out}
-        if got != expected_rules:
-            failures += 1
-            print(f"SELF-TEST FAIL {name}: expected rules {sorted(expected_rules)}, "
-                  f"got {sorted(got)}")
-            for v in out:
-                print(f"  {v}")
-        else:
-            print(f"self-test ok: {name} -> {sorted(got) or '[clean]'}")
-
-    # The bad fixture is scanned as if it lived in src/crypto so the
-    # crypto-only rules apply to it.
-    out: list[Violation] = []
-    lint_file(fixtures / "bad_secret_branch.cpp", "src/crypto/bad_secret_branch.cpp", out)
-    got = {v.rule for v in out}
-    want = {"secret-branch", "banned-fn", "memcmp-in-crypto", "secret-mod"}
-    if got != want:
-        failures += 1
-        print(f"SELF-TEST FAIL bad_secret_branch.cpp (as src/crypto): "
-              f"expected {sorted(want)}, got {sorted(got)}")
-        for v in out:
-            print(f"  {v}")
-    else:
-        print(f"self-test ok: bad_secret_branch.cpp -> {sorted(got)}")
-
-    # The same bad fixture outside src/crypto additionally trips the
-    # declassify scope rule (and drops the crypto-only memcmp rule).
-    out = []
-    lint_file(fixtures / "bad_secret_branch.cpp", "src/core/bad_secret_branch.cpp", out)
-    got = {v.rule for v in out}
-    want = {"secret-branch", "banned-fn", "secret-mod", "declassify-scope"}
-    if got != want:
-        failures += 1
-        print(f"SELF-TEST FAIL bad_secret_branch.cpp (as src/core): "
-              f"expected {sorted(want)}, got {sorted(got)}")
-    else:
-        print(f"self-test ok: bad_secret_branch.cpp (as src/core) -> {sorted(got)}")
-
-    check("good_usage.cpp", set())
-
-    if failures == 0:
-        print("ctlint self-test: all fixtures behaved as expected")
-    return 1 if failures else 0
-
-
-def main() -> int:
-    ap = argparse.ArgumentParser(description=__doc__,
-                                 formatter_class=argparse.RawDescriptionHelpFormatter)
-    ap.add_argument("--root", type=Path, default=Path(__file__).resolve().parents[2],
-                    help="repository root (default: two levels above this script)")
-    ap.add_argument("--self-test", action="store_true",
-                    help="lint the bundled fixtures and check expected findings")
-    args = ap.parse_args()
-
-    if args.self_test:
-        return self_test(args.root)
-
-    violations = lint_tree(args.root)
-    if violations:
-        for v in violations:
-            print(v)
-        print(f"ctlint: {len(violations)} violation(s)")
-        return 1
-    print("ctlint: clean")
-    return 0
+    return lintlib.run_self_test("ctlint", fixtures, SELF_TEST_CASES, lint_file)
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    sys.exit(lintlib.main("ctlint", __doc__, lint_tree, self_test,
+                          Path(__file__).resolve().parents[2]))

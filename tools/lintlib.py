@@ -1,0 +1,136 @@
+"""Shared driver for the repo's policy linters (ctlint, simlint).
+
+Each linter is a thin module over this library: it owns its rule logic
+(a `lint_file(path, rel, out)` callable plus whatever tree-wide checks it
+needs) and a table of self-test fixtures; lintlib owns everything the two
+linters would otherwise duplicate — violation records, comment/string
+stripping, suppression-marker handling, deterministic file walking, the
+fixture self-test harness, and the argparse entry point.
+
+Suppression convention: a line (or the comment block immediately above
+it) containing the linter's allow marker (`ctlint-allow:`,
+`simlint-allow:`, ...) is exempt; the text after the colon should name
+the rule being suppressed and justify it.  `allowed()` implements the
+lookup; linters may register additional markers (simlint's
+`simlint-ordered:` iteration justification uses the same mechanics).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Sequence
+
+SOURCE_GLOBS = ("*.cpp", "*.hpp", "*.cc", "*.h")
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, text: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.text}"
+
+
+def strip_noise(line: str) -> str:
+    """Removes string/char literals and // comments so regexes don't match
+    inside them.  (Block comments are handled a line at a time upstream.)"""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def allowed(lines: list[str], idx: int, mark: str) -> bool:
+    """True if line idx (0-based) carries or follows an allow marker."""
+    if mark in lines[idx]:
+        return True
+    # Walk back over an immediately preceding comment block.
+    j = idx - 1
+    while j >= 0 and lines[j].lstrip().startswith("//"):
+        if mark in lines[j]:
+            return True
+        j -= 1
+    return False
+
+
+def read_lines(path: Path) -> list[str]:
+    return path.read_text(encoding="utf-8", errors="replace").splitlines()
+
+
+def iter_source_files(root: Path, tops: Sequence[str],
+                      globs: Sequence[str] = SOURCE_GLOBS) -> Iterator[tuple[Path, str]]:
+    """Yields (path, repo-relative posix path) for every source file under
+    the given top-level directories, in a deterministic order."""
+    for top in tops:
+        base = root / top
+        if not base.is_dir():
+            continue
+        for glob in globs:
+            for path in sorted(base.rglob(glob)):
+                yield path, path.relative_to(root).as_posix()
+
+
+LintFileFn = Callable[[Path, str, list], None]
+
+
+class SelfTestCase:
+    """One fixture run: lint `fixture` as if it lived at `scan_as` and
+    expect exactly the rule names in `expected` to fire."""
+
+    def __init__(self, fixture: str, scan_as: str, expected: Iterable[str]):
+        self.fixture = fixture
+        self.scan_as = scan_as
+        self.expected = set(expected)
+
+
+def run_self_test(name: str, fixtures_dir: Path, cases: Sequence[SelfTestCase],
+                  lint_file: LintFileFn) -> int:
+    """Runs every fixture case; returns 1 on any mismatch.  A linter whose
+    bad fixtures stop firing (or whose good fixture starts firing) fails
+    its own suite, so a silently-broken linter can't pass CI."""
+    failures = 0
+    for case in cases:
+        out: list[Violation] = []
+        lint_file(fixtures_dir / case.fixture, case.scan_as, out)
+        got = {v.rule for v in out}
+        if got != case.expected:
+            failures += 1
+            print(f"SELF-TEST FAIL {case.fixture} (as {case.scan_as}): "
+                  f"expected rules {sorted(case.expected)}, got {sorted(got)}")
+            for v in out:
+                print(f"  {v}")
+        else:
+            print(f"self-test ok: {case.fixture} (as {case.scan_as}) -> "
+                  f"{sorted(got) or '[clean]'}")
+    if failures == 0:
+        print(f"{name} self-test: all fixtures behaved as expected")
+    return 1 if failures else 0
+
+
+def main(name: str, doc: str, lint_tree: Callable[[Path], list],
+         self_test: Callable[[Path], int], default_root: Path) -> int:
+    """Shared argparse entry point: tree scan by default, --self-test runs
+    the fixture suite."""
+    ap = argparse.ArgumentParser(description=doc,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", type=Path, default=default_root,
+                    help="repository root (default: two levels above the linter)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="lint the bundled fixtures and check expected findings")
+    args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.root)
+
+    violations = lint_tree(args.root)
+    if violations:
+        for v in violations:
+            print(v)
+        print(f"{name}: {len(violations)} violation(s)")
+        return 1
+    print(f"{name}: clean")
+    return 0

@@ -1,0 +1,32 @@
+// simlint self-test fixture: every ambient-nondeterminism pattern the
+// linter must catch.  Scanned as if it lived under src/sim/.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace cicero::sim {
+
+unsigned bad_entropy() {
+  std::random_device rd;  // OS entropy: fires ambient-nondet
+  return rd();
+}
+
+long bad_wall_clock() {
+  return time(nullptr);  // libc wall clock: fires ambient-nondet
+}
+
+long bad_cpu_clock() {
+  return clock();  // process CPU clock: fires ambient-nondet
+}
+
+double bad_chrono() {
+  const auto t = std::chrono::steady_clock::now();  // fires ambient-nondet
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+const char* bad_env() {
+  return std::getenv("CICERO_ANYTHING");  // fires ambient-nondet
+}
+
+}  // namespace cicero::sim

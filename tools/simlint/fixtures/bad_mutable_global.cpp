@@ -1,0 +1,19 @@
+// simlint self-test fixture: unsynchronized static mutable state in the
+// shard-safety surface.  Scanned once as src/sim/ (must fire) and once as
+// src/obs/ (out of the mutable-global scope, must stay quiet).
+#include <cstdint>
+#include <vector>
+
+namespace cicero::sim {
+
+static std::uint64_t g_events_seen = 0;           // fires mutable-global
+thread_local std::uint64_t t_scratch_bytes = 0;   // fires mutable-global
+
+std::uint64_t bump() {
+  static std::vector<int> g_history;              // fires mutable-global
+  g_history.push_back(1);
+  t_scratch_bytes += 1;
+  return ++g_events_seen;
+}
+
+}  // namespace cicero::sim

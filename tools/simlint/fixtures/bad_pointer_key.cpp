@@ -1,0 +1,22 @@
+// simlint self-test fixture: address-keyed containers and address-based
+// ordering.  Scanned as if it lived under src/core/.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "util/flat_hash.hpp"
+
+namespace cicero::core {
+
+struct Node;
+
+struct BadIndexes {
+  // Placement follows the allocator's addresses: fires pointer-key.
+  util::FlatHashMap<Node*, int> by_node_;
+  std::unordered_map<const Node*, double> weights_;
+  // Tree order follows addresses too — iteration order varies per run.
+  std::set<Node*> members_;
+  std::map<const Node*, int, std::less<const Node*>> ranked_;
+};
+
+}  // namespace cicero::core

@@ -1,0 +1,31 @@
+// simlint self-test fixture: hash-order iteration in an event-emitting
+// translation unit.  Scanned once as src/sched/ (must fire) and once as
+// src/crypto/ (leaf library, must stay quiet).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+
+namespace cicero::sched {
+
+struct Emitter {
+  util::FlatHashMap<std::uint64_t, std::uint64_t> pending_;
+  std::unordered_map<std::uint64_t, double> weights_;
+
+  void emit(std::uint64_t id);
+
+  void bad_range_for() {
+    // Emission order depends on table placement: fires unordered-iter.
+    for (const auto& [id, w] : weights_) {
+      emit(id);
+    }
+  }
+
+  void bad_for_each() {
+    // Same hazard through the flat-hash visitation API.
+    pending_.for_each([this](std::uint64_t id, std::uint64_t) { emit(id); });
+  }
+};
+
+}  // namespace cicero::sched

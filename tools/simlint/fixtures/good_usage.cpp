@@ -1,0 +1,55 @@
+// simlint self-test fixture: the blessed patterns for every rule — this
+// file must scan clean as src/sim/good_usage.cpp (all rules in scope).
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "util/flat_hash.hpp"
+
+namespace cicero::sim {
+
+struct Collector {
+  util::FlatHashMap<std::uint64_t, double> weights_;
+
+  void emit(std::uint64_t id);
+
+  void collect_then_sort() {
+    // Collect-then-sort: the iteration only gathers entries and the
+    // order is fixed before anything acts on them.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, w] : weights_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) emit(id);
+  }
+
+  void justified_fold() {
+    double total = 0.0;
+    // simlint-ordered: order-insensitive fold (commutative integer-free
+    // sum is not emitted per-entry; only the total is observed).
+    weights_.for_each([&total](std::uint64_t, double w) { total += w; });
+    (void)total;
+  }
+};
+
+// Atomic, shard-striped and mutex-guarded statics are the blessed forms
+// of shared state on the parallel surface.
+static std::atomic<std::uint64_t> g_ops{0};
+struct alignas(64) Stripe {
+  std::uint64_t count = 0;
+};
+static alignas(64) Stripe g_stripes[4];
+static std::mutex g_table_mu;
+static constexpr std::uint64_t kWindow = 64;
+
+const char* config_load() {
+  // simlint-allow: ambient-nondet — one-time config load at startup,
+  // never read on a simulation path.
+  return std::getenv("CICERO_EXAMPLE_KNOB");
+}
+
+std::uint64_t bump() { return g_ops.fetch_add(1) & kWindow; }
+
+}  // namespace cicero::sim
