@@ -94,22 +94,27 @@ inline std::string metric_slug(const std::string& label) {
 /// Folds one finished deployment run into `report` under a
 /// `<slug(label)>.` prefix: the full metrics registry, the process-wide
 /// crypto op counters (reset afterwards so runs don't bleed into each
-/// other), and the completion/setup CDFs.
+/// other), the completion/setup CDFs, the critical-path attribution
+/// summary, and the per-shard engine telemetry.
 /// Every run carries two standard fields so reports stay comparable
 /// across thread counts and machines: `<slug>.threads` (worker shards
 /// backing run(); 1 = sequential fast path) and, when the caller
 /// measured one, `<slug>.wall_sec` (wall-clock duration of the run).
 inline void report_run(obs::RunReport& report, core::Deployment& dep, const std::string& label,
                        double wall_sec = -1.0) {
-  const std::string prefix = metric_slug(label) + ".";
+  const std::string slug = metric_slug(label);
+  const std::string prefix = slug + ".";
   report.add_metrics(dep.obs().metrics, prefix);
   report.add_crypto_ops(obs::crypto_ops(), prefix);
   obs::crypto_ops().reset();
   report.add_cdf(prefix + "completion_ms", dep.completion_cdf());
   report.add_cdf(prefix + "setup_ms", dep.setup_cdf());
+  report.add_critical_path(slug, dep.obs().critpath.summarize());
+  report.add_shards(slug, dep.shard_telemetry());
   obs::MetricsRegistry standard;
   standard.gauge(prefix + "threads").set(static_cast<double>(dep.worker_shards()));
   if (wall_sec >= 0.0) standard.gauge(prefix + "wall_sec").set(wall_sec);
+  standard.counter(prefix + "trace.dropped_events").inc(dep.obs().trace.dropped_events());
   report.add_metrics(standard);
 }
 

@@ -192,6 +192,8 @@ void run_scale_config(obs::RunReport& report, ScaleConfig cfg, std::uint32_t thr
   const std::string prefix = "scale." + cfg.name + ".";
   report.set_meta(cfg.name + "_switches", static_cast<std::int64_t>(switches));
   report.add_metrics(dep->obs().metrics, prefix);
+  report.add_critical_path("scale." + cfg.name, dep->obs().critpath.summarize());
+  report.add_shards("scale." + cfg.name, dep->shard_telemetry());
   obs::crypto_ops().reset();
   obs::MetricsRegistry gauges;
   gauges.gauge(prefix + "switches").set(static_cast<double>(switches));
@@ -201,6 +203,7 @@ void run_scale_config(obs::RunReport& report, ScaleConfig cfg, std::uint32_t thr
   gauges.gauge(prefix + "events_per_sec").set(static_cast<double>(events) / wall);
   gauges.gauge(prefix + "updates_per_sec").set(static_cast<double>(applied) / wall);
   gauges.gauge(prefix + "peak_rss_mb").set(rss);
+  gauges.counter(prefix + "trace.dropped_events").inc(dep->obs().trace.dropped_events());
   report.add_metrics(gauges);
 
   std::printf(

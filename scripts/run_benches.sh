@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Runs the crypto micro-benchmarks and records the results as JSON, then
 # the observability smoke pass: the obs-overhead guard, the Fig. 11a
-# bench (which emits a machine-readable run report), and the schema
-# checker (tools/obs/check_obs.py) over the emitted artifacts.
+# bench (which emits a machine-readable run report), the scale smoke
+# bench, the schema checker (tools/obs/check_obs.py) over the emitted
+# artifacts, and the perf gate (tools/obs/bench_diff.py) against the
+# committed baselines in bench/baselines/.
 #
 # Usage: scripts/run_benches.sh [build-dir] [output-json]
 #   build-dir    defaults to ./build (configured+built already)
 #   output-json  defaults to BENCH_crypto.json in the repo root
+#
+# Bench artifacts land in bench/out/ (gitignored).  To refresh a perf
+# baseline after an intentional change, copy the new report over:
+#   cp bench/out/BENCH_scale.report.json bench/baselines/
 #
 # The JSON output is the calibration input for core::CostModel (see
 # EXPERIMENTS.md "Calibration"); re-run this after touching src/crypto.
@@ -15,6 +21,8 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_json="${2:-$repo_root/BENCH_crypto.json}"
+bench_out="$repo_root/bench/out"
+mkdir -p "$bench_out"
 
 bench_bin="$build_dir/bench/bench_crypto_micro"
 if [[ ! -x "$bench_bin" ]]; then
@@ -42,18 +50,34 @@ echo "Running bench_obs_overhead (asserts alloc-free disabled hot path)"
 "$build_dir/bench/bench_obs_overhead"
 
 echo
-echo "Running bench_fig11a_hadoop_fct -> $repo_root/BENCH_fig11a.report.json"
-CICERO_REPORT_DIR="$repo_root" "$build_dir/bench/bench_fig11a_hadoop_fct" > /dev/null
+echo "Running bench_fig11a_hadoop_fct -> $bench_out/BENCH_fig11a.report.json"
+CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_fig11a_hadoop_fct" > /dev/null
 
 echo "Validating run report"
-python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_fig11a.report.json"
+python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_fig11a.report.json"
 
 echo
-echo "Running bench_scale --smoke -> $repo_root/BENCH_scale.report.json"
-CICERO_REPORT_DIR="$repo_root" "$build_dir/bench/bench_scale" --smoke
+echo "Running bench_scale --smoke -> $bench_out/BENCH_scale.report.json"
+CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_scale" --smoke
 
 echo "Validating scale run report"
-python3 "$repo_root/tools/obs/check_obs.py" "$repo_root/BENCH_scale.report.json"
+python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_scale.report.json"
+
+echo
+echo "Perf gate: bench_diff vs bench/baselines/"
+python3 "$repo_root/tools/obs/bench_diff.py" --self-test
+diff_rc=0
+for report in "$bench_out"/BENCH_*.report.json; do
+  base="$repo_root/bench/baselines/$(basename "$report")"
+  if [[ -f "$base" ]]; then
+    python3 "$repo_root/tools/obs/bench_diff.py" "$report" "$base" \
+      ${BENCH_DIFF_SOFT:+--soft} || diff_rc=$?
+  fi
+done
+if [[ "$diff_rc" -ne 0 ]]; then
+  echo "perf gate: regression detected (see above; refresh bench/baselines/ if intended)" >&2
+  exit "$diff_rc"
+fi
 
 echo
 # Chaos smoke: one deterministic lossy-network run.  The chaos binary is

@@ -59,12 +59,20 @@ util::Bytes PbftReplica::sign_and_encode(const BftMessage& m) const {
   return m.encode(crypto::schnorr_sign(keys_.own, body).to_bytes());
 }
 
+void PbftReplica::account_order_bytes(std::size_t bytes) {
+  if (config_.obs != nullptr) {
+    config_.obs->critpath.add_phase_bytes(obs::CritPhase::kOrder, bytes);
+  }
+}
+
 void PbftReplica::send_to(ReplicaId target, const BftMessage& m) {
   if (target == config_.id) {
     handle(m);
     return;
   }
-  net_.send(node_of(config_.id), node_of(target), sign_and_encode(m));
+  const util::Bytes wire = sign_and_encode(m);
+  account_order_bytes(wire.size());
+  net_.send(node_of(config_.id), node_of(target), wire);
 }
 
 void PbftReplica::broadcast(const BftMessage& m) {
@@ -76,13 +84,16 @@ void PbftReplica::broadcast(const BftMessage& m) {
   // from the view change.)
   if (equivocate_ && m.type == BftMsgType::kPrePrepare && m.request) {
     const ReplicaId lucky = static_cast<ReplicaId>((config_.id + 1) % n());
-    net_.send(node_of(config_.id), node_of(lucky), sign_and_encode(m));
+    const util::Bytes wire = sign_and_encode(m);
+    account_order_bytes(wire.size());
+    net_.send(node_of(config_.id), node_of(lucky), wire);
     handle(m);
     return;
   }
   const util::Bytes wire = sign_and_encode(m);
   for (ReplicaId r = 0; r < n(); ++r) {
     if (r == config_.id) continue;
+    account_order_bytes(wire.size());
     net_.send(node_of(config_.id), node_of(r), wire);
   }
   handle(m);  // loopback: our own vote counts immediately

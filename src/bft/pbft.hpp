@@ -111,6 +111,9 @@ class PbftReplica {
   void send_to(ReplicaId target, const BftMessage& m);
   void broadcast(const BftMessage& m);  ///< to all others + loopback handling
   util::Bytes sign_and_encode(const BftMessage& m) const;
+  /// Charges `bytes` of replica-to-replica wire traffic to the ordering
+  /// phase of the critical-path byte ledger (no-op without an obs sink).
+  void account_order_bytes(std::size_t bytes);
 
   void handle(const BftMessage& m);
   void handle_request(const BftMessage& m);

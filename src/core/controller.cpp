@@ -63,6 +63,11 @@ bool Controller::tracing() const {
 // lifecycle tracks; reuse the aggregator-selection rule (lowest id).
 bool Controller::trace_leader() const { return tracing() && is_aggregator(); }
 
+obs::CritPath* Controller::critpath() const {
+  return config_.obs != nullptr && config_.obs->critpath.enabled() ? &config_.obs->critpath
+                                                                   : nullptr;
+}
+
 std::string Controller::update_track_id(sched::UpdateId id) const {
   return "u:" + std::to_string(config_.domain) + ":" + std::to_string(id);
 }
@@ -166,6 +171,7 @@ void Controller::on_event(const Event& e) {
   if (!ours) return;
 
   events_submitted_.insert(e.id);
+  if (crit_leader()) critpath()->event_submitted(e.id.origin, e.id.seq, sim_.now());
   if (trace_leader()) {
     // submit -> ordered: closes in process_event once the broadcast
     // delivers the event back.
@@ -198,7 +204,11 @@ void Controller::forward_cross_domain(const Event& e, const std::set<net::Domain
     }
     Event fwd = e;
     fwd.forwarded = true;  // never re-forwarded (§4.1)
-    net_.send(config_.node, target->node, fwd.encode());
+    const util::Bytes wire = fwd.encode();
+    if (obs::CritPath* cp = critpath()) {
+      cp->add_phase_bytes(obs::CritPhase::kOrder, wire.size());
+    }
+    net_.send(config_.node, target->node, wire);
     ++events_forwarded_;
     m_events_forwarded_.inc();
   }
@@ -302,12 +312,19 @@ void Controller::process_flow_event(const Event& e) {
              {"deps", static_cast<std::int64_t>(su.deps.size())}});
       }
     }
+    if (obs::CritPath* cp = crit_leader() ? critpath() : nullptr) {
+      for (const auto& su : local.updates) {
+        const EventId& cause = update_cause_.at(su.update.id);
+        cp->update_scheduled(su.update.id, cause.origin, cause.seq, sim_.now());
+      }
+    }
     for (const sched::UpdateId id : ready) release_update(id);
   });
 }
 
 void Controller::release_update(sched::UpdateId id) {
   m_deps_released_.inc();
+  if (crit_leader()) critpath()->update_released(id, sim_.now());
   send_update(tracker_.update(id), update_cause_.at(id));
 }
 
@@ -356,7 +373,7 @@ void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
           {{"update", static_cast<std::int64_t>(id)},
            {"attempt", static_cast<std::int64_t>(fl->second.attempt)}});
     }
-    dispatch_update(tracker_.update(id), fl->second.cause);
+    dispatch_update(tracker_.update(id), fl->second.cause, /*retransmit=*/true);
     arm_ack_timer(id, delay * 2);
   });
 }
@@ -368,7 +385,8 @@ void Controller::disarm_ack_timer(sched::UpdateId id) {
   inflight_.erase(it);
 }
 
-void Controller::dispatch_update(const sched::Update& update, const EventId& cause) {
+void Controller::dispatch_update(const sched::Update& update, const EventId& cause,
+                                 bool retransmit) {
   if (fault_ == ControllerFault::kSilent) return;
 
   UpdateMsg msg;
@@ -389,10 +407,25 @@ void Controller::dispatch_update(const sched::Update& update, const EventId& cau
                                    config_.node, obs::kTidCrypto);
   }
   const sched::UpdateId uid = update.id;
-  cpu_.execute(sign_cost, "update.sign", [this, uid, msg = std::move(msg)]() mutable {
+  cpu_.execute(sign_cost, "update.sign", [this, uid, retransmit,
+                                          msg = std::move(msg)]() mutable {
     if (trace_leader()) {
       config_.obs->trace.async_end("update", update_track_id(uid), "sign", config_.node,
                                    obs::kTidCrypto);
+      // Close the dependency-release arrow opened in on_ack: the edge
+      // runs from the predecessor's ack to this dependent leaving.
+      const auto dep = pending_dep_flow_.find(uid);
+      if (dep != pending_dep_flow_.end()) {
+        config_.obs->trace.flow_end(
+            "dep", "d:" + std::to_string(dep->second) + ":" + std::to_string(uid),
+            "dep.release", config_.node, obs::kTidMain);
+        pending_dep_flow_.erase(dep);
+      }
+    }
+    if (retransmit && crit_leader()) critpath()->update_retransmitted(uid, sim_.now());
+    if (retransmit && trace_leader()) {
+      config_.obs->trace.flow_step("flow", flow_track_id(uid), "update.resend", config_.node,
+                                   obs::kTidNet);
     }
     // Decision audit trail: record the exact update body we are about to
     // sign and emit (a mutating controller thereby signs evidence of its
@@ -423,16 +456,35 @@ void Controller::dispatch_update(const sched::Update& update, const EventId& cau
     if (sw_it == env_.switch_nodes.end()) return;
 
     if (config_.framework == FrameworkKind::kCiceroAgg && !is_aggregator()) {
-      // Route through the aggregator (Fig. 7c).
+      // Route through the aggregator (Fig. 7c).  The partial-carrying hop
+      // is part of the signing phase's control-plane traffic.
       const MemberInfo* agg = &config_.members.front();
       for (const auto& m : config_.members) {
         if (m.id < agg->id) agg = &m;
       }
-      net_.send(config_.node, agg->node, msg.encode());
+      const util::Bytes wire = msg.encode();
+      if (obs::CritPath* cp = critpath()) {
+        cp->add_phase_bytes(retransmit ? obs::CritPhase::kRetransmit : obs::CritPhase::kSign,
+                            wire.size());
+      }
+      net_.send(config_.node, agg->node, wire);
     } else if (config_.framework == FrameworkKind::kCiceroAgg) {
       on_peer_update(msg);  // we are the aggregator: count our own partial
     } else {
-      net_.send(config_.node, sw_it->second, msg.encode());
+      const util::Bytes wire = msg.encode();
+      if (obs::CritPath* cp = critpath()) {
+        cp->add_phase_bytes(
+            retransmit ? obs::CritPhase::kRetransmit : obs::CritPhase::kPropagate,
+            wire.size());
+      }
+      if (!retransmit) {
+        if (crit_leader()) critpath()->update_signed(uid, sim_.now());
+        if (trace_leader()) {
+          config_.obs->trace.flow_start("flow", flow_track_id(uid), "update.send",
+                                        config_.node, obs::kTidNet);
+        }
+      }
+      net_.send(config_.node, sw_it->second, wire);
     }
   });
 }
@@ -451,6 +503,7 @@ void Controller::on_ack(const AckMsg& ack) {
   ++acks_received_;
   m_acks_.inc();
   disarm_ack_timer(ack.update_id);  // cancels the pending retransmission wakeup
+  if (crit_leader()) critpath()->update_acked(ack.update_id, sim_.now());
   const auto it = update_sent_at_.find(ack.update_id);
   if (it != update_sent_at_.end()) {
     if (config_.obs != nullptr) {
@@ -458,11 +511,23 @@ void Controller::on_ack(const AckMsg& ack) {
       if (trace_leader()) {
         config_.obs->trace.async_end("update", update_track_id(ack.update_id), "update",
                                      config_.node, obs::kTidMain);
+        config_.obs->trace.flow_end("flow", flow_track_id(ack.update_id), "update.ack",
+                                    config_.node, obs::kTidNet);
       }
     }
     update_sent_at_.erase(it);
   }
-  for (const sched::UpdateId id : tracker_.complete(ack.update_id)) release_update(id);
+  for (const sched::UpdateId id : tracker_.complete(ack.update_id)) {
+    if (trace_leader()) {
+      // Dependency-release edge: arrow from this ack to the dependent's
+      // dispatch (closed in dispatch_update's sign callback).
+      config_.obs->trace.flow_start(
+          "dep", "d:" + std::to_string(ack.update_id) + ":" + std::to_string(id),
+          "dep.release", config_.node, obs::kTidMain);
+      pending_dep_flow_[id] = ack.update_id;
+    }
+    release_update(id);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -478,6 +543,14 @@ void Controller::on_peer_update(const UpdateMsg& m) {
   if (done != agg_completed_.end()) {
     const auto sw_it = env_.switch_nodes.find(m.update.switch_node);
     if (sw_it != env_.switch_nodes.end()) {
+      if (obs::CritPath* cp = critpath()) {
+        cp->update_retransmitted(m.update.id, sim_.now());
+        cp->add_phase_bytes(obs::CritPhase::kRetransmit, done->second.size());
+      }
+      if (trace_leader()) {
+        config_.obs->trace.flow_step("flow", flow_track_id(m.update.id), "update.resend",
+                                     config_.node, obs::kTidNet);
+      }
       net_.send(config_.node, sw_it->second, done->second);
     }
     return;
@@ -510,7 +583,11 @@ void Controller::on_peer_update(const UpdateMsg& m) {
           if (mem.id == config_.id) {
             on_frost_session(session);
           } else {
-            net_.send(config_.node, mem.node, session.encode());
+            const util::Bytes session_wire = session.encode();
+            if (obs::CritPath* cp = critpath()) {
+              cp->add_phase_bytes(obs::CritPhase::kRetransmit, session_wire.size());
+            }
+            net_.send(config_.node, mem.node, session_wire);
           }
         }
       }
@@ -571,6 +648,14 @@ void Controller::on_peer_update(const UpdateMsg& m) {
       agg_completed_[id] = wire;
       const auto sw_it = env_.switch_nodes.find(p3.update.switch_node);
       if (sw_it != env_.switch_nodes.end()) {
+        if (obs::CritPath* cp = critpath()) {
+          cp->update_signed(id, sim_.now());  // aggregator == crit leader
+          cp->add_phase_bytes(obs::CritPhase::kPropagate, wire.size());
+        }
+        if (trace_leader()) {
+          config_.obs->trace.flow_start("flow", flow_track_id(id), "update.send",
+                                        config_.node, obs::kTidNet);
+        }
         net_.send(config_.node, sw_it->second, wire);
       }
       agg_pending_.erase(it2);
@@ -606,6 +691,9 @@ void Controller::maybe_start_frost_session(sched::UpdateId id) {
         if (m.id == config_.id) {
           on_frost_session(session);  // our own round-2 contribution
         } else {
+          if (obs::CritPath* cp = critpath()) {
+            cp->add_phase_bytes(obs::CritPhase::kSign, wire.size());
+          }
           net_.send(config_.node, m.node, wire);
         }
       }
@@ -651,7 +739,11 @@ void Controller::on_frost_session(const FrostSessionMsg& m) {
     if (agg->id == config_.id) {
       on_frost_partial(reply);
     } else {
-      net_.send(config_.node, agg->node, reply.encode());
+      const util::Bytes wire = reply.encode();
+      if (obs::CritPath* cp = critpath()) {
+        cp->add_phase_bytes(obs::CritPhase::kSign, wire.size());
+      }
+      net_.send(config_.node, agg->node, wire);
     }
   });
 }
@@ -707,6 +799,14 @@ void Controller::finish_frost_aggregation(sched::UpdateId id) {
     agg_completed_[id] = wire;
     const auto sw_it = env_.switch_nodes.find(p.update.switch_node);
     if (sw_it != env_.switch_nodes.end()) {
+      if (obs::CritPath* cp = critpath()) {
+        cp->update_signed(id, sim_.now());  // aggregator == crit leader
+        cp->add_phase_bytes(obs::CritPhase::kPropagate, wire.size());
+      }
+      if (trace_leader()) {
+        config_.obs->trace.flow_start("flow", flow_track_id(id), "update.send", config_.node,
+                                      obs::kTidNet);
+      }
       net_.send(config_.node, sw_it->second, wire);
     }
     agg_pending_.erase(it);

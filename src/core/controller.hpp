@@ -161,7 +161,8 @@ class Controller {
   void process_flow_event(const Event& e);
   void release_update(sched::UpdateId id);
   void send_update(const sched::Update& update, const EventId& cause);
-  void dispatch_update(const sched::Update& update, const EventId& cause);
+  void dispatch_update(const sched::Update& update, const EventId& cause,
+                       bool retransmit = false);
   void arm_ack_timer(sched::UpdateId id, sim::SimTime delay);
   void on_ack(const AckMsg& ack);
   void on_peer_update(const UpdateMsg& m);  ///< aggregator role
@@ -246,6 +247,18 @@ class Controller {
   bool trace_leader() const;
   std::string update_track_id(sched::UpdateId id) const;
   std::string event_track_id(const EventId& id) const;
+  /// Critical-path profiler sink, or nullptr when obs is absent/disabled.
+  obs::CritPath* critpath() const;
+  /// Milestone records follow the trace-leader rule (aggregator only), so
+  /// each update gets exactly one deployment-wide record; phase *byte*
+  /// accounting is per-sender and recorded by every member.
+  bool crit_leader() const { return critpath() != nullptr && is_aggregator(); }
+  /// Globally-unique flow-arrow track for one update ("u:<id>"; update
+  /// ids are unique deployment-wide, see sched::update_id_base).
+  static std::string flow_track_id(sched::UpdateId id) { return "u:" + std::to_string(id); }
+  /// Parent (acked) update per released dependent, pending its dispatch
+  /// flow-arrow close; trace-leader only, erased at dispatch.
+  std::map<sched::UpdateId, sched::UpdateId> pending_dep_flow_;
   obs::Counter m_events_seen_;
   obs::Counter m_events_processed_;
   obs::Counter m_events_forwarded_;

@@ -550,6 +550,37 @@ void Deployment::merge_shard_metrics() {
   std::vector<const obs::MetricsRegistry*> sources;
   for (const auto& o : shard_obs_) sources.push_back(&o->metrics);
   obs_.metrics.merge_sum(sources);
+  // Same fold for the critical-path profiler: an update's whole lifecycle
+  // lives inside its domain's shard, so the per-shard record sets are
+  // disjoint and the ascending-shard fold is deterministic.
+  obs_.critpath.clear();
+  for (const auto& o : shard_obs_) obs_.critpath.merge_from(o->critpath);
+}
+
+std::vector<obs::ShardTelemetryEntry> Deployment::shard_telemetry() const {
+  std::vector<obs::ShardTelemetryEntry> out;
+  if (psim_ != nullptr) {
+    const auto rows = psim_->shard_telemetry();
+    out.reserve(rows.size());
+    for (std::uint32_t s = 0; s < rows.size(); ++s) {
+      obs::ShardTelemetryEntry e;
+      e.shard = s;
+      e.windows = rows[s].windows;
+      e.events = rows[s].events;
+      e.stall_windows = rows[s].stall_windows;
+      e.posts_in = rows[s].posts_in;
+      e.posts_out = rows[s].posts_out;
+      e.barrier_wait_sec = rows[s].barrier_wait_sec;
+      out.push_back(e);
+    }
+    return out;
+  }
+  // Sequential mode reports as one fully-utilized shard: no windows, no
+  // barriers, no cross-shard traffic.
+  obs::ShardTelemetryEntry e;
+  e.events = sim_.events_processed();
+  out.push_back(e);
+  return out;
 }
 
 // ---------------------------------------------------------------------------

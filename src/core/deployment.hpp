@@ -33,6 +33,7 @@
 #include "crypto/dkg.hpp"
 #include "net/checker.hpp"
 #include "net/topology.hpp"
+#include "obs/report.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/faults.hpp"
 #include "sim/network.hpp"
@@ -126,6 +127,9 @@ class Deployment {
   const crypto::Point& group_pk(net::DomainId d) const { return planes_.at(d).group_pk; }
   /// Deployment-wide metrics registry + tracer (see obs/obs.hpp).
   obs::Observability& obs() { return obs_; }
+  /// Per-shard engine utilization rows for the report's "shards" section;
+  /// sequential mode reports one synthetic fully-local shard.
+  std::vector<obs::ShardTelemetryEntry> shard_telemetry() const;
   /// Seeded fault injection (loss, partitions, crashes); always installed,
   /// inert until configured.
   sim::FaultInjector& faults() { return *faults_; }

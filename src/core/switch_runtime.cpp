@@ -30,6 +30,13 @@ std::string SwitchRuntime::update_track_id(sched::UpdateId id) const {
   return "u:" + std::to_string(config_.domain) + ":" + std::to_string(id);
 }
 
+obs::CritPath* SwitchRuntime::critpath() const {
+  if (config_.obs != nullptr && config_.obs->critpath.enabled()) {
+    return &config_.obs->critpath;
+  }
+  return nullptr;
+}
+
 bool SwitchRuntime::packet_in(const net::FlowMatch& match, double reserved_bps) {
   const auto key = std::make_pair(match.src_host, match.dst_host);
   if (down_) {
@@ -201,6 +208,11 @@ void SwitchRuntime::on_update(sim::NodeId from, const UpdateMsg& m) {
     return;
   }
   if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
+  if (obs::CritPath* cp = critpath()) cp->update_rx(m.update.id, sim_.now());
+  if (tracing()) {
+    config_.obs->trace.flow_step("flow", flow_track_id(m.update.id), "update.rx",
+                                 config_.node, obs::kTidMain);
+  }
 
   if (config_.framework == FrameworkKind::kCentralized ||
       config_.framework == FrameworkKind::kCrashTolerant) {
@@ -303,6 +315,11 @@ void SwitchRuntime::on_agg_update(sim::NodeId from, const AggUpdateMsg& m) {
     return;
   }
   if (config_.obs != nullptr) first_rx_.emplace(m.update.id, sim_.now());
+  if (obs::CritPath* cp = critpath()) cp->update_rx(m.update.id, sim_.now());
+  if (tracing()) {
+    config_.obs->trace.flow_step("flow", flow_track_id(m.update.id), "update.rx",
+                                 config_.node, obs::kTidMain);
+  }
   cpu_.execute(config_.costs.threshold_verify, "threshold.verify", [this, m] {
     if (down_) return;
     if (applied_ids_.count(m.update.id) != 0) return;
@@ -349,8 +366,11 @@ void SwitchRuntime::apply_update(const sched::Update& update) {
       update_apply_ms_.observe(sim::to_ms(sim_.now() - rx->second));
       first_rx_.erase(rx);
     }
+    if (obs::CritPath* cp = critpath()) cp->update_applied(update.id, sim_.now());
     if (tracing()) {
       config_.obs->trace.async_end("update", update_track_id(update.id), "apply",
+                                   config_.node, obs::kTidMain);
+      config_.obs->trace.flow_step("flow", flow_track_id(update.id), "update.applied",
                                    config_.node, obs::kTidMain);
     }
     for (const auto& observer : observers_) observer(update);
@@ -370,7 +390,12 @@ void SwitchRuntime::send_ack(const sched::Update& update) {
   const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
   cpu_.execute(cost, "ack.sign", [this, ack = std::move(ack)] {
     if (down_) return;
-    net_.multicast(config_.node, config_.controllers, ack.encode());
+    const util::Bytes wire = ack.encode();
+    if (obs::CritPath* cp = critpath()) {
+      cp->add_phase_bytes(obs::CritPhase::kPropagate,
+                          wire.size() * config_.controllers.size());
+    }
+    net_.multicast(config_.node, config_.controllers, wire);
   });
 }
 
@@ -387,10 +412,16 @@ void SwitchRuntime::re_ack(sched::UpdateId id, sim::NodeId to) {
   const sim::SimTime cost = sign ? config_.costs.ack_sign : sim::SimTime{0};
   cpu_.execute(cost, "ack.sign", [this, to, ack = std::move(ack)] {
     if (down_) return;
+    const util::Bytes wire = ack.encode();
+    if (obs::CritPath* cp = critpath()) {
+      const std::size_t copies =
+          to == sim::kInvalidNode ? config_.controllers.size() : 1;
+      cp->add_phase_bytes(obs::CritPhase::kRetransmit, wire.size() * copies);
+    }
     if (to == sim::kInvalidNode) {
-      net_.multicast(config_.node, config_.controllers, ack.encode());
+      net_.multicast(config_.node, config_.controllers, wire);
     } else {
-      net_.send(config_.node, to, ack.encode());
+      net_.send(config_.node, to, wire);
     }
   });
 }

@@ -160,9 +160,16 @@ class SwitchRuntime {
   std::map<std::pair<net::NodeIndex, net::NodeIndex>, double> missed_while_down_;
 
   // Observability.  Exactly one switch applies a given update, so the
-  // "apply" phase of the update lifecycle track is emitted here.
+  // "apply" phase of the update lifecycle track — and the rx/applied
+  // critical-path milestones — are emitted here.
   bool tracing() const;
   std::string update_track_id(sched::UpdateId id) const;
+  obs::CritPath* critpath() const;
+  /// Flow-event track shared with the controllers (globally unique: update
+  /// ids are partitioned across domains via update_id_base).
+  static std::string flow_track_id(sched::UpdateId id) {
+    return "u:" + std::to_string(id);
+  }
   obs::Counter m_events_;
   obs::Counter m_applied_;
   obs::Counter m_rejected_;

@@ -21,6 +21,7 @@ Counter MetricsRegistry::counter(const std::string& name) {
   if (!enabled_) return Counter{};
   auto it = counters_.find(name);
   if (it == counters_.end()) {
+    check_kind_collision(name, "counter");
     counter_cells_.push_back(0);
     it = counters_.emplace(name, &counter_cells_.back()).first;
   }
@@ -31,6 +32,7 @@ Gauge MetricsRegistry::gauge(const std::string& name) {
   if (!enabled_) return Gauge{};
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
+    check_kind_collision(name, "gauge");
     gauge_cells_.push_back(0.0);
     it = gauges_.emplace(name, &gauge_cells_.back()).first;
   }
@@ -41,6 +43,7 @@ Histogram MetricsRegistry::histogram(const std::string& name, std::vector<double
   if (!enabled_) return Histogram{};
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
+    check_kind_collision(name, "histogram");
     HistogramCell cell;
     cell.bounds = std::move(bounds);
     cell.counts.assign(cell.bounds.size() + 1, 0);
@@ -48,6 +51,21 @@ Histogram MetricsRegistry::histogram(const std::string& name, std::vector<double
     it = histograms_.emplace(name, &histogram_cells_.back()).first;
   }
   return Histogram{it->second};
+}
+
+void MetricsRegistry::check_kind_collision(const std::string& name, const char* wanted) const {
+  // One name, one kind: the report writer serializes counters, gauges and
+  // histograms into separate JSON sections, so a name registered under two
+  // kinds would silently fork into two cells and mis-report both.  Fail at
+  // registration instead.
+  const char* existing = nullptr;
+  if (counters_.count(name) != 0) existing = "counter";
+  else if (gauges_.count(name) != 0) existing = "gauge";
+  else if (histograms_.count(name) != 0) existing = "histogram";
+  if (existing != nullptr) {
+    throw std::logic_error("MetricsRegistry: metric '" + name + "' requested as " + wanted +
+                           " but already registered as " + existing);
+  }
 }
 
 void MetricsRegistry::zero() {

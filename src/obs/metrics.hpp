@@ -146,6 +146,10 @@ class MetricsRegistry {
   void merge_sum(const std::vector<const MetricsRegistry*>& sources);
 
  private:
+  /// Throws std::logic_error if `name` already exists under another kind
+  /// (a gauge-vs-counter collision would silently fork into two cells).
+  void check_kind_collision(const std::string& name, const char* wanted) const;
+
   bool enabled_;
   // deques: stable addresses across growth (handles keep raw pointers).
   std::deque<std::uint64_t> counter_cells_;

@@ -13,6 +13,7 @@
 //   kTidNet    network send/receive markers
 #pragma once
 
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -27,10 +28,12 @@ struct Observability {
   explicit Observability(bool metrics_enabled = true, bool trace_enabled = false)
       : metrics(metrics_enabled) {
     trace.set_enabled(trace_enabled);
+    critpath.set_enabled(metrics_enabled);
   }
 
   Tracer trace;
   MetricsRegistry metrics;
+  CritPath critpath;
 };
 
 }  // namespace cicero::obs

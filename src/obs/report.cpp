@@ -83,6 +83,14 @@ void RunReport::add_cdf(const std::string& name, const util::CdfCollector& cdf,
   cdfs_[name] = std::move(e);
 }
 
+void RunReport::add_critical_path(const std::string& slug, const CritPath::Summary& summary) {
+  critical_paths_[slug] = summary;
+}
+
+void RunReport::add_shards(const std::string& slug, std::vector<ShardTelemetryEntry> shards) {
+  shards_[slug] = std::move(shards);
+}
+
 void RunReport::write(std::ostream& out) const {
   out << "{\n  \"schema\": " << json_string(kRunReportSchema) << ",\n";
   out << "  \"experiment\": " << json_string(experiment_) << ",\n";
@@ -139,6 +147,59 @@ void RunReport::write(std::ostream& out) const {
           << json_number(e.series[i].second) << ']';
     }
     out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  // Both sections iterate std::map keys and the fixed phase enum order,
+  // so their serialization is placement-independent like the rest.
+  out << "  \"critical_path\": {";
+  first = true;
+  for (const auto& [slug, s] : critical_paths_) {
+    out << (first ? "" : ",") << "\n    " << json_string(slug) << ": {\"updates\": "
+        << s.completed << ", \"incomplete\": " << s.incomplete
+        << ", \"end_to_end\": {\"total_ms\": " << json_number(s.end_to_end_total_ms)
+        << ", \"p50_ms\": " << json_number(s.end_to_end_p50_ms)
+        << ", \"p99_ms\": " << json_number(s.end_to_end_p99_ms)
+        << "}, \"attributed\": {\"min\": " << json_number(s.attributed_min)
+        << ", \"mean\": " << json_number(s.attributed_mean) << "},\n      \"phases\": {";
+    for (std::size_t i = 0; i < kCritPhaseCount; ++i) {
+      const CritPath::PhaseSummary& p = s.phases[i];
+      out << (i != 0 ? ", " : "") << "\n        "
+          << json_string(crit_phase_name(static_cast<CritPhase>(i)))
+          << ": {\"total_ms\": " << json_number(p.total_ms) << ", \"p50_ms\": "
+          << json_number(p.p50_ms) << ", \"p99_ms\": " << json_number(p.p99_ms)
+          << ", \"bytes\": " << p.bytes << "}";
+    }
+    out << "},\n      \"slowest\": [";
+    for (std::size_t i = 0; i < s.slowest.size(); ++i) {
+      const CritPath::SlowUpdate& u = s.slowest[i];
+      out << (i != 0 ? ", " : "") << "\n        {\"update\": " << u.id
+          << ", \"total_ms\": " << json_number(u.total_ms) << ", \"phases\": {";
+      for (std::size_t j = 0; j < kCritPhaseCount; ++j) {
+        out << (j != 0 ? ", " : "") << json_string(crit_phase_name(static_cast<CritPhase>(j)))
+            << ": " << json_number(u.phase_ms[j]);
+      }
+      out << "}}";
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n";
+
+  out << "  \"shards\": {";
+  first = true;
+  for (const auto& [slug, rows] : shards_) {
+    out << (first ? "" : ",") << "\n    " << json_string(slug) << ": [";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const ShardTelemetryEntry& r = rows[i];
+      out << (i != 0 ? ", " : "") << "\n      {\"shard\": " << r.shard << ", \"windows\": "
+          << r.windows << ", \"events\": " << r.events << ", \"stall_windows\": "
+          << r.stall_windows << ", \"posts_in\": " << r.posts_in << ", \"posts_out\": "
+          << r.posts_out << ", \"barrier_wait_sec\": " << json_number(r.barrier_wait_sec)
+          << "}";
+    }
+    out << "]";
     first = false;
   }
   out << (first ? "" : "\n  ") << "}\n}\n";

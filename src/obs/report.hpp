@@ -16,7 +16,17 @@
 //     "histograms": { "<name>": { "bounds": [..], "counts": [..],
 //                                 "count": n, "sum": s, "min": m, "max": M } },
 //     "cdfs":     { "<name>": { "unit": "<u>", "n":, "mean":, "min":, "max":,
-//                               "p50":, "p90":, "p99":, "series": [[x,q],..] } }
+//                               "p50":, "p90":, "p99":, "series": [[x,q],..] } },
+//     "critical_path": { "<slug>": { "updates":, "incomplete":,
+//                        "end_to_end": {"total_ms":, "p50_ms":, "p99_ms":},
+//                        "attributed": {"min":, "mean":},
+//                        "phases": { "<phase>": {"total_ms":, "p50_ms":,
+//                                                "p99_ms":, "bytes":} },
+//                        "slowest": [ {"update":, "total_ms":,
+//                                      "phases": {"<phase>": ms}} ] } },
+//     "shards": { "<slug>": [ {"shard":, "windows":, "events":,
+//                              "stall_windows":, "posts_in":, "posts_out":,
+//                              "barrier_wait_sec":} ] }
 //   }
 // `histograms.counts` has bounds.size() + 1 entries (last = overflow).
 // Additive evolution only; breaking changes bump the version suffix.
@@ -27,12 +37,26 @@
 #include <string>
 #include <vector>
 
+#include "obs/critpath.hpp"
 #include "obs/metrics.hpp"
 #include "util/stats.hpp"
 
 namespace cicero::obs {
 
 inline constexpr const char* kRunReportSchema = "cicero-run-report/v1";
+
+/// One per-shard engine telemetry row for the report's "shards" section.
+/// Mirrors sim::ParallelSim::ShardTelemetry without an obs -> sim
+/// dependency; benches convert at the emission site.
+struct ShardTelemetryEntry {
+  std::uint32_t shard = 0;
+  std::uint64_t windows = 0;        ///< conservative windows participated in
+  std::uint64_t events = 0;         ///< events executed by this shard
+  std::uint64_t stall_windows = 0;  ///< windows with zero local executions
+  std::uint64_t posts_in = 0;       ///< cross-shard events drained in
+  std::uint64_t posts_out = 0;      ///< cross-shard events posted out
+  double barrier_wait_sec = 0.0;    ///< wall time blocked at window barriers
+};
 
 class RunReport {
  public:
@@ -53,6 +77,13 @@ class RunReport {
   void add_cdf(const std::string& name, const util::CdfCollector& cdf,
                const std::string& unit = "ms", std::size_t series_points = 20);
 
+  /// Critical-path attribution rollup under "critical_path.<slug>";
+  /// `slug` namespaces multi-deployment benches like add_metrics' prefix.
+  void add_critical_path(const std::string& slug, const CritPath::Summary& summary);
+
+  /// Per-shard engine telemetry under "shards.<slug>".
+  void add_shards(const std::string& slug, std::vector<ShardTelemetryEntry> shards);
+
   void write(std::ostream& out) const;
   bool write(const std::string& path) const;
   std::string to_json() const;
@@ -71,6 +102,8 @@ class RunReport {
   std::map<std::string, double> gauges_;
   std::map<std::string, HistogramCell> histograms_;
   std::map<std::string, CdfEntry> cdfs_;
+  std::map<std::string, CritPath::Summary> critical_paths_;
+  std::map<std::string, std::vector<ShardTelemetryEntry>> shards_;
 };
 
 }  // namespace cicero::obs

@@ -44,7 +44,13 @@ double to_trace_us(std::int64_t ns) { return static_cast<double>(ns) / 1e3; }
 
 }  // namespace
 
-void Tracer::push(Event e) { events_.push_back(std::move(e)); }
+void Tracer::push(Event e) {
+  if (event_cap_ != 0 && events_.size() >= event_cap_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(std::move(e));
+}
 
 void Tracer::set_process_name(TracePid pid, std::string name) {
   if (!enabled_) return;
@@ -122,6 +128,35 @@ void Tracer::async_end(const char* cat, const std::string& id, const char* name,
   push(std::move(e));
 }
 
+void Tracer::flow(char phase, const char* cat, const std::string& id, const char* name,
+                  TracePid pid, TraceTid tid, std::int64_t ts_ns) {
+  if (!enabled_) return;
+  Event e;
+  e.phase = phase;
+  e.pid = pid;
+  e.tid = tid;
+  e.ts_ns = ts_ns >= 0 ? ts_ns : now();
+  e.name = name;
+  e.cat = cat;
+  e.id = id;
+  push(std::move(e));
+}
+
+void Tracer::flow_start(const char* cat, const std::string& id, const char* name, TracePid pid,
+                        TraceTid tid, std::int64_t ts_ns) {
+  flow('s', cat, id, name, pid, tid, ts_ns);
+}
+
+void Tracer::flow_step(const char* cat, const std::string& id, const char* name, TracePid pid,
+                       TraceTid tid, std::int64_t ts_ns) {
+  flow('t', cat, id, name, pid, tid, ts_ns);
+}
+
+void Tracer::flow_end(const char* cat, const std::string& id, const char* name, TracePid pid,
+                      TraceTid tid, std::int64_t ts_ns) {
+  flow('f', cat, id, name, pid, tid, ts_ns);
+}
+
 void Tracer::write_chrome_trace(std::ostream& out) const {
   out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
@@ -162,6 +197,18 @@ void Tracer::write_chrome_trace(std::ostream& out) const {
         write_escaped(out, e.name);
         out << ',';
         write_args(out, e.args);
+        break;
+      case 's':
+      case 't':
+      case 'f':
+        std::snprintf(buf, sizeof(buf), ",\"ts\":%.3f", to_trace_us(e.ts_ns));
+        out << buf << ",\"cat\":\"" << (e.cat != nullptr ? e.cat : "") << "\",\"id\":";
+        write_escaped(out, e.id);
+        out << ",\"name\":";
+        write_escaped(out, e.name);
+        // Binding point "e" attaches the arrowhead to the end of the
+        // enclosing slice, which is where the receive actually happened.
+        if (e.phase == 'f') out << ",\"bp\":\"e\"";
         break;
       default:
         break;

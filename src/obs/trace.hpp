@@ -16,9 +16,17 @@
 //     ack) that crosses nodes.  Perfetto nests same-id begin/end pairs by
 //     time, which renders the lifecycle as a span tree.
 //
-// The tracer buffers everything in memory (a quickstart run is a few
-// thousand events) and serializes on demand.  When disabled every record
-// call is a cheap early-out.
+// Causal flow events ("s"/"t"/"f") draw arrows between spans: the
+// critical-path profiler uses them to link a signed update leaving its
+// controller to the switch-side receive/apply and back to the ack, and
+// to mark dependency-tracker release edges, so Perfetto renders the
+// causal chain an update actually waited on.
+//
+// The tracer buffers events in memory and serializes on demand.  A
+// large run would otherwise grow the buffer without bound, so `push`
+// enforces an event cap (default one million events, ~100s of MB when
+// serialized): past it events are counted in `dropped_events()` instead
+// of retained.  When disabled every record call is a cheap early-out.
 #pragma once
 
 #include <cstdint>
@@ -60,9 +68,26 @@ class Tracer {
                    TraceTid tid, TraceArgs args = {}, std::int64_t ts_ns = -1);
   void async_end(const char* cat, const std::string& id, const char* name, TracePid pid,
                  TraceTid tid, std::int64_t ts_ns = -1);
+  /// Causal flow arrow keyed by (cat, id): start at the emitting span,
+  /// optional steps, finish binds to the enclosing slice end ("bp":"e").
+  void flow_start(const char* cat, const std::string& id, const char* name, TracePid pid,
+                  TraceTid tid, std::int64_t ts_ns = -1);
+  void flow_step(const char* cat, const std::string& id, const char* name, TracePid pid,
+                 TraceTid tid, std::int64_t ts_ns = -1);
+  void flow_end(const char* cat, const std::string& id, const char* name, TracePid pid,
+                TraceTid tid, std::int64_t ts_ns = -1);
 
   std::size_t event_count() const { return events_.size(); }
-  void clear() { events_.clear(); }
+  void clear() {
+    events_.clear();
+    dropped_ = 0;
+  }
+
+  /// Retention bound on the in-memory buffer; 0 means unlimited.  Events
+  /// past the cap are dropped (and counted) rather than buffered.
+  void set_event_cap(std::size_t cap) { event_cap_ = cap; }
+  std::size_t event_cap() const { return event_cap_; }
+  std::uint64_t dropped_events() const { return dropped_; }
 
   /// Chrome trace-event JSON ("traceEvents" object form); loadable in
   /// Perfetto and chrome://tracing.
@@ -72,22 +97,28 @@ class Tracer {
 
  private:
   struct Event {
-    char phase = 'X';  // X, i, b, e, M
+    char phase = 'X';  // X, i, b, e, s, t, f, M
     TracePid pid = 0;
     TraceTid tid = 0;
     std::int64_t ts_ns = 0;
     std::int64_t dur_ns = 0;   // X only
     std::string name;
-    const char* cat = nullptr;  // b/e only
-    std::string id;             // b/e only; M: metadata string value
+    const char* cat = nullptr;  // b/e and s/t/f only
+    std::string id;             // b/e and s/t/f only; M: metadata string value
     TraceArgs args;
   };
 
+  static constexpr std::size_t kDefaultEventCap = 1u << 20;
+
   void push(Event e);
+  void flow(char phase, const char* cat, const std::string& id, const char* name, TracePid pid,
+            TraceTid tid, std::int64_t ts_ns);
 
   bool enabled_ = false;
   Clock clock_;
   std::vector<Event> events_;
+  std::size_t event_cap_ = kDefaultEventCap;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace cicero::obs

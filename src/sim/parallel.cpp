@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -24,6 +25,7 @@ ParallelSim::ParallelSim(const Options& options) {
   mailboxes_.resize(static_cast<std::size_t>(options.shards) * options.shards);
   for (auto& mb : mailboxes_) mb = std::make_unique<Mailbox>();
   next_time_.resize(options.shards);
+  shard_counters_.resize(options.shards);
   scratch_.resize(options.shards);
 }
 
@@ -114,6 +116,16 @@ void ParallelSim::run_until(SimTime horizon) {
   };
 
   auto worker = [&](std::uint32_t s) {
+    ShardCounters& stats = shard_counters_[s];
+    // Wall-clock here times only how long this worker sat at the two
+    // barriers — pure host-side telemetry for the report's `shards`
+    // section; nothing simulated reads it.
+    // simlint-allow: ambient-nondet — barrier-wait wall timing feeds the
+    // wall_sec-style utilization gauges only, never simulated state.
+    using WallClock = std::chrono::steady_clock;
+    auto waited = [](WallClock::time_point since) {
+      return std::chrono::duration<double>(WallClock::now() - since).count();
+    };
     while (true) {
       try {
         drain_into(s);
@@ -122,14 +134,21 @@ void ParallelSim::run_until(SimTime horizon) {
         record_error();
         next_time_[s].next = kNever;
       }
+      const auto open_wait = WallClock::now();
       window_open.arrive_and_wait();  // completion step published the window
+      stats.barrier_wait_sec += waited(open_wait);
       if (done_) break;
+      ++stats.windows;
+      const std::uint64_t before = shards_[s]->events_processed();
       try {
         shards_[s]->run_window(window_end_);
       } catch (...) {
         record_error();  // keep arriving at barriers; reduce() ends the run
       }
+      if (shards_[s]->events_processed() == before) ++stats.stall_windows;
+      const auto close_wait = WallClock::now();
       window_closed.arrive_and_wait();
+      stats.barrier_wait_sec += waited(close_wait);
     }
     if (!aborting_.load(std::memory_order_relaxed)) {
       // Quiescent or past the horizon: park every clock at the horizon so
@@ -169,6 +188,27 @@ std::uint64_t ParallelSim::events_processed() const {
   std::uint64_t total = 0;
   for (const auto& s : shards_) total += s->events_processed();
   return total;
+}
+
+std::vector<ParallelSim::ShardTelemetry> ParallelSim::shard_telemetry() const {
+  std::vector<ShardTelemetry> out(shards_.size());
+  for (std::uint32_t s = 0; s < shards(); ++s) {
+    ShardTelemetry& t = out[s];
+    t.windows = shard_counters_[s].windows;
+    t.stall_windows = shard_counters_[s].stall_windows;
+    t.barrier_wait_sec = shard_counters_[s].barrier_wait_sec;
+    t.events = shards_[s]->events_processed();
+  }
+  for (std::uint32_t src = 0; src < shards(); ++src) {
+    for (std::uint32_t dst = 0; dst < shards(); ++dst) {
+      if (src == dst) continue;
+      Mailbox& mb = *mailboxes_[src * shards_.size() + dst];
+      util::MutexLock lk(mb.mu);
+      out[src].posts_out += mb.posts;
+      out[dst].posts_in += mb.posts;
+    }
+  }
+  return out;
 }
 
 std::size_t ParallelSim::pending_events() const {

@@ -87,6 +87,21 @@ class ParallelSim {
   std::uint64_t events_processed() const;
   std::size_t pending_events() const;
 
+  /// Per-shard utilization telemetry, accumulated across run_until calls.
+  /// Event/window/post counts are deterministic (pure functions of the
+  /// simulated history); barrier_wait_sec is wall-clock and belongs next
+  /// to wall_sec-style gauges, never inside deterministic report state.
+  struct ShardTelemetry {
+    std::uint64_t windows = 0;        ///< conservative windows participated in
+    std::uint64_t events = 0;         ///< events executed by this shard
+    std::uint64_t stall_windows = 0;  ///< windows with zero local executions
+    std::uint64_t posts_in = 0;       ///< cross-shard events drained into this shard
+    std::uint64_t posts_out = 0;      ///< cross-shard events this shard posted
+    double barrier_wait_sec = 0.0;    ///< wall time blocked at the two barriers
+  };
+  /// Safe to call once run_until returned (workers joined).
+  std::vector<ShardTelemetry> shard_telemetry() const;
+
  private:
   struct Posted {
     SimTime time;
@@ -122,6 +137,15 @@ class ParallelSim {
     SimTime next = kNever;
   };
   std::vector<PerShard> next_time_;
+  /// Telemetry accumulators: each slot is written only by its owning
+  /// worker strictly between the barriers (same single-writer-per-phase
+  /// argument as PerShard), read after workers are joined.
+  struct alignas(64) ShardCounters {
+    std::uint64_t windows = 0;
+    std::uint64_t stall_windows = 0;
+    double barrier_wait_sec = 0.0;
+  };
+  std::vector<ShardCounters> shard_counters_;
   SimTime horizon_ = 0;
   SimTime window_end_ = 0;
   bool done_ = false;  ///< written only by the barrier completion step

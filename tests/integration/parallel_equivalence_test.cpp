@@ -9,6 +9,7 @@
 // this label.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <set>
 #include <stdexcept>
@@ -132,6 +133,72 @@ TEST(ParallelEquivalence, ParallelRunIsDeterministicRunToRun) {
     return stamps;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// --- observability across modes ------------------------------------------
+
+TEST(ParallelEquivalence, CriticalPathAttributionPropertiesMatchSequential) {
+  // The parallel run shards the RNG, so the measured paths differ from
+  // the sequential run's — but the attribution *properties* must hold
+  // identically in both modes: same completed-update count, full
+  // attribution, and phase totals that partition the end-to-end total.
+  const auto run_mode = [](std::uint32_t threads) {
+    auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), threads);
+    dep->faults().set_uniform_loss(0.08);
+    const auto flows = scenario_flows(dep->topology(), 30);
+    dep->inject(flows);
+    dep->run(sim::seconds(120));
+    EXPECT_EQ(completed_count(*dep), flows.size());
+    return dep->obs().critpath.summarize();
+  };
+  const obs::CritPath::Summary seq = run_mode(1);
+  const obs::CritPath::Summary par = run_mode(4);
+  ASSERT_GT(seq.completed, 0u);
+  EXPECT_EQ(seq.completed, par.completed);
+  EXPECT_EQ(seq.incomplete, par.incomplete);
+  for (const obs::CritPath::Summary* s : {&seq, &par}) {
+    EXPECT_GE(s->attributed_min, 0.95);
+    EXPECT_LE(s->attributed_min, 1.0 + 1e-9);
+    double phase_sum = 0.0;
+    for (const auto& p : s->phases) phase_sum += p.total_ms;
+    EXPECT_NEAR(phase_sum, s->end_to_end_total_ms,
+                1e-6 * std::max(1.0, s->end_to_end_total_ms));
+  }
+}
+
+TEST(ParallelEquivalence, ShardTelemetryCoversEveryWorkerShard) {
+  auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), 4);
+  ASSERT_TRUE(dep->parallel_mode());
+  const auto flows = scenario_flows(dep->topology(), 40);
+  dep->inject(flows);
+  dep->run(sim::seconds(30));
+
+  const auto rows = dep->shard_telemetry();
+  ASSERT_EQ(rows.size(), dep->worker_shards());
+  std::uint64_t events = 0, posts_in = 0, posts_out = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i].shard, static_cast<std::uint32_t>(i));
+    EXPECT_LE(rows[i].stall_windows, rows[i].windows);
+    events += rows[i].events;
+    posts_in += rows[i].posts_in;
+    posts_out += rows[i].posts_out;
+  }
+  EXPECT_GT(events, 0u);
+  // Every cross-shard event leaves one shard and lands in another.
+  EXPECT_EQ(posts_in, posts_out);
+}
+
+TEST(ParallelEquivalence, SequentialTelemetryIsOneFullyUtilizedShard) {
+  auto dep = make_dep(FrameworkKind::kCicero, pod_fabric(), 1);
+  const auto flows = scenario_flows(dep->topology(), 20);
+  dep->inject(flows);
+  dep->run(sim::seconds(30));
+  const auto rows = dep->shard_telemetry();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].windows, 0u);
+  EXPECT_EQ(rows[0].posts_in, 0u);
+  EXPECT_EQ(rows[0].posts_out, 0u);
+  EXPECT_GT(rows[0].events, 0u);
 }
 
 // --- degenerate configurations ------------------------------------------

@@ -89,6 +89,70 @@ TEST(BucketLadders, AreAscending) {
   }
 }
 
+TEST(MergeSum, MismatchedHistogramBucketLayoutsThrow) {
+  MetricsRegistry dst;
+  dst.histogram("lat", {1.0, 10.0}).observe(0.5);
+  MetricsRegistry src;
+  src.histogram("lat", {1.0, 10.0, 100.0}).observe(0.5);
+  EXPECT_THROW(dst.merge_sum({&src}), std::logic_error);
+}
+
+TEST(MergeSum, ZeroedRegistryIsIdentity) {
+  MetricsRegistry dst;
+  dst.counter("acks").inc(7);
+  dst.gauge("depth").set(3.0);
+  dst.histogram("lat", {1.0, 10.0}).observe(5.0);
+  MetricsRegistry zero;
+  zero.counter("acks");  // materialized but never incremented
+  zero.histogram("lat", {1.0, 10.0});
+  dst.merge_sum({&zero});
+  EXPECT_EQ(dst.counter_value("acks"), 7u);
+  const HistogramCell* cell = dst.histogram("lat", {1.0, 10.0}).cell();
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 1u);
+  // min/max must not be clobbered by the empty source's sentinels.
+  EXPECT_DOUBLE_EQ(cell->min, 5.0);
+  EXPECT_DOUBLE_EQ(cell->max, 5.0);
+}
+
+TEST(MergeSum, SumsAcrossShardsFieldwise) {
+  MetricsRegistry a;
+  a.counter("acks").inc(2);
+  a.histogram("lat", {1.0}).observe(0.5);
+  MetricsRegistry b;
+  b.counter("acks").inc(3);
+  b.gauge("depth").set(4.0);
+  b.histogram("lat", {1.0}).observe(9.0);
+  MetricsRegistry dst;
+  dst.merge_sum({&a, &b});
+  EXPECT_EQ(dst.counter_value("acks"), 5u);
+  const HistogramCell* cell = dst.histogram("lat", {1.0}).cell();
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->count, 2u);
+  EXPECT_DOUBLE_EQ(cell->min, 0.5);
+  EXPECT_DOUBLE_EQ(cell->max, 9.0);
+  EXPECT_DOUBLE_EQ(cell->sum, 9.5);
+}
+
+TEST(MetricsRegistry, CrossKindNameCollisionThrows) {
+  MetricsRegistry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+  reg.gauge("g");
+  EXPECT_THROW(reg.counter("g"), std::logic_error);
+  // Same-kind re-request stays fine (shared cell).
+  EXPECT_NO_THROW(reg.counter("x"));
+}
+
+TEST(MergeSum, GaugeVsCounterCollisionAcrossRegistriesThrows) {
+  MetricsRegistry dst;
+  dst.gauge("speed").set(1.0);
+  MetricsRegistry src;
+  src.counter("speed").inc();
+  EXPECT_THROW(dst.merge_sum({&src}), std::logic_error);
+}
+
 TEST(CryptoOpCounters, ResetClearsEverything) {
   CryptoOpCounters& ops = crypto_ops();
   ops.reset();

@@ -95,5 +95,60 @@ TEST(Tracer, EnableDisableToggle) {
   EXPECT_EQ(t.event_count(), 1u);
 }
 
+TEST(Tracer, FlowEventsChromeJsonShape) {
+  Tracer t;
+  t.set_enabled(true);
+  std::int64_t now = 1000;
+  t.set_clock([&now] { return now; });
+  t.flow_start("flow", "u:7", "update.send", 1, 0);
+  now = 2000;
+  t.flow_step("flow", "u:7", "update.rx", 2, 0);
+  now = 3000;
+  t.flow_end("flow", "u:7", "update.ack", 1, 0);
+  EXPECT_EQ(t.event_count(), 3u);
+
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"t\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"id\":\"u:7\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cat\":\"flow\""), std::string::npos) << json;
+  // Only the finish carries the enclosing-slice binding point.
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"bp\":\"e\""), json.rfind("\"bp\":\"e\"")) << json;
+}
+
+TEST(Tracer, EventCapDropsAndCounts) {
+  Tracer t;
+  t.set_enabled(true);
+  t.set_event_cap(3);
+  for (int i = 0; i < 10; ++i) t.instant(0, 0, "e");
+  EXPECT_EQ(t.event_count(), 3u);
+  EXPECT_EQ(t.dropped_events(), 7u);
+  // The buffer stays bounded but the trace remains writable.
+  std::ostringstream os;
+  t.write_chrome_trace(os);
+  EXPECT_NE(os.str().find("\"traceEvents\""), std::string::npos);
+  // clear() resets the drop counter along with the buffer.
+  t.clear();
+  EXPECT_EQ(t.event_count(), 0u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+  t.instant(0, 0, "again");
+  EXPECT_EQ(t.event_count(), 1u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
+TEST(Tracer, UnlimitedCapKeepsEverything) {
+  Tracer t;
+  t.set_enabled(true);
+  EXPECT_EQ(t.event_cap(), std::size_t{1} << 20);  // bounded by default
+  t.set_event_cap(0);                              // 0 = unlimited
+  for (int i = 0; i < 100; ++i) t.instant(0, 0, "e");
+  EXPECT_EQ(t.event_count(), 100u);
+  EXPECT_EQ(t.dropped_events(), 0u);
+}
+
 }  // namespace
 }  // namespace cicero::obs

@@ -162,6 +162,59 @@ TEST(ParallelSim, CrossShardTimerCancelRacesAreDeterministic) {
   EXPECT_EQ(a, run_once());
 }
 
+// Shard utilization telemetry: one row per shard, and the deterministic
+// columns reconcile exactly with the engine-level aggregates.  The token
+// ring posts every hop cross-shard, so posts_in/posts_out are symmetric
+// around the ring.
+TEST(ParallelSim, ShardTelemetryReconcilesWithAggregates) {
+  ParallelSim::Options opt;
+  opt.shards = 3;
+  opt.lookahead = microseconds(100);
+  ParallelSim eng(opt);
+  std::vector<std::vector<SimTime>> log(opt.shards);
+  Pinger pinger{&eng, opt.shards, microseconds(100), 60, &log};
+  eng.shard(0).at(microseconds(5), [&pinger] { pinger.hop(0, 0); });
+  eng.run_until(seconds(1));
+
+  const auto rows = eng.shard_telemetry();
+  ASSERT_EQ(rows.size(), opt.shards);
+  std::uint64_t events = 0, posts_in = 0, posts_out = 0;
+  for (const auto& r : rows) {
+    events += r.events;
+    posts_in += r.posts_in;
+    posts_out += r.posts_out;
+    EXPECT_GT(r.windows, 0u);
+    EXPECT_LE(r.stall_windows, r.windows);
+    EXPECT_GE(r.barrier_wait_sec, 0.0);
+  }
+  EXPECT_EQ(events, eng.events_processed());
+  EXPECT_EQ(posts_in, eng.cross_shard_posts());
+  EXPECT_EQ(posts_out, eng.cross_shard_posts());
+  // The ring visits shards round-robin: every shard both sent and
+  // received hops (60 hops over 3 shards = 20 each).
+  for (const auto& r : rows) {
+    EXPECT_EQ(r.posts_in, 20u);
+    EXPECT_EQ(r.posts_out, 20u);
+  }
+}
+
+TEST(ParallelSim, SequentialFastPathReportsNoWindows) {
+  ParallelSim::Options opt;
+  opt.shards = 1;
+  ParallelSim eng(opt);
+  int ran = 0;
+  eng.shard(0).after(microseconds(10), [&ran] { ++ran; });
+  eng.run_until(seconds(1));
+  const auto rows = eng.shard_telemetry();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].windows, 0u);
+  EXPECT_EQ(rows[0].stall_windows, 0u);
+  EXPECT_EQ(rows[0].posts_in, 0u);
+  EXPECT_EQ(rows[0].posts_out, 0u);
+  EXPECT_EQ(rows[0].events, eng.events_processed());
+  EXPECT_GT(rows[0].events, 0u);
+}
+
 // Posts far beyond the horizon stay pending; the clocks still advance to
 // the horizon, and a later run_until picks the events up.
 TEST(ParallelSim, HorizonStopsBeforeFutureEventsAndResumes) {

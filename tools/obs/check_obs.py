@@ -5,15 +5,22 @@ Two artifact kinds, auto-detected per file:
 
 * Chrome trace-event JSON (``*.trace.json`` as written by
   ``obs::Tracer::write_chrome_trace``): object form with a ``traceEvents``
-  list whose entries are ``X`` / ``i`` / ``b`` / ``e`` / ``M`` events with
-  the fields Perfetto requires.
+  list whose entries are ``X`` / ``i`` / ``b`` / ``e`` / ``M`` duration /
+  metadata events or ``s`` / ``t`` / ``f`` flow events with the fields
+  Perfetto requires.  Flow events are checked for causal pairing: a flow
+  finish without a preceding start on the same (cat, id) is an error;
+  starts or steps left dangling (e.g. an update cut off by the sim
+  horizon) are only noted.
 
 * Run reports (``*.report.json`` as written by ``obs::RunReport``):
   schema ``cicero-run-report/v1`` with consistent histogram and CDF
   shapes (``counts`` has ``len(bounds) + 1`` entries, the last being the
-  overflow bucket).
+  overflow bucket), plus the ``critical_path`` (six-phase latency
+  attribution) and ``shards`` (parallel-engine utilization) sections
+  when present.
 
 Usage:  check_obs.py FILE [FILE...]
+        check_obs.py --self-test
 Exits non-zero (listing every problem) if any file fails; prints a
 one-line summary per valid file.  Stdlib only.
 """
@@ -21,7 +28,9 @@ import json
 import sys
 
 RUN_REPORT_SCHEMA = "cicero-run-report/v1"
-TRACE_PHASES = {"X", "i", "b", "e", "M"}
+TRACE_PHASES = {"X", "i", "b", "e", "M", "s", "t", "f"}
+CRIT_PHASES = ("order", "dependency_wait", "sign", "propagate", "apply", "retransmit")
+SHARD_INT_FIELDS = ("shard", "windows", "events", "stall_windows", "posts_in", "posts_out")
 
 
 def fail(errors, fmt, *a):
@@ -38,6 +47,9 @@ def check_trace(doc, errors):
     phases = {}
     pids = set()
     async_open = {}  # (cat, id) -> open-begin depth
+    flow_started = set()   # (cat, id) seen a start
+    flow_finished = set()  # (cat, id) seen a finish
+    flow_dangling = 0      # steps with no start on their track
     for i, ev in enumerate(events):
         where = "traceEvents[%d]" % i
         if not isinstance(ev, dict):
@@ -72,11 +84,34 @@ def check_trace(doc, errors):
                     fail(errors, "%s: async end without begin for %r", where, key)
                     depth = 0
                 async_open[key] = depth
+        if ph in ("s", "t", "f"):
+            if not isinstance(ev.get("cat"), str) or not isinstance(ev.get("id"), str):
+                fail(errors, "%s: flow event needs string cat and id", where)
+                continue
+            key = (ev["cat"], ev["id"])
+            if ph == "s":
+                flow_started.add(key)
+            elif ph == "t":
+                # A step may legitimately precede its start on a lossy
+                # run (e.g. a resend recorded before the surviving send);
+                # dangling steps are counted, not failed.
+                if key not in flow_started:
+                    flow_dangling += 1
+            else:
+                if key not in flow_started:
+                    fail(errors, "%s: flow finish without start for %r", where, key)
+                if ev.get("bp") not in (None, "e"):
+                    fail(errors, "%s: flow finish with bad bp %r", where, ev.get("bp"))
+                flow_finished.add(key)
     open_spans = sum(d for d in async_open.values() if d > 0)
     if open_spans:
         # Not an error: a span is legitimately left open when the sim
         # horizon cuts an in-flight update.
         print("     note: %d async span(s) still open at end of trace" % open_spans)
+    open_flows = len(flow_started - flow_finished)
+    if open_flows or flow_dangling:
+        print("     note: %d flow(s) unfinished, %d dangling step(s)"
+              % (open_flows, flow_dangling))
     return {"events": len(events), "processes": len(pids), "phases": phases}
 
 
@@ -132,12 +167,113 @@ def check_report(doc, errors):
                 fail(errors, "%s: quantiles not monotone", where)
             if c.get("p50", 0) > c.get("p99", 0):
                 fail(errors, "%s: p50 > p99", where)
+
+    # Optional sections added by cicero-run-report/v1 revisions; older
+    # artifacts without them still validate.
+    crit = doc.get("critical_path")
+    if crit is not None:
+        if not isinstance(crit, dict):
+            fail(errors, "critical_path: not an object")
+        else:
+            for slug, s in crit.items():
+                check_critical_path(slug, s, errors)
+    shards = doc.get("shards")
+    if shards is not None:
+        if not isinstance(shards, dict):
+            fail(errors, "shards: not an object")
+        else:
+            for slug, rows in shards.items():
+                check_shards(slug, rows, errors)
     return {
         "counters": len(doc.get("counters") or {}),
         "gauges": len(doc.get("gauges") or {}),
         "histograms": len(doc.get("histograms") or {}),
         "cdfs": len(doc.get("cdfs") or {}),
+        "critical_path": len(crit or {}),
+        "shards": len(shards or {}),
     }
+
+
+def _is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_critical_path(slug, s, errors):
+    where = "critical_path %r" % slug
+    if not isinstance(s, dict):
+        fail(errors, "%s: not an object", where)
+        return
+    for field in ("updates", "incomplete"):
+        if not isinstance(s.get(field), int) or s.get(field, -1) < 0:
+            fail(errors, "%s: %s not a non-negative integer (%r)", where, field, s.get(field))
+    e2e = s.get("end_to_end")
+    if not isinstance(e2e, dict) or not all(_is_num(e2e.get(f)) for f in
+                                            ("total_ms", "p50_ms", "p99_ms")):
+        fail(errors, "%s: end_to_end missing total_ms/p50_ms/p99_ms", where)
+    attr = s.get("attributed")
+    if not isinstance(attr, dict) or not all(_is_num(attr.get(f)) for f in ("min", "mean")):
+        fail(errors, "%s: attributed missing min/mean", where)
+    elif s.get("updates", 0) > 0:
+        # The clamped-milestone attribution partitions the end-to-end
+        # interval exactly; the checked floor matches the acceptance
+        # criterion (>= 95 % of each completed update's latency).
+        if attr["min"] < 0.95 - 1e-9 or attr["min"] > 1.0 + 1e-6:
+            fail(errors, "%s: attributed.min=%r outside [0.95, 1.0]", where, attr["min"])
+    ph = s.get("phases")
+    if not isinstance(ph, dict) or sorted(ph) != sorted(CRIT_PHASES):
+        fail(errors, "%s: phases must have exactly %s", where, list(CRIT_PHASES))
+    else:
+        phase_total = 0.0
+        for name, p in ph.items():
+            if not isinstance(p, dict) or not all(_is_num(p.get(f)) for f in
+                                                  ("total_ms", "p50_ms", "p99_ms")):
+                fail(errors, "%s: phase %r missing total_ms/p50_ms/p99_ms", where, name)
+                continue
+            if not isinstance(p.get("bytes"), int) or p["bytes"] < 0:
+                fail(errors, "%s: phase %r bytes not a non-negative integer", where, name)
+            if p["total_ms"] < -1e-9:
+                fail(errors, "%s: phase %r negative total_ms", where, name)
+            phase_total += p["total_ms"]
+        e2e_total = (e2e or {}).get("total_ms")
+        if _is_num(e2e_total) and e2e_total > 0:
+            if abs(phase_total - e2e_total) > max(1e-3, 0.01 * e2e_total):
+                fail(errors, "%s: phase totals %.3f != end_to_end %.3f", where,
+                     phase_total, e2e_total)
+    slowest = s.get("slowest")
+    if not isinstance(slowest, list):
+        fail(errors, "%s: slowest not a list", where)
+    else:
+        last = None
+        for i, u in enumerate(slowest):
+            if (not isinstance(u, dict) or not isinstance(u.get("update"), int)
+                    or not _is_num(u.get("total_ms")) or not isinstance(u.get("phases"), dict)):
+                fail(errors, "%s: slowest[%d] malformed", where, i)
+                continue
+            if last is not None and u["total_ms"] > last + 1e-9:
+                fail(errors, "%s: slowest not sorted by total_ms desc", where)
+            last = u["total_ms"]
+
+
+def check_shards(slug, rows, errors):
+    where = "shards %r" % slug
+    if not isinstance(rows, list) or not rows:
+        fail(errors, "%s: not a non-empty list", where)
+        return
+    seen = set()
+    for i, r in enumerate(rows):
+        if not isinstance(r, dict):
+            fail(errors, "%s: row %d not an object", where, i)
+            continue
+        for field in SHARD_INT_FIELDS:
+            if not isinstance(r.get(field), int) or r.get(field, -1) < 0:
+                fail(errors, "%s: row %d field %r not a non-negative integer (%r)",
+                     where, i, field, r.get(field))
+        if not _is_num(r.get("barrier_wait_sec")) or r.get("barrier_wait_sec", -1) < 0:
+            fail(errors, "%s: row %d barrier_wait_sec not a non-negative number", where, i)
+        if isinstance(r.get("shard"), int):
+            if r["shard"] in seen:
+                fail(errors, "%s: duplicate shard id %d", where, r["shard"])
+            seen.add(r["shard"])
 
 
 def check_file(path):
@@ -160,7 +296,67 @@ def check_file(path):
     return errors, (kind, info)
 
 
+def _crit_section(**overrides):
+    s = {
+        "updates": 2, "incomplete": 0,
+        "end_to_end": {"total_ms": 60.0, "p50_ms": 30.0, "p99_ms": 30.0},
+        "attributed": {"min": 1.0, "mean": 1.0},
+        "phases": {name: {"total_ms": 10.0 if name == "order" else
+                          (50.0 if name == "propagate" else 0.0),
+                          "p50_ms": 0.0, "p99_ms": 0.0, "bytes": 0}
+                   for name in CRIT_PHASES},
+        "slowest": [{"update": 1, "total_ms": 30.0, "phases": {}},
+                    {"update": 2, "total_ms": 30.0, "phases": {}}],
+    }
+    s.update(overrides)
+    return s
+
+
+def self_test():
+    """Exercises the section validators on synthetic documents."""
+    def errs_of(check, *a):
+        errors = []
+        check(*a, errors)
+        return errors
+
+    # Good critical_path: exact partition, full attribution, sorted slowest.
+    assert errs_of(check_critical_path, "ok", _crit_section()) == []
+    # Violations the validator must catch.
+    bad = [
+        _crit_section(attributed={"min": 0.5, "mean": 0.9}),       # under floor
+        _crit_section(phases={}),                                  # wrong phase set
+        _crit_section(end_to_end={"total_ms": 120.0, "p50_ms": 1.0,
+                                  "p99_ms": 1.0}),                 # partition broken
+        _crit_section(slowest=[{"update": 1, "total_ms": 5.0, "phases": {}},
+                               {"update": 2, "total_ms": 9.0, "phases": {}}]),
+    ]
+    for i, s in enumerate(bad):
+        assert errs_of(check_critical_path, "bad%d" % i, s), "bad case %d passed" % i
+
+    good_row = {"shard": 0, "windows": 3, "events": 10, "stall_windows": 1,
+                "posts_in": 2, "posts_out": 2, "barrier_wait_sec": 0.01}
+    assert errs_of(check_shards, "ok", [good_row]) == []
+    assert errs_of(check_shards, "dup", [good_row, dict(good_row)])      # dup id
+    assert errs_of(check_shards, "neg", [dict(good_row, events=-1)])     # negative
+    assert errs_of(check_shards, "empty", [])                            # empty
+
+    # Flow pairing: finish-without-start is an error, dangling step is not.
+    flow = lambda ph, **kw: dict({"ph": ph, "pid": 0, "tid": 0, "ts": 1.0,
+                                  "name": "n", "cat": "flow", "id": "u:1"}, **kw)
+    ok_trace = {"traceEvents": [flow("s"), flow("t"), flow("f", bp="e")]}
+    assert errs_of(check_trace, ok_trace) == []
+    orphan_finish = {"traceEvents": [flow("f")]}
+    assert errs_of(check_trace, orphan_finish)
+    dangling_step = {"traceEvents": [flow("t")]}
+    assert errs_of(check_trace, dangling_step) == []
+
+    print("check_obs self-test OK")
+    return 0
+
+
 def main(argv):
+    if len(argv) == 2 and argv[1] == "--self-test":
+        return self_test()
     if len(argv) < 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

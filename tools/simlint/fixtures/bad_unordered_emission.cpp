@@ -1,0 +1,28 @@
+// simlint self-test fixture: a trace emission fed straight from a
+// hash-container iteration.  The loop carries a simlint-ordered:
+// justification, which silences unordered-iter but must NOT silence
+// unordered-emission — trace bytes are ordered artifact output, so an
+// order-insensitivity claim does not apply.  Scanned as src/core/;
+// expects exactly {unordered-emission}.
+#include <cstdint>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/flat_hash.hpp"
+
+namespace cicero::core {
+
+struct FlowEmitter {
+  util::FlatHashMap<std::uint64_t, std::uint64_t> in_flight_;
+  obs::Tracer trace;
+
+  void bad_emit_in_loop() {
+    // simlint-ordered: per-entry work is independent (but the trace
+    // events below still land in hash order — the emission rule fires).
+    for (const auto& [id, ts] : in_flight_) {
+      trace.flow_step("flow", "u:" + std::to_string(id), "update.sweep", 0, 0);
+    }
+  }
+};
+
+}  // namespace cicero::core

@@ -1,0 +1,39 @@
+// simlint self-test fixture: the blessed emission patterns — trace and
+// report output fed from hash containers only through a sorted copy, or
+// behind an explicit allow.  Must scan clean as src/core/.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "util/flat_hash.hpp"
+
+namespace cicero::core {
+
+struct FlowReporter {
+  util::FlatHashMap<std::uint64_t, std::uint64_t> in_flight_;
+  obs::Tracer trace;
+
+  void collect_sort_emit() {
+    // Collect-then-sort: the hash iteration only gathers ids; emission
+    // happens from the sorted copy, independent of table placement.
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, ts] : in_flight_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint64_t id : ids) {
+      trace.flow_step("flow", "u:" + std::to_string(id), "update.sweep", 0, 0);
+    }
+  }
+
+  void allowed_diagnostic() {
+    // simlint-allow: unordered-emission — debug-only dump behind a flag
+    // that never runs in recorded sessions; order is cosmetic here.
+    for (const auto& [id, ts] : in_flight_) {
+      trace.instant(0, 0, "debug.in_flight");
+    }
+  }
+};
+
+}  // namespace cicero::core

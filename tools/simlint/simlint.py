@@ -25,6 +25,14 @@ turns the determinism contract into a CI-time guarantee (DESIGN.md §13):
                        the CICERO_HASH_SALT sweep).  Escape hatches: sort
                        within the next few lines (collect-then-sort), or
                        a reviewed `simlint-ordered:` justification.
+  unordered-emission   a trace/report emission call reached directly from
+                       a hash-container iteration (within the loop window,
+                       before any sort).  Stricter than unordered-iter:
+                       artifact bytes (trace events, report sections) must
+                       be placement-independent, so a `simlint-ordered:`
+                       order-insensitivity claim does NOT absolve the
+                       site — emit from a sorted copy, or carry an
+                       explicit `simlint-allow: unordered-emission`.
   pointer-key          pointer-keyed containers or std::less<T*> —
                        address-based placement/ordering differs run to
                        run under ASLR, so anything iterated or compared
@@ -101,6 +109,17 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\(\s*(?:const\s+)?[\w:<>,&*\s\[\]]+?:\s*([^)
 SORT_RE = re.compile(r"\bsort\s*\(")
 SORT_WINDOW = 5  # lines after an iteration site in which a sort() absolves it
 
+# --- unordered-emission patterns ---------------------------------------
+# Calls that append to an ordered output artifact: Tracer events (every
+# recording method) and RunReport sections.  Metrics cells are excluded —
+# the registry is keyed by name, so write order cannot leak into output.
+EMIT_RE = re.compile(
+    r"\btrace\s*(?:\.|->)\s*(?:instant|counter|begin|end|complete|async_begin|"
+    r"async_end|flow_start|flow_step|flow_end)\s*\(|"
+    r"\breport\s*(?:\.|->)\s*(?:add_\w+|set_meta)\s*\(|"
+    r"(?:\.|->)\s*write_chrome_trace\s*\(")
+EMIT_WINDOW = 8  # lines after an iteration site scanned for emission calls
+
 # --- pointer-key patterns ----------------------------------------------
 PTR_KEY_RE = re.compile(
     r"(?:FlatHashMap|FlatHashSet|std\s*::\s*(?:unordered_)?(?:multi)?(?:map|set))"
@@ -135,6 +154,19 @@ def hash_container_names(lines: list[str]) -> set[str]:
         if m:
             names.add(m.group(1))
     return names
+
+
+def emission_before_sort(lines: list[str], idx: int) -> int | None:
+    """Index of the first trace/report emission call within EMIT_WINDOW
+    lines of the iteration at idx, or None if a sort() intervenes first
+    (the loop only collects; emission happens from the sorted copy)."""
+    for j in range(idx, min(len(lines), idx + EMIT_WINDOW + 1)):
+        clean = strip_noise(lines[j])
+        if j > idx and SORT_RE.search(clean):
+            return None
+        if EMIT_RE.search(clean):
+            return j
+    return None
 
 
 def sorted_soon_after(lines: list[str], idx: int) -> bool:
@@ -208,7 +240,7 @@ def lint_file(path: Path, rel: str, out: list[Violation]) -> None:
                                  "pointer-keyed container / address ordering varies "
                                  "under ASLR; key by id or content instead"))
 
-        # unordered-iter: event-relevant TUs only.
+        # unordered-iter / unordered-emission: event-relevant TUs only.
         if in_event_tu:
             hit = bool(FOR_EACH_RE.search(clean))
             if not hit:
@@ -218,11 +250,19 @@ def lint_file(path: Path, rel: str, out: list[Violation]) -> None:
                     seq = re.sub(r"^this\s*->\s*", "", seq)
                     if seq in iterable_names:
                         hit = True
-            if hit and not ordered_justified(lines, i) \
-                    and not sorted_soon_after(lines, i):
-                out.append(Violation(rel, lineno, "unordered-iter",
-                                     "hash-order iteration in an event-emitting TU; "
-                                     "sort first or justify with simlint-ordered:"))
+            if hit:
+                if not ordered_justified(lines, i) \
+                        and not sorted_soon_after(lines, i):
+                    out.append(Violation(rel, lineno, "unordered-iter",
+                                         "hash-order iteration in an event-emitting TU; "
+                                         "sort first or justify with simlint-ordered:"))
+                emit_at = emission_before_sort(lines, i)
+                if emit_at is not None and not sim_allowed(lines, i) \
+                        and not sim_allowed(lines, emit_at):
+                    out.append(Violation(rel, emit_at + 1, "unordered-emission",
+                                         "trace/report emission fed by hash-order "
+                                         "iteration makes artifact bytes a function of "
+                                         "table placement; emit from a sorted copy"))
 
         # mutable-global: the shard-safety surface (src/sim + src/core).
         if in_shard_dirs:
@@ -259,6 +299,14 @@ SELF_TEST_CASES = (
                          set()),
     lintlib.SelfTestCase("bad_pointer_key.cpp", "src/core/bad_pointer_key.cpp",
                          {"pointer-key"}),
+    # Emission from a hash loop fires even under a simlint-ordered:
+    # justification (artifact bytes must be placement-independent) ...
+    lintlib.SelfTestCase("bad_unordered_emission.cpp",
+                         "src/core/bad_unordered_emission.cpp",
+                         {"unordered-emission"}),
+    # ... while sorted-copy emission and an explicit allow stay clean.
+    lintlib.SelfTestCase("good_ordered_emission.cpp",
+                         "src/core/good_ordered_emission.cpp", set()),
     # Mutable statics fire in the shard-safety dirs ...
     lintlib.SelfTestCase("bad_mutable_global.cpp", "src/sim/bad_mutable_global.cpp",
                          {"mutable-global"}),
