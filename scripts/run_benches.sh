@@ -2,7 +2,8 @@
 # Runs the crypto micro-benchmarks and records the results as JSON, then
 # the observability smoke pass: the obs-overhead guard, the Fig. 11a
 # bench (which emits a machine-readable run report), the scale smoke
-# bench, the schema checker (tools/obs/check_obs.py) over the emitted
+# bench, the decentralized-execution comparison bench, the schema
+# checker (tools/obs/check_obs.py) over the emitted
 # artifacts, and the perf gate (tools/obs/bench_diff.py) against the
 # committed baselines in bench/baselines/.
 #
@@ -62,6 +63,13 @@ CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_scale" --smoke
 
 echo "Validating scale run report"
 python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_scale.report.json"
+
+echo
+echo "Running bench_decentralized -> $bench_out/BENCH_decentralized.report.json"
+CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_decentralized" > /dev/null
+
+echo "Validating decentralized run report"
+python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_decentralized.report.json"
 
 echo
 echo "Perf gate: bench_diff vs bench/baselines/"

@@ -49,6 +49,8 @@ Controller::Controller(sim::Simulator& simulator, sim::NetworkSim& network, Conf
     m_updates_sent_ = m.counter("ctrl.updates_sent");
     m_acks_ = m.counter("ctrl.acks_received");
     m_retransmits_ = m.counter("ctrl.update_retransmits");
+    m_manifests_sent_ = m.counter("ctrl.manifests_sent");
+    m_abandoned_ = m.counter("ctrl.updates_abandoned");
     m_deps_released_ = m.counter("sched.updates_released");
     update_ack_ms_ = m.histogram("ctrl.update_ack_ms", obs::latency_buckets_ms());
   }
@@ -295,7 +297,7 @@ void Controller::process_flow_event(const Event& e) {
   for (const auto& su : local.updates) update_cause_[su.update.id] = e.id;
 
   cpu_.execute(config_.costs.route_compute, "route.compute",
-               [this, local = std::move(local)] {
+               [this, eid = e.id, local = std::move(local)] {
     std::vector<sched::UpdateId> ready;
     try {
       ready = tracker_.add(local);
@@ -318,7 +320,11 @@ void Controller::process_flow_event(const Event& e) {
         cp->update_scheduled(su.update.id, cause.origin, cause.seq, sim_.now());
       }
     }
-    for (const sched::UpdateId id : ready) release_update(id);
+    if (config_.execution_mode == ExecutionMode::kDecentralized) {
+      dispatch_decentralized(local, eid);
+    } else {
+      for (const sched::UpdateId id : ready) release_update(id);
+    }
   });
 }
 
@@ -342,10 +348,13 @@ void Controller::send_update(const sched::Update& update, const EventId& cause) 
 }
 
 // One ack-timeout round: if the update is still un-acked when the timer
-// fires, re-sign and retransmit it, then re-arm with twice the delay.
-// Bounded by Config::update_max_retries; past that the update is abandoned
-// (its dependents stay blocked — the switch-side event retry eventually
-// restarts the whole pipeline with a fresh event if connectivity returns).
+// fires, re-sign and retransmit it (decentralized: resend the chain's
+// manifests — idempotent, switches dedupe and re-signal), then re-arm with
+// twice the delay.  Bounded by Config::update_max_retries; past that the
+// update and every dependent that could never be released are abandoned
+// outright (abandon_update) so the tracker drains and the bookkeeping is
+// finalized — the switch-side event retry eventually restarts the whole
+// pipeline with a fresh event if connectivity returns.
 void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
   const auto it = inflight_.find(id);
   if (it == inflight_.end()) return;
@@ -361,7 +370,7 @@ void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
     if (fl->second.attempt >= config_.update_max_retries) {
       CICERO_LOG_WARN(kLog, "c%u: update %llu unacked after %u retransmits; giving up",
                       config_.id, static_cast<unsigned long long>(id), fl->second.attempt);
-      inflight_.erase(fl);
+      abandon_update(id);
       return;
     }
     ++fl->second.attempt;
@@ -373,9 +382,69 @@ void Controller::arm_ack_timer(sched::UpdateId id, sim::SimTime delay) {
           {{"update", static_cast<std::int64_t>(id)},
            {"attempt", static_cast<std::int64_t>(fl->second.attempt)}});
     }
-    dispatch_update(tracker_.update(id), fl->second.cause, /*retransmit=*/true);
+    const auto chain = dec_chains_.find(id);
+    if (config_.execution_mode == ExecutionMode::kDecentralized &&
+        chain != dec_chains_.end()) {
+      // Any hop of the chain may have lost its manifest or its in-band
+      // SegmentDone; resending every manifest re-triggers both (switches
+      // dedupe applied segments and re-signal their successors).
+      for (const SegmentManifest& m : chain->second->plan.manifests) {
+        send_manifest(m, chain->second->cause, /*retransmit=*/true);
+      }
+    } else {
+      dispatch_update(tracker_.update(id), fl->second.cause, /*retransmit=*/true);
+    }
     arm_ack_timer(id, delay * 2);
   });
+}
+
+// Retry exhaustion (both execution modes): finalize every update that can
+// no longer make progress.  The tracker abandons `id` plus its transitive
+// dependents (none of them can ever be released once `id` will never
+// complete); each abandoned id sheds its timer, latency bookkeeping and
+// open trace track, so pending() drains to zero and a late ack is the
+// usual already-completed no-op.  Abandoned updates keep their CritPath
+// record incomplete — attribution summaries only cover completed records,
+// so the 95 % floor is unaffected.
+void Controller::abandon_update(sched::UpdateId id) {
+  std::vector<sched::UpdateId> removed;
+  const auto chain = dec_chains_.find(id);
+  if (config_.execution_mode == ExecutionMode::kDecentralized &&
+      chain != dec_chains_.end()) {
+    // A sink gave up: its whole ancestor closure is unreachable (only the
+    // sink's ack would have completed it).
+    for (const sched::UpdateId a : chain->second->plan.ancestors(id)) {
+      for (const sched::UpdateId r : tracker_.abandon(a)) removed.push_back(r);
+    }
+    dec_chains_.erase(chain);
+  } else {
+    removed = tracker_.abandon(id);
+  }
+  if (std::find(removed.begin(), removed.end(), id) == removed.end()) {
+    // The tracker already saw `id` complete (shouldn't happen with a live
+    // inflight entry, but stay defensive): shed the local state without
+    // double-closing its already-closed trace track.
+    disarm_ack_timer(id);
+    update_sent_at_.erase(id);
+    update_cause_.erase(id);
+  }
+  for (const sched::UpdateId r : removed) {
+    disarm_ack_timer(r);
+    update_sent_at_.erase(r);
+    update_cause_.erase(r);
+    pending_dep_flow_.erase(r);
+    ++updates_abandoned_;
+    m_abandoned_.inc();
+    if (tracing()) {
+      config_.obs->trace.instant(config_.node, obs::kTidMain, "update.abandoned",
+                                 {{"update", static_cast<std::int64_t>(r)}});
+    }
+    if (trace_leader()) {
+      config_.obs->trace.async_end("update", update_track_id(r), "update", config_.node,
+                                   obs::kTidMain);
+    }
+  }
+  flush_parked_chains();  // abandonment also resolves cross-schedule waits
 }
 
 void Controller::disarm_ack_timer(sched::UpdateId id) {
@@ -490,6 +559,199 @@ void Controller::dispatch_update(const sched::Update& update, const EventId& cau
 }
 
 // ---------------------------------------------------------------------------
+// Decentralized execution (ez-Segway mode; DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void Controller::dispatch_decentralized(const sched::UpdateSchedule& local,
+                                        const EventId& cause) {
+  if (fault_ == ControllerFault::kSilent) return;
+  auto chain = std::make_shared<DecChain>();
+  chain->cause = cause;
+  chain->plan = DecentralizedScheduler::plan(local, tracker_, env_.switch_nodes);
+
+  // In-band signaling only sequences THIS schedule's edges.  A dependency
+  // on an earlier schedule's still-pending update cannot be waited out at
+  // the switch (that applier predates the plan and will never signal it),
+  // so the whole chain parks at the controller until the tracker has seen
+  // every such predecessor complete — the same gating the
+  // controller-driven path gets from release_update.
+  std::set<sched::UpdateId> waiting;
+  for (const auto& su : local.updates) {
+    for (const sched::UpdateId d : su.deps) {
+      if (chain->plan.index.count(d) != 0) continue;  // sequenced in-band
+      if (!tracker_.knows(d) || tracker_.completed(d)) continue;
+      waiting.insert(d);
+    }
+  }
+  if (!waiting.empty()) {
+    parked_chains_.push_back(ParkedChain{std::move(chain), std::move(waiting)});
+    return;
+  }
+  launch_chain(chain);
+}
+
+void Controller::launch_chain(const std::shared_ptr<DecChain>& chain) {
+  // Every segment leaves the controller immediately — there is no
+  // controller-side dependency wait past this point, the switches
+  // sequence the chain in-band.  Only the sinks are tracked for acks: a
+  // sink ack covers its whole ancestor closure.
+  const sim::SimTime now = sim_.now();
+  for (const SegmentManifest& m : chain->plan.manifests) {
+    m_deps_released_.inc();
+    if (crit_leader()) critpath()->update_released(m.update.id, now);
+  }
+  for (const sched::UpdateId sink : chain->plan.sinks) {
+    dec_chains_[sink] = chain;
+    update_sent_at_.emplace(sink, now);
+    if (config_.ack_timeout > 0 && config_.update_max_retries > 0) {
+      Inflight& fl = inflight_[sink];
+      fl.cause = chain->cause;
+      fl.attempt = 0;
+      ++fl.epoch;
+      arm_ack_timer(sink, config_.ack_timeout);
+    }
+  }
+  for (const SegmentManifest& m : chain->plan.manifests) {
+    send_manifest(m, chain->cause, /*retransmit=*/false);
+  }
+}
+
+// Re-examine parked chains after any tracker completion (sink-ack closure
+// or abandonment).  A chain whose cross-schedule waits have all drained
+// launches — unless the completion that freed it was an abandonment that
+// swept the chain's own ids (tracker_.abandon walks reverse-dependence
+// edges across schedules); a never-launched chain's segments can't have
+// completed any other way, so any completed segment means exactly that.
+// Such a chain is dropped, abandoning whatever the sweep missed, instead
+// of shipping segments downstream of a rule that never landed.
+void Controller::flush_parked_chains() {
+  if (in_chain_flush_ || parked_chains_.empty()) return;
+  in_chain_flush_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = parked_chains_.begin(); it != parked_chains_.end();) {
+      ParkedChain& pk = *it;
+      for (auto w = pk.waiting.begin(); w != pk.waiting.end();) {
+        w = tracker_.completed(*w) ? pk.waiting.erase(w) : std::next(w);
+      }
+      if (!pk.waiting.empty()) {
+        ++it;
+        continue;
+      }
+      const std::shared_ptr<DecChain> chain = pk.chain;
+      it = parked_chains_.erase(it);
+      progress = true;
+      const bool swept =
+          std::any_of(chain->plan.manifests.begin(), chain->plan.manifests.end(),
+                      [this](const SegmentManifest& m) { return tracker_.completed(m.update.id); });
+      if (!swept) {
+        launch_chain(chain);
+        continue;
+      }
+      for (const SegmentManifest& m : chain->plan.manifests) {
+        if (!tracker_.completed(m.update.id)) abandon_update(m.update.id);
+      }
+    }
+  }
+  in_chain_flush_ = false;
+}
+
+void Controller::send_manifest(const SegmentManifest& manifest, const EventId& cause,
+                               bool retransmit) {
+  if (fault_ == ControllerFault::kSilent) return;
+
+  ManifestMsg msg;
+  msg.manifest = manifest;
+  msg.cause = cause;
+  msg.epoch = membership_phase_;
+  if (fault_ == ControllerFault::kMutateUpdates || fault_ == ControllerFault::kRogueUpdates) {
+    // Same corruption as dispatch_update: a loop-inducing next hop.  The
+    // switch-local precondition (and, under Cicero, the quorum) rejects it.
+    msg.manifest.update.rule.next_hop = manifest.update.switch_node;
+  }
+
+  const bool threshold = config_.framework == FrameworkKind::kCicero;
+  const sim::SimTime sign_cost = threshold ? config_.costs.partial_sign : sim::SimTime{0};
+  const sched::UpdateId uid = manifest.update.id;
+  cpu_.execute(sign_cost, "manifest.sign", [this, uid, retransmit, threshold,
+                                            msg = std::move(msg)]() mutable {
+    if (retransmit && crit_leader()) critpath()->update_retransmitted(uid, sim_.now());
+    if (retransmit && trace_leader()) {
+      config_.obs->trace.flow_step("flow", flow_track_id(uid), "update.resend", config_.node,
+                                   obs::kTidNet);
+    }
+    const util::Bytes signing = manifest_signing_bytes(msg.manifest, msg.epoch);
+    // Decision audit trail, as for updates: the signed bytes pin the
+    // segment's position in the chain, not just the rule.
+    audit_.append(msg.cause, signing, config_.key);
+    if (threshold) {
+      if (config_.real_crypto) {
+        msg.partial = crypto::SimBlsScheme::instance().partial_sign(config_.share, signing);
+      } else {
+        msg.partial.signer = config_.share.index;
+        msg.partial.payload = {0x00};  // placeholder (cost-only runs)
+      }
+    }
+    ++manifests_sent_;
+    m_manifests_sent_.inc();
+
+    const auto sw_it = env_.switch_nodes.find(msg.manifest.update.switch_node);
+    if (sw_it == env_.switch_nodes.end()) return;
+    const util::Bytes wire = msg.encode();
+    if (obs::CritPath* cp = critpath()) {
+      cp->add_phase_bytes(
+          retransmit ? obs::CritPhase::kRetransmit : obs::CritPhase::kPropagate, wire.size());
+    }
+    if (!retransmit) {
+      if (crit_leader()) critpath()->update_signed(uid, sim_.now());
+      if (trace_leader()) {
+        config_.obs->trace.flow_start("flow", flow_track_id(uid), "update.send", config_.node,
+                                      obs::kTidNet);
+      }
+    }
+    net_.send(config_.node, sw_it->second, wire);
+  });
+}
+
+// A sink acked: its whole ancestor closure is installed (the sink's local
+// preconditions required every upstream SegmentDone, transitively).
+// Complete the closure in the tracker, stamp the acked milestone on every
+// segment (records stay complete, keeping the attribution floor intact)
+// and close the lifecycle traces.
+void Controller::on_ack_decentralized(const AckMsg& ack) {
+  const auto ch = dec_chains_.find(ack.update_id);
+  if (ch == dec_chains_.end()) return;  // duplicate sink ack, or not a sink
+  disarm_ack_timer(ack.update_id);
+  const std::shared_ptr<DecChain> chain = ch->second;
+  dec_chains_.erase(ch);
+
+  const sim::SimTime now = sim_.now();
+  const auto sent = update_sent_at_.find(ack.update_id);
+  if (sent != update_sent_at_.end()) {
+    // One histogram sample per chain sink: first manifest out -> sink ack
+    // in, the decentralized analogue of the per-update ack round trip.
+    if (config_.obs != nullptr) update_ack_ms_.observe(sim::to_ms(now - sent->second));
+    update_sent_at_.erase(sent);
+  }
+  for (const sched::UpdateId id : chain->plan.ancestors(ack.update_id)) {
+    if (!chain->finalized.insert(id).second) continue;  // shared with another sink
+    tracker_.complete(id);  // ready list unused: every segment already shipped
+    update_cause_.erase(id);
+    if (crit_leader()) critpath()->update_acked(id, now);
+    if (trace_leader()) {
+      config_.obs->trace.async_end("update", update_track_id(id), "update", config_.node,
+                                   obs::kTidMain);
+      if (id == ack.update_id) {
+        config_.obs->trace.flow_end("flow", flow_track_id(id), "update.ack", config_.node,
+                                    obs::kTidNet);
+      }
+    }
+  }
+  flush_parked_chains();  // the closure may free a cross-schedule wait
+}
+
+// ---------------------------------------------------------------------------
 // Acknowledgements -> dependency release
 // ---------------------------------------------------------------------------
 
@@ -502,6 +764,10 @@ void Controller::on_ack(const AckMsg& ack) {
   }
   ++acks_received_;
   m_acks_.inc();
+  if (config_.execution_mode == ExecutionMode::kDecentralized) {
+    on_ack_decentralized(ack);
+    return;
+  }
   disarm_ack_timer(ack.update_id);  // cancels the pending retransmission wakeup
   if (crit_leader()) critpath()->update_acked(ack.update_id, sim_.now());
   const auto it = update_sent_at_.find(ack.update_id);
@@ -517,6 +783,12 @@ void Controller::on_ack(const AckMsg& ack) {
     }
     update_sent_at_.erase(it);
   }
+  // Retransmits use inflight_'s copy, so the cause can go — but only once
+  // the tracker has scheduled the id.  An ack can outrun our own
+  // route.compute (the switch answered a faster replica's copy while ours
+  // is still queued); erasing then would strip the cause the pending
+  // dispatch still reads.  The switch dedupes our late copy and re-acks.
+  if (tracker_.knows(ack.update_id)) update_cause_.erase(ack.update_id);
   for (const sched::UpdateId id : tracker_.complete(ack.update_id)) {
     if (trace_leader()) {
       // Dependency-release edge: arrow from this ack to the dependent's

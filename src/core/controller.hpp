@@ -28,6 +28,7 @@
 
 #include "bft/pbft.hpp"
 #include "core/cost_model.hpp"
+#include "core/decentralized.hpp"
 #include "core/framework.hpp"
 #include "core/messages.hpp"
 #include "core/audit.hpp"
@@ -74,6 +75,10 @@ class Controller {
     /// Threshold scheme for update authentication; kFrost requires the
     /// kCiceroAgg framework (the aggregator coordinates signing sessions).
     ThresholdBackend backend = ThresholdBackend::kSimBls;
+    /// Controller-driven (one southbound round trip per segment) or
+    /// decentralized (one signed manifest per segment, switches sequence
+    /// the chain in-band; incompatible with kCiceroAgg).
+    ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
     std::uint64_t nonce_seed = 0;  ///< per-controller FROST nonce stream
     bool real_crypto = true;
     bool sign_bft_messages = false;  ///< Schnorr on every BFT message
@@ -152,6 +157,8 @@ class Controller {
   std::uint64_t acks_received() const { return acks_received_; }
   std::uint64_t events_forwarded() const { return events_forwarded_; }
   std::uint64_t updates_retransmitted() const { return updates_retransmitted_; }
+  std::uint64_t manifests_sent() const { return manifests_sent_; }
+  std::uint64_t updates_abandoned() const { return updates_abandoned_; }
 
  private:
   void rebuild_replica();
@@ -165,6 +172,15 @@ class Controller {
                        bool retransmit = false);
   void arm_ack_timer(sched::UpdateId id, sim::SimTime delay);
   void on_ack(const AckMsg& ack);
+  /// Decentralized execution: plan + ship every manifest of one schedule,
+  /// arm sink timers.
+  void dispatch_decentralized(const sched::UpdateSchedule& local, const EventId& cause);
+  void send_manifest(const SegmentManifest& manifest, const EventId& cause, bool retransmit);
+  void on_ack_decentralized(const AckMsg& ack);
+  /// Retry exhaustion: finalize `id` and every transitive dependent (or,
+  /// in decentralized mode, the sink's whole ancestor closure) so no
+  /// tracker entry, timer, trace track or counter is left stranded.
+  void abandon_update(sched::UpdateId id);
   void on_peer_update(const UpdateMsg& m);  ///< aggregator role
   void on_frost_session(const FrostSessionMsg& m);   ///< signer role (kFrost)
   void on_frost_partial(const FrostPartialMsg& m);   ///< aggregator role (kFrost)
@@ -232,12 +248,41 @@ class Controller {
   void disarm_ack_timer(sched::UpdateId id);
   std::map<sched::UpdateId, Inflight> inflight_;
 
+  /// Decentralized execution: one planned chain per schedule, indexed by
+  /// each of its sink ids (shared — a schedule can have several sinks per
+  /// domain after filtering).  `finalized` guards the per-update
+  /// completion bookkeeping against overlapping sink closures and
+  /// duplicate sink acks.
+  struct DecChain {
+    EventId cause;
+    DecentralizedPlan plan;
+    std::set<sched::UpdateId> finalized;
+  };
+  std::map<sched::UpdateId, std::shared_ptr<DecChain>> dec_chains_;
+
+  /// Chains whose schedule depends on an *earlier* schedule's
+  /// still-pending updates.  Those predecessors predate this plan, so
+  /// their appliers will never signal it in-band; the whole chain is
+  /// held at the controller until the tracker has seen every listed id
+  /// complete (sink ack or abandonment), mirroring the dependency wait
+  /// the controller-driven path gets from the tracker's release gating.
+  struct ParkedChain {
+    std::shared_ptr<DecChain> chain;
+    std::set<sched::UpdateId> waiting;  ///< uncompleted cross-schedule deps
+  };
+  void launch_chain(const std::shared_ptr<DecChain>& chain);
+  void flush_parked_chains();
+  std::vector<ParkedChain> parked_chains_;
+  bool in_chain_flush_ = false;  ///< abandon_update re-enters via flush
+
   std::uint64_t events_seen_ = 0;
   std::uint64_t events_processed_ = 0;
   std::uint64_t updates_sent_ = 0;
   std::uint64_t acks_received_ = 0;
   std::uint64_t events_forwarded_ = 0;
   std::uint64_t updates_retransmitted_ = 0;
+  std::uint64_t manifests_sent_ = 0;
+  std::uint64_t updates_abandoned_ = 0;
 
   // Observability.  The async lifecycle tracks (event submit->order,
   // update release->sign->apply->ack) are emitted by the aggregator
@@ -266,6 +311,8 @@ class Controller {
   obs::Counter m_acks_;
   obs::Counter m_deps_released_;
   obs::Counter m_retransmits_;
+  obs::Counter m_manifests_sent_;
+  obs::Counter m_abandoned_;
   obs::Histogram update_ack_ms_;
   /// First-send instant per un-acked update; populated unconditionally
   /// (the retransmission path relies on it), observed into metrics only

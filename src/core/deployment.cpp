@@ -23,6 +23,12 @@ Deployment::Deployment(net::Topology topology, DeploymentParams params)
     throw std::invalid_argument(
         "Deployment: the FROST backend requires controller aggregation");
   }
+  if (params_.execution_mode == ExecutionMode::kDecentralized &&
+      params_.framework == FrameworkKind::kCiceroAgg) {
+    throw std::invalid_argument(
+        "Deployment: decentralized execution aggregates manifests at the "
+        "switch, which controller aggregation bypasses");
+  }
   setup_parallel();
   if (psim_ == nullptr) {
     // The trace/log clocks read the sequential simulator; in parallel
@@ -165,6 +171,9 @@ void Deployment::build_nodes() {
           *std::min_element(plane.member_ids.begin(), plane.member_ids.end()));
     }
     cfg.real_crypto = params_.real_crypto;
+    cfg.execution_mode = params_.execution_mode;
+    cfg.pki = &pki_;
+    cfg.applied_dedupe_window = params_.applied_dedupe_window;
     cfg.domain = d;
     cfg.obs = obs_for_domain(d);
     pki_.register_origin(sw, cfg.key.pk);
@@ -271,6 +280,7 @@ Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t i
   cfg.id = id;
   cfg.domain = plane.domain;
   cfg.framework = params_.framework;
+  cfg.execution_mode = params_.execution_mode;
   cfg.costs = params_.costs;
   cfg.node = ctrl_nodes_.at(id);
   cfg.members = member_infos(plane);

@@ -46,7 +46,15 @@ namespace cicero::core {
 
 struct DeploymentParams {
   FrameworkKind framework = FrameworkKind::kCicero;
+  /// Update execution: controller-driven (paper §5) releases one signed
+  /// update per segment in dependency order; decentralized (ez-Segway
+  /// mode, DESIGN.md §15) ships every segment at once as a signed
+  /// manifest and lets the switches sequence the chain in-band.
+  /// Incompatible with kCiceroAgg (manifests aggregate at the switch).
+  ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
   std::size_t controllers_per_domain = 4;
+  /// Switch-side duplicate-suppression window (SwitchRuntime::Config).
+  std::size_t applied_dedupe_window = 4096;
   CostModel costs;
   /// Threshold scheme; kFrost is only valid with kCiceroAgg (the signing
   /// session needs a coordinator) and demonstrates the protocol over a

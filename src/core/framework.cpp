@@ -16,6 +16,16 @@ const char* framework_name(FrameworkKind kind) {
   return "?";
 }
 
+const char* execution_mode_name(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kControllerDriven:
+      return "controller-driven";
+    case ExecutionMode::kDecentralized:
+      return "decentralized";
+  }
+  return "?";
+}
+
 std::vector<Capabilities> table2_rows() {
   // Rows mirror Table 2 of the paper; the final rows describe this
   // repository's implementations.

@@ -22,6 +22,21 @@ enum class FrameworkKind : std::uint8_t {
 
 const char* framework_name(FrameworkKind kind);
 
+/// How threshold-signed updates reach the data plane.  The controller-driven
+/// mode is the paper's shape: one southbound round trip per segment, the
+/// dependency tracker releasing each update when its predecessors ack.  The
+/// decentralized mode (ez-Segway-style) pushes the whole signed schedule to
+/// the switches up front as per-segment manifests; switches then coordinate
+/// in-band with signed SegmentDone signals and only the sink segment of each
+/// chain reports back, cutting controller messages per update and removing
+/// the per-segment controller round trip from the critical path.
+enum class ExecutionMode : std::uint8_t {
+  kControllerDriven = 0,  ///< controller releases one update per ack round trip
+  kDecentralized = 1,     ///< switches sequence the chain in-band (§ DESIGN.md 15)
+};
+
+const char* execution_mode_name(ExecutionMode mode);
+
 /// One row of Table 2.
 struct Capabilities {
   std::string system;

@@ -295,4 +295,131 @@ std::optional<AggregatorNotifyMsg> AggregatorNotifyMsg::decode(const util::Bytes
   }
 }
 
+// ---------------------------------------------------------------------------
+// Decentralized execution (segment manifests and in-band completion)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void serialize_peers(util::Writer& w, const std::vector<SegmentPeer>& peers) {
+  w.u32(static_cast<std::uint32_t>(peers.size()));
+  for (const SegmentPeer& p : peers) {
+    w.u64(p.update_id);
+    w.u32(p.switch_node);
+    w.u32(p.node);
+  }
+}
+
+std::vector<SegmentPeer> deserialize_peers(util::Reader& r) {
+  const std::uint32_t n = r.u32();
+  std::vector<SegmentPeer> peers;
+  peers.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    SegmentPeer p;
+    p.update_id = r.u64();
+    p.switch_node = r.u32();
+    p.node = r.u32();
+    peers.push_back(p);
+  }
+  return peers;
+}
+
+void serialize_manifest(util::Writer& w, const SegmentManifest& m) {
+  m.update.serialize(w);
+  serialize_peers(w, m.preds);
+  serialize_peers(w, m.succs);
+  w.boolean(m.sink);
+}
+
+SegmentManifest deserialize_manifest(util::Reader& r) {
+  SegmentManifest m;
+  m.update = sched::Update::deserialize(r);
+  m.preds = deserialize_peers(r);
+  m.succs = deserialize_peers(r);
+  m.sink = r.boolean();
+  return m;
+}
+
+}  // namespace
+
+util::Bytes manifest_signing_bytes(const SegmentManifest& manifest, std::uint64_t epoch) {
+  util::Writer w;
+  w.str("cicero/manifest");
+  serialize_manifest(w, manifest);
+  w.u64(epoch);
+  return w.take();
+}
+
+util::Bytes ManifestMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kManifest));
+  serialize_manifest(w, manifest);
+  w.u32(cause.origin);
+  w.u64(cause.seq);
+  w.u64(epoch);
+  // No partial (centralized / crash-tolerant) encodes as an empty string.
+  w.bytes(partial.signer == 0 ? util::Bytes{} : partial.to_bytes());
+  return w.take();
+}
+
+std::optional<ManifestMsg> ManifestMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kManifest)) return std::nullopt;
+    ManifestMsg m;
+    m.manifest = deserialize_manifest(r);
+    m.cause.origin = r.u32();
+    m.cause.seq = r.u64();
+    m.epoch = r.u64();
+    const util::Bytes pb = r.bytes();
+    r.expect_end();
+    if (!pb.empty()) {
+      auto p = crypto::PartialSignature::from_bytes(pb);
+      if (!p) return std::nullopt;
+      m.partial = std::move(*p);
+    }
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes SegmentDoneMsg::body() const {
+  util::Writer w;
+  w.str("cicero/segdone");
+  w.u64(for_update);
+  w.u64(done_update);
+  w.u32(switch_node);
+  w.u64(epoch);
+  return w.take();
+}
+
+util::Bytes SegmentDoneMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kSegmentDone));
+  w.u64(for_update);
+  w.u64(done_update);
+  w.u32(switch_node);
+  w.u64(epoch);
+  w.bytes(sig);
+  return w.take();
+}
+
+std::optional<SegmentDoneMsg> SegmentDoneMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kSegmentDone)) return std::nullopt;
+    SegmentDoneMsg m;
+    m.for_update = r.u64();
+    m.done_update = r.u64();
+    m.switch_node = r.u32();
+    m.epoch = r.u64();
+    m.sig = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
 }  // namespace cicero::core

@@ -15,6 +15,8 @@
 //   0x05  AggUpdateMsg   aggregator -> switch
 //   0x06  ReshareMsg     old member -> new member (membership change)
 //   0x07  AggregatorNotifyMsg  control plane -> switch
+//   0x0A  ManifestMsg    controller -> switch (decentralized execution)
+//   0x0B  SegmentDoneMsg switch -> switch (decentralized execution)
 #pragma once
 
 #include <cstdint>
@@ -38,6 +40,8 @@ enum class CoreMsgTag : std::uint8_t {
   kAggregatorNotify = 0x07,
   kFrostSession = 0x08,  ///< aggregator -> signers: chosen commitment set
   kFrostPartial = 0x09,  ///< signer -> aggregator: z_i for a session
+  kManifest = 0x0A,      ///< controller -> switch: decentralized segment manifest
+  kSegmentDone = 0x0B,   ///< switch -> switch: in-band completion signal
 };
 
 /// Which threshold scheme authenticates updates.  kSimBls is the paper's
@@ -177,6 +181,68 @@ struct AggregatorNotifyMsg {
 
   util::Bytes encode() const;
   static std::optional<AggregatorNotifyMsg> decode(const util::Bytes& wire);
+};
+
+/// One neighbor of a segment in its chain's dependency DAG.  `switch_node`
+/// is the topology index (what ids and acks are keyed by); `node` is the
+/// sim address the controller resolved so switches can signal each other
+/// without a topology directory of their own.
+struct SegmentPeer {
+  sched::UpdateId update_id = 0;
+  std::uint32_t switch_node = 0;  ///< topology index of the peer's switch
+  sim::NodeId node = 0;           ///< sim address of the peer's switch
+
+  bool operator==(const SegmentPeer&) const = default;
+};
+
+/// Everything one switch needs to execute its segment of a decentralized
+/// chain: the update itself, the upstream segments whose SegmentDone
+/// signals gate the apply, the downstream segments to signal afterwards,
+/// and whether this segment is the chain's sink (the one that acks the
+/// control plane for the whole ancestor closure).
+struct SegmentManifest {
+  sched::Update update;
+  std::vector<SegmentPeer> preds;  ///< apply only after these signal done
+  std::vector<SegmentPeer> succs;  ///< signal these after applying
+  bool sink = false;               ///< acks the controllers when applied
+
+  bool operator==(const SegmentManifest&) const = default;
+};
+
+/// Canonical signed bytes of a manifest ("the ordered manifest"): covers
+/// the segment, both dependency edge lists, the sink flag, and the
+/// membership epoch, so a quorum signature pins the *position* of the
+/// segment in the chain, not just the rule.
+util::Bytes manifest_signing_bytes(const SegmentManifest& manifest, std::uint64_t epoch);
+
+/// Controller -> switch, decentralized execution: one signed manifest per
+/// segment.  Like UpdateMsg, the partial is empty in the centralized and
+/// crash-tolerant baselines and carries a threshold partial under Cicero
+/// (switches quorum-aggregate manifests exactly like updates).
+struct ManifestMsg {
+  SegmentManifest manifest;
+  EventId cause;
+  std::uint64_t epoch = 0;  ///< membership phase the signature is valid for
+  crypto::PartialSignature partial;
+
+  util::Bytes encode() const;
+  static std::optional<ManifestMsg> decode(const util::Bytes& wire);
+};
+
+/// Switch -> switch, decentralized execution: "my segment `done_update` is
+/// installed; your segment `for_update` has one fewer unmet predecessor".
+/// Signed with the sender switch's PKI key so a compromised switch cannot
+/// release its neighbors' segments early by forging peer signals.
+struct SegmentDoneMsg {
+  sched::UpdateId for_update = 0;   ///< the receiver's gated segment
+  sched::UpdateId done_update = 0;  ///< the sender's completed segment
+  std::uint32_t switch_node = 0;    ///< sender's topology index
+  std::uint64_t epoch = 0;
+  util::Bytes sig;
+
+  util::Bytes body() const;
+  util::Bytes encode() const;
+  static std::optional<SegmentDoneMsg> decode(const util::Bytes& wire);
 };
 
 }  // namespace cicero::core

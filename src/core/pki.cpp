@@ -18,4 +18,12 @@ bool PkiDirectory::verify_ack(const AckMsg& a) const {
   return crypto::schnorr_verify(*pk, a.body(), *sig);
 }
 
+bool PkiDirectory::verify_segment_done(const SegmentDoneMsg& d) const {
+  const auto pk = lookup(d.switch_node);
+  if (!pk) return false;
+  const auto sig = crypto::SchnorrSignature::from_bytes(d.sig);
+  if (!sig) return false;
+  return crypto::schnorr_verify(*pk, d.body(), *sig);
+}
+
 }  // namespace cicero::core

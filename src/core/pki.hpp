@@ -30,6 +30,10 @@ class PkiDirectory {
   /// Verifies a switch acknowledgement.
   bool verify_ack(const AckMsg& a) const;
 
+  /// Verifies a decentralized in-band completion signal against the
+  /// sending switch's registered key.
+  bool verify_segment_done(const SegmentDoneMsg& d) const;
+
   std::size_t size() const { return pks_.size(); }
 
  private:

@@ -94,9 +94,35 @@ void SwitchRuntime::crash() {
   table_ = net::FlowTable{};
   pending_.clear();
   applied_ids_.clear();
+  applied_order_.clear();
   outstanding_events_.clear();
   first_rx_.clear();
   missed_while_down_.clear();
+  // Crash-during-handoff (decentralized): manifests received but not yet
+  // applied die with the switch, and the controller's retransmissions may
+  // exhaust before recovery.  Record each pending install as a missed
+  // route so recover() re-requests it through the signed-event path — the
+  // control plane then schedules a fresh chain instead of this switch
+  // waiting forever for SegmentDones from an abandoned one.
+  for (const auto& [id, am] : accepted_) {
+    if (am.manifest.update.op != sched::UpdateOp::kInstall) continue;
+    const auto& rule = am.manifest.update.rule;
+    missed_while_down_.emplace(std::make_pair(rule.match.src_host, rule.match.dst_host),
+                               rule.reserved_bps);
+  }
+  for (const auto& [id, pm] : pending_manifests_) {
+    for (const auto& [digest, bucket] : pm.buckets) {
+      if (bucket.partials.empty()) continue;
+      if (bucket.manifest.update.op != sched::UpdateOp::kInstall) continue;
+      const auto& rule = bucket.manifest.update.rule;
+      missed_while_down_.emplace(std::make_pair(rule.match.src_host, rule.match.dst_host),
+                                 rule.reserved_bps);
+    }
+  }
+  pending_manifests_.clear();
+  accepted_.clear();
+  early_done_.clear();
+  dec_applied_.clear();
 }
 
 void SwitchRuntime::recover() {
@@ -186,6 +212,20 @@ void SwitchRuntime::handle_message(sim::NodeId from, const util::Bytes& wire) {
       if (auto m = AggregatorNotifyMsg::decode(wire)) on_aggregator_notify(*m);
       break;
     }
+    case CoreMsgTag::kManifest: {
+      if (auto m = ManifestMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
+                     [this, from, m = std::move(*m)] { on_manifest(from, m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kSegmentDone: {
+      if (auto m = SegmentDoneMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
+                     [this, m = std::move(*m)] { on_segment_done(m); });
+      }
+      break;
+    }
     default:
       CICERO_LOG_DEBUG(kLog, "s%u: unexpected tag 0x%02x", config_.topo_index, *tag);
       break;
@@ -218,7 +258,7 @@ void SwitchRuntime::on_update(sim::NodeId from, const UpdateMsg& m) {
       config_.framework == FrameworkKind::kCrashTolerant) {
     // No quorum authentication: the first copy of the update is applied
     // as-is.  (This is the attack surface the Byzantine tests exploit.)
-    applied_ids_.insert(m.update.id);
+    note_applied(m.update.id);
     apply_update(m.update);
     return;
   }
@@ -299,7 +339,7 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
     }
     const sched::Update update = bucket.update;
     pending_.erase(it2);
-    applied_ids_.insert(id);
+    note_applied(id);
     apply_update(update);
   });
 }
@@ -341,9 +381,234 @@ void SwitchRuntime::on_agg_update(sim::NodeId from, const AggUpdateMsg& m) {
         return;
       }
     }
-    applied_ids_.insert(m.update.id);
+    note_applied(m.update.id);
     apply_update(m.update);
   });
+}
+
+void SwitchRuntime::note_applied(sched::UpdateId id) {
+  if (!applied_ids_.insert(id).second) return;
+  applied_order_.push_back(id);
+  while (applied_order_.size() > config_.applied_dedupe_window) {
+    const sched::UpdateId oldest = applied_order_.front();
+    applied_order_.pop_front();
+    applied_ids_.erase(oldest);
+    dec_applied_.erase(oldest);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Decentralized execution (ez-Segway mode; DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+void SwitchRuntime::on_manifest(sim::NodeId from, const ManifestMsg& m) {
+  if (down_) return;
+  if (m.epoch < phase_) return;  // stale control-plane epoch
+  phase_ = m.epoch;
+  const sched::UpdateId id = m.manifest.update.id;
+  if (applied_ids_.count(id) != 0) {
+    // Duplicate of an applied segment: the controller retransmitted
+    // because the chain's sink never acked.  Idempotent recovery —
+    // re-signal our successors (the likely lost messages) and, if we are
+    // the sink, re-ack the sender.
+    const auto dec = dec_applied_.find(id);
+    if (dec != dec_applied_.end()) {
+      signal_successors(id, dec->second.succs, /*resignal=*/true);
+      if (dec->second.sink) re_ack(id, from);
+    } else {
+      re_ack(id, from);
+    }
+    return;
+  }
+  if (config_.obs != nullptr) first_rx_.emplace(id, sim_.now());
+  if (obs::CritPath* cp = critpath()) cp->update_rx(id, sim_.now());
+  if (tracing()) {
+    config_.obs->trace.flow_step("flow", flow_track_id(id), "update.rx", config_.node,
+                                 obs::kTidMain);
+  }
+
+  if (config_.framework == FrameworkKind::kCentralized ||
+      config_.framework == FrameworkKind::kCrashTolerant) {
+    if (accepted_.count(id) == 0) accept_manifest(m.manifest);
+    return;
+  }
+
+  // Cicero: identical-manifest counting, bucketed by the signed bytes
+  // (which pin the segment's position in the chain, not just the rule).
+  if (m.partial.signer == 0) return;  // Cicero manifests must carry a partial
+  const util::Bytes signing_bytes = manifest_signing_bytes(m.manifest, m.epoch);
+  const crypto::Digest d = crypto::Sha256::hash(signing_bytes);
+  const util::Bytes digest(d.begin(), d.end());
+
+  PendingManifest& p = pending_manifests_[id];
+  ManifestBucket& bucket = p.buckets[digest];
+  if (bucket.partials.empty()) {
+    bucket.manifest = m.manifest;
+    bucket.signing_bytes = signing_bytes;
+  }
+  if (p.buckets.size() > 1) {
+    CICERO_LOG_WARN(kLog, "s%u: conflicting manifest bodies for id %llu", config_.topo_index,
+                    static_cast<unsigned long long>(id));
+  }
+  bucket.partials[m.partial.signer] = m.partial;
+  try_aggregate_manifest(id, digest);
+}
+
+void SwitchRuntime::try_aggregate_manifest(sched::UpdateId id, const util::Bytes& digest) {
+  auto it = pending_manifests_.find(id);
+  if (it == pending_manifests_.end()) return;
+  const auto bit = it->second.buckets.find(digest);
+  if (bit == it->second.buckets.end()) return;
+  ManifestBucket& bucket = bit->second;
+  if (bucket.aggregating || bucket.partials.size() < config_.quorum) return;
+  bucket.aggregating = true;
+
+  const sim::SimTime cost =
+      config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum) +
+      config_.costs.threshold_verify;
+  cpu_.execute(cost, "aggregate", [this, id, digest] {
+    if (down_) return;
+    auto it2 = pending_manifests_.find(id);
+    if (it2 == pending_manifests_.end()) return;
+    const auto bit2 = it2->second.buckets.find(digest);
+    if (bit2 == it2->second.buckets.end()) return;
+    ManifestBucket& bucket = bit2->second;
+    bucket.aggregating = false;
+    if (applied_ids_.count(id) != 0 || accepted_.count(id) != 0) return;
+
+    bool valid = true;
+    if (config_.real_crypto) {
+      // Same quorum-subset exclusion as updates: up to f bad partials
+      // among >= 2f+1 cannot block the honest bucket.
+      const auto& scheme = crypto::SimBlsScheme::instance();
+      std::vector<crypto::PartialSignature> all;
+      all.reserve(bucket.partials.size());
+      for (const auto& [idx, part] : bucket.partials) all.push_back(part);
+      valid = false;
+      for (std::size_t skip = 0; skip <= all.size() && !valid; ++skip) {
+        std::vector<crypto::PartialSignature> subset;
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          if (skip != 0 && i == skip - 1) continue;  // skip==0: no exclusion
+          subset.push_back(all[i]);
+        }
+        if (subset.size() < config_.quorum) continue;
+        const auto agg = scheme.aggregate(bucket.signing_bytes, subset, config_.quorum);
+        if (agg && scheme.verify(config_.group_pk, bucket.signing_bytes, *agg)) valid = true;
+      }
+    }
+
+    if (!valid) {
+      ++updates_rejected_;
+      m_rejected_.inc();
+      CICERO_LOG_WARN(kLog, "s%u: manifest aggregate verification failed for update %llu",
+                      config_.topo_index, static_cast<unsigned long long>(id));
+      return;
+    }
+    const SegmentManifest manifest = bucket.manifest;
+    pending_manifests_.erase(it2);
+    accept_manifest(manifest);
+  });
+}
+
+void SwitchRuntime::accept_manifest(const SegmentManifest& manifest) {
+  const sched::UpdateId id = manifest.update.id;
+  // Switch-local precondition (the decentralized analogue of the
+  // controller-side consistency proof): an install whose next hop is this
+  // switch itself would forward traffic into a one-hop loop.  A quorum of
+  // honest controllers never produces one, so this only fires on corrupted
+  // manifests that slipped past a first-copy baseline.
+  if (manifest.update.op == sched::UpdateOp::kInstall &&
+      manifest.update.rule.next_hop == config_.topo_index) {
+    ++updates_rejected_;
+    m_rejected_.inc();
+    CICERO_LOG_WARN(kLog, "s%u: rejecting manifest %llu (self-loop next hop)",
+                    config_.topo_index, static_cast<unsigned long long>(id));
+    return;
+  }
+  AcceptedManifest& am = accepted_[id];
+  am.manifest = manifest;
+  const auto early = early_done_.find(id);
+  if (early != early_done_.end()) {
+    am.done_preds.insert(early->second.begin(), early->second.end());
+    early_done_.erase(early);
+  }
+  maybe_apply_manifest(id);
+}
+
+void SwitchRuntime::maybe_apply_manifest(sched::UpdateId id) {
+  const auto it = accepted_.find(id);
+  if (it == accepted_.end()) return;
+  for (const SegmentPeer& p : it->second.manifest.preds) {
+    if (it->second.done_preds.count(p.update_id) == 0) return;
+  }
+  const SegmentManifest manifest = std::move(it->second.manifest);
+  accepted_.erase(it);
+  note_applied(id);
+  dec_applied_[id] = DecApplied{manifest.succs, manifest.sink};
+  if (obs::CritPath* cp = critpath()) cp->update_peer_ready(id, sim_.now());
+  apply_update(manifest.update);
+}
+
+void SwitchRuntime::on_segment_done(const SegmentDoneMsg& d) {
+  if (down_) return;
+  if (d.epoch < phase_) return;  // stale epoch
+  phase_ = d.epoch;
+  ++peer_signals_received_;
+  const bool verify = config_.framework == FrameworkKind::kCicero &&
+                      config_.real_crypto && config_.pki != nullptr;
+  const sim::SimTime cost = verify ? config_.costs.ack_verify : sim::SimTime{0};
+  cpu_.execute(cost, "segdone.verify", [this, verify, d] {
+    if (down_) return;
+    if (verify && !config_.pki->verify_segment_done(d)) {
+      ++updates_rejected_;
+      m_rejected_.inc();
+      CICERO_LOG_WARN(kLog, "s%u: bad SegmentDone signature from s%u", config_.topo_index,
+                      d.switch_node);
+      return;
+    }
+    if (applied_ids_.count(d.for_update) != 0) return;  // already applied
+    const auto it = accepted_.find(d.for_update);
+    if (it != accepted_.end()) {
+      it->second.done_preds.insert(d.done_update);
+      maybe_apply_manifest(d.for_update);
+      return;
+    }
+    // Signal raced ahead of the manifest (or its quorum); park it.  The
+    // bound keeps abandoned chains from pinning memory.
+    early_done_[d.for_update].insert(d.done_update);
+    while (early_done_.size() > config_.applied_dedupe_window) {
+      early_done_.erase(early_done_.begin());
+    }
+  });
+}
+
+void SwitchRuntime::signal_successors(sched::UpdateId id,
+                                      const std::vector<SegmentPeer>& succs, bool resignal) {
+  for (const SegmentPeer& succ : succs) {
+    if (succ.node == sim::kInvalidNode) continue;
+    SegmentDoneMsg done;
+    done.for_update = succ.update_id;
+    done.done_update = id;
+    done.switch_node = config_.topo_index;
+    done.epoch = phase_;
+    const bool sign = config_.framework == FrameworkKind::kCicero && config_.real_crypto;
+    if (sign) {
+      done.sig = crypto::schnorr_sign(config_.key, done.body()).to_bytes();
+    }
+    const sim::SimTime cost =
+        config_.framework == FrameworkKind::kCicero ? config_.costs.ack_sign : sim::SimTime{0};
+    const sim::NodeId to = succ.node;
+    cpu_.execute(cost, "segdone.sign", [this, to, resignal, done = std::move(done)] {
+      if (down_) return;
+      ++peer_signals_sent_;
+      const util::Bytes wire = done.encode();
+      if (obs::CritPath* cp = critpath()) {
+        cp->add_phase_bytes(
+            resignal ? obs::CritPhase::kRetransmit : obs::CritPhase::kPeerSignal, wire.size());
+      }
+      net_.send(config_.node, to, wire);
+    });
+  }
 }
 
 void SwitchRuntime::apply_update(const sched::Update& update) {
@@ -374,7 +639,15 @@ void SwitchRuntime::apply_update(const sched::Update& update) {
                                    config_.node, obs::kTidMain);
     }
     for (const auto& observer : observers_) observer(update);
-    send_ack(update);
+    const auto dec = dec_applied_.find(update.id);
+    if (dec != dec_applied_.end()) {
+      // Decentralized: done signals flow in-band to the downstream peers;
+      // only the chain sink acks the control plane (for its whole chain).
+      signal_successors(update.id, dec->second.succs, /*resignal=*/false);
+      if (dec->second.sink) send_ack(update);
+    } else {
+      send_ack(update);
+    }
   });
 }
 

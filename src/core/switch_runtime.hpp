@@ -15,6 +15,7 @@
 // verified (tests), otherwise only the costs are charged (large benches).
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <set>
@@ -22,6 +23,7 @@
 #include "core/cost_model.hpp"
 #include "core/framework.hpp"
 #include "core/messages.hpp"
+#include "core/pki.hpp"
 #include "crypto/simbls.hpp"
 #include "net/flow_table.hpp"
 #include "obs/obs.hpp"
@@ -36,6 +38,15 @@ class SwitchRuntime {
     net::NodeIndex topo_index = net::kNoNode;  ///< identity in the topology
     sim::NodeId node = sim::kInvalidNode;      ///< network endpoint
     FrameworkKind framework = FrameworkKind::kCicero;
+    ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
+    /// Peer public keys for SegmentDone verification (decentralized mode);
+    /// owned by the Deployment, outlives every switch.
+    const PkiDirectory* pki = nullptr;
+    /// Bound on the duplicate-suppression window: how many recently applied
+    /// update ids the switch remembers (§5.1 idempotence).  Retransmission
+    /// windows are short — a few ack-timeout doublings — so a few thousand
+    /// ids comfortably outlast any retry while keeping long-run memory flat.
+    std::size_t applied_dedupe_window = 4096;
     CostModel costs;
     crypto::SchnorrKeyPair key;                ///< PKI pair (event/ack signing)
     crypto::Point group_pk;                    ///< control plane threshold PK
@@ -107,6 +118,11 @@ class SwitchRuntime {
   /// duplicate handling; the original ack was lost somewhere upstream).
   std::uint64_t acks_reissued() const { return acks_reissued_; }
   std::uint64_t crashes() const { return crashes_; }
+  /// Decentralized mode: in-band SegmentDone signals sent / received.
+  std::uint64_t peer_signals_sent() const { return peer_signals_sent_; }
+  std::uint64_t peer_signals_received() const { return peer_signals_received_; }
+  /// Current size of the bounded duplicate-suppression set (tests).
+  std::size_t applied_dedupe_size() const { return applied_ids_.size(); }
 
  private:
   // Identical-update counting (Fig. 6b): partials are bucketed by the
@@ -123,6 +139,31 @@ class SwitchRuntime {
     std::map<util::Bytes, Bucket> buckets;  ///< body digest -> bucket
   };
 
+  // Decentralized mode (DESIGN.md §15).  Manifest copies aggregate exactly
+  // like updates (digest-bucketed quorum under kCicero, first copy for the
+  // baselines); an accepted manifest then waits locally until every listed
+  // predecessor has signaled SegmentDone.
+  struct ManifestBucket {
+    SegmentManifest manifest;
+    util::Bytes signing_bytes;
+    std::map<crypto::ShareIndex, crypto::PartialSignature> partials;
+    bool aggregating = false;
+  };
+  struct PendingManifest {
+    std::map<util::Bytes, ManifestBucket> buckets;  ///< body digest -> bucket
+  };
+  struct AcceptedManifest {
+    SegmentManifest manifest;
+    std::set<sched::UpdateId> done_preds;  ///< SegmentDones received so far
+  };
+  /// Post-apply peer bookkeeping, kept as long as the id stays inside the
+  /// dedupe window so duplicate manifests can trigger idempotent
+  /// re-signaling (loss recovery without controller round trips).
+  struct DecApplied {
+    std::vector<SegmentPeer> succs;
+    bool sink = false;
+  };
+
   void emit_event(Event e);
   void emit_flow_request(const net::FlowMatch& match, double reserved_bps,
                          std::uint32_t retries_left);
@@ -130,6 +171,18 @@ class SwitchRuntime {
   void on_agg_update(sim::NodeId from, const AggUpdateMsg& m);
   void on_aggregator_notify(const AggregatorNotifyMsg& m);
   void try_aggregate(sched::UpdateId id, const util::Bytes& digest);
+  void on_manifest(sim::NodeId from, const ManifestMsg& m);
+  void try_aggregate_manifest(sched::UpdateId id, const util::Bytes& digest);
+  /// Switch-local verification gate + dependency wait entry.
+  void accept_manifest(const SegmentManifest& manifest);
+  /// Applies an accepted manifest once every predecessor has signaled.
+  void maybe_apply_manifest(sched::UpdateId id);
+  void on_segment_done(const SegmentDoneMsg& d);
+  /// Signs and sends one SegmentDoneMsg per downstream peer.
+  void signal_successors(sched::UpdateId id, const std::vector<SegmentPeer>& succs,
+                         bool resignal);
+  /// Duplicate-suppression with a bounded memory (Config::applied_dedupe_window).
+  void note_applied(sched::UpdateId id);
   void apply_update(const sched::Update& update);
   void send_ack(const sched::Update& update);
   /// Unicast re-ack of an already-applied update to the sender of a
@@ -145,13 +198,29 @@ class SwitchRuntime {
 
   std::uint64_t event_seq_ = 0;
   std::map<sched::UpdateId, Pending> pending_;
+  /// Bounded dedupe set: `applied_ids_` for membership, `applied_order_`
+  /// (insertion order) to retire the oldest id past the window.
   std::set<sched::UpdateId> applied_ids_;
+  std::deque<sched::UpdateId> applied_order_;
   std::set<std::pair<net::NodeIndex, net::NodeIndex>> outstanding_events_;
   std::uint64_t events_emitted_ = 0;
   std::uint64_t updates_applied_ = 0;
   std::uint64_t updates_rejected_ = 0;
   std::uint64_t acks_reissued_ = 0;
   std::uint64_t crashes_ = 0;
+  std::uint64_t peer_signals_sent_ = 0;
+  std::uint64_t peer_signals_received_ = 0;
+
+  // Decentralized mode state.
+  std::map<sched::UpdateId, PendingManifest> pending_manifests_;
+  std::map<sched::UpdateId, AcceptedManifest> accepted_;
+  /// SegmentDones that raced ahead of their manifest: for_update -> preds
+  /// already done.  Bounded by the dedupe window against abandoned chains.
+  std::map<sched::UpdateId, std::set<sched::UpdateId>> early_done_;
+  std::map<sched::UpdateId, DecApplied> dec_applied_;
+  /// Highest control-plane membership epoch seen; older manifests and
+  /// peer signals are stale and dropped.
+  std::uint64_t phase_ = 0;
 
   // Crash/recover model (§5.1).
   bool down_ = false;

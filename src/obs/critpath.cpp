@@ -35,6 +35,7 @@ const char* crit_phase_name(CritPhase p) {
     case CritPhase::kDependencyWait: return "dependency_wait";
     case CritPhase::kSign: return "sign";
     case CritPhase::kPropagate: return "propagate";
+    case CritPhase::kPeerSignal: return "peer_signal";
     case CritPhase::kApply: return "apply";
     case CritPhase::kRetransmit: return "retransmit";
   }
@@ -84,6 +85,12 @@ void CritPath::update_rx(std::uint64_t id, std::int64_t ts_ns) {
   if (r.rx < 0) r.rx = ts_ns;
 }
 
+void CritPath::update_peer_ready(std::uint64_t id, std::int64_t ts_ns) {
+  if (!enabled_) return;
+  Record& r = updates_[id];
+  if (r.peer_ready < 0) r.peer_ready = ts_ns;
+}
+
 void CritPath::update_applied(std::uint64_t id, std::int64_t ts_ns) {
   if (!enabled_) return;
   Record& r = updates_[id];
@@ -115,22 +122,22 @@ CritPath::PathBreakdown CritPath::attribute(const Record& r) {
   // milestone collapses onto its predecessor (zero-width phase) and a
   // same-instant inversion cannot yield a negative phase.  The clamp
   // never moves the endpoints, so the phases partition [submit, acked].
-  const std::int64_t raw[7] = {r.submit, r.scheduled, r.released, r.signed_at,
-                               r.rx,     r.applied,   r.acked};
-  std::int64_t m[7];
+  const std::int64_t raw[8] = {r.submit, r.scheduled,  r.released, r.signed_at,
+                               r.rx,     r.peer_ready, r.applied,  r.acked};
+  std::int64_t m[8];
   m[0] = raw[0];
-  for (std::size_t i = 1; i < 7; ++i) {
+  for (std::size_t i = 1; i < 8; ++i) {
     m[i] = raw[i] >= 0 ? std::max(m[i - 1], raw[i]) : m[i - 1];
   }
 
   const std::int64_t leg1 = m[4] - m[3];  // controller -> switch in flight
-  const std::int64_t leg2 = m[6] - m[5];  // apply -> ack accepted
+  const std::int64_t leg2 = m[7] - m[6];  // apply -> ack accepted
   std::int64_t retrans = 0;
   if (r.retransmits > 0 && r.last_retransmit >= 0) {
     // Within each in-flight leg, the stretch up to the last resend was a
     // retransmission stall; the remainder is genuine propagation.
     retrans += std::clamp<std::int64_t>(std::min(r.last_retransmit, m[4]) - m[3], 0, leg1);
-    retrans += std::clamp<std::int64_t>(std::min(r.last_retransmit, m[6]) - m[5], 0, leg2);
+    retrans += std::clamp<std::int64_t>(std::min(r.last_retransmit, m[7]) - m[6], 0, leg2);
   }
 
   auto& p = out.phase_ms;
@@ -138,10 +145,11 @@ CritPath::PathBreakdown CritPath::attribute(const Record& r) {
   p[static_cast<std::size_t>(CritPhase::kDependencyWait)] = ms(m[2] - m[1]);
   p[static_cast<std::size_t>(CritPhase::kSign)] = ms(m[3] - m[2]);
   p[static_cast<std::size_t>(CritPhase::kPropagate)] = ms(leg1 + leg2 - retrans);
-  p[static_cast<std::size_t>(CritPhase::kApply)] = ms(m[5] - m[4]);
+  p[static_cast<std::size_t>(CritPhase::kPeerSignal)] = ms(m[5] - m[4]);
+  p[static_cast<std::size_t>(CritPhase::kApply)] = ms(m[6] - m[5]);
   p[static_cast<std::size_t>(CritPhase::kRetransmit)] = ms(retrans);
 
-  out.total_ms = ms(m[6] - m[0]);
+  out.total_ms = ms(m[7] - m[0]);
   double sum = 0.0;
   for (double v : p) sum += v;
   out.attributed = out.total_ms > 0.0 ? sum / out.total_ms : 1.0;
@@ -225,6 +233,7 @@ void CritPath::merge_from(const CritPath& other) {
     dst.released = merge_ts(dst.released, src.released);
     dst.signed_at = merge_ts(dst.signed_at, src.signed_at);
     dst.rx = merge_ts(dst.rx, src.rx);
+    dst.peer_ready = merge_ts(dst.peer_ready, src.peer_ready);
     dst.applied = merge_ts(dst.applied, src.applied);
     dst.acked = merge_ts(dst.acked, src.acked);
     dst.last_retransmit = std::max(dst.last_retransmit, src.last_retransmit);

@@ -5,7 +5,7 @@
 // its switch, applied, acked — is recorded as a sequence of sim-time
 // milestones keyed by the update id (the correlation id that already
 // threads through UpdateMsg/AckMsg).  At run end `summarize()` replays
-// every completed record and attributes its end-to-end latency to six
+// every completed record and attributes its end-to-end latency to seven
 // named phases:
 //
 //   order            submit -> schedule (event verify + BFT ordering +
@@ -14,12 +14,15 @@
 //   sign             release -> signed update leaving the controller
 //   propagate        in-flight legs (controller->switch, switch->ack)
 //                    minus retransmit stalls
-//   apply            first switch rx -> rule committed (includes quorum
+//   peer_signal      first switch rx -> last upstream SegmentDone signal
+//                    accepted (decentralized execution's in-band wait;
+//                    zero width in controller-driven mode)
+//   apply            peer-ready switch -> rule committed (includes quorum
 //                    wait + signature verification at the switch)
 //   retransmit       the portion of an in-flight leg spent waiting out
 //                    loss, i.e. up to the last retransmission of the leg
 //
-// Milestones are clamped to causal order before differencing, so the six
+// Milestones are clamped to causal order before differencing, so the
 // phases partition the end-to-end interval exactly: attribution is 100 %
 // by construction for every record that has both endpoints (the report
 // still carries the measured fraction so the invariant is checkable).
@@ -48,10 +51,11 @@ enum class CritPhase : std::uint8_t {
   kDependencyWait,
   kSign,
   kPropagate,
+  kPeerSignal,
   kApply,
   kRetransmit,
 };
-inline constexpr std::size_t kCritPhaseCount = 6;
+inline constexpr std::size_t kCritPhaseCount = 7;
 
 /// Stable snake_case phase name used in reports and traces.
 const char* crit_phase_name(CritPhase p);
@@ -66,13 +70,14 @@ class CritPath {
     std::int64_t released = -1;   ///< dependency tracker released it
     std::int64_t signed_at = -1;  ///< signed update left the controller
     std::int64_t rx = -1;         ///< first receipt at the target switch
+    std::int64_t peer_ready = -1; ///< last upstream SegmentDone accepted
     std::int64_t applied = -1;    ///< rule committed to the flow table
     std::int64_t acked = -1;      ///< ack accepted back at the controller
     std::int64_t last_retransmit = -1;
     std::uint32_t retransmits = 0;
   };
 
-  /// One update's latency split across the six phases (milliseconds).
+  /// One update's latency split across the phases (milliseconds).
   struct PathBreakdown {
     double phase_ms[kCritPhaseCount] = {};
     double total_ms = 0.0;       ///< acked - submit
@@ -131,6 +136,9 @@ class CritPath {
   void update_signed(std::uint64_t id, std::int64_t ts_ns);
   void update_retransmitted(std::uint64_t id, std::int64_t ts_ns);
   void update_rx(std::uint64_t id, std::int64_t ts_ns);
+  /// Decentralized execution: the last unmet upstream SegmentDone signal
+  /// was accepted, unblocking the local apply.
+  void update_peer_ready(std::uint64_t id, std::int64_t ts_ns);
   void update_applied(std::uint64_t id, std::int64_t ts_ns);
   void update_acked(std::uint64_t id, std::int64_t ts_ns);
   void add_phase_bytes(CritPhase p, std::uint64_t bytes);

@@ -167,4 +167,45 @@ std::vector<UpdateId> DependencyTracker::complete(UpdateId id) {
   return ready;
 }
 
+std::vector<UpdateId> DependencyTracker::dependents(UpdateId id) const {
+  std::vector<UpdateId> out;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr) return out;
+  for (std::uint32_t e = nodes_[*slot].rdep_head; e != kNoEdge; e = edges_[e].next) {
+    out.push_back(nodes_[edges_[e].dependent].update.id);
+  }
+  return out;
+}
+
+std::vector<UpdateId> DependencyTracker::abandon(UpdateId id) {
+  std::vector<UpdateId> removed;
+  const std::uint32_t* slot = index_.find(id);
+  if (slot == nullptr || nodes_[*slot].state == State::kCompleted) return removed;
+
+  // BFS over reverse-dependence chains; `removed` doubles as the frontier.
+  // Each abandoned node takes the same counter transitions complete()
+  // would, so pending() drains and a late ack for an abandoned id is the
+  // usual already-completed no-op.
+  std::vector<std::uint32_t> frontier{*slot};
+  while (!frontier.empty()) {
+    const std::uint32_t s = frontier.back();
+    frontier.pop_back();
+    Node& node = nodes_[s];
+    if (node.state == State::kCompleted) continue;
+    if (node.state == State::kBlocked) {
+      --blocked_;
+    } else if (in_flight_ > 0) {
+      --in_flight_;
+    }
+    node.state = State::kCompleted;
+    removed.push_back(node.update.id);
+    for (std::uint32_t e = node.rdep_head; e != kNoEdge; e = edges_[e].next) {
+      frontier.push_back(edges_[e].dependent);
+    }
+    node.rdep_head = kNoEdge;
+    node.rdep_tail = kNoEdge;
+  }
+  return removed;
+}
+
 }  // namespace cicero::sched

@@ -47,6 +47,19 @@ class DependencyTracker {
   /// can arrive from a faulty network).
   std::vector<UpdateId> complete(UpdateId id);
 
+  /// Direct dependents of `id` (updates whose dependence sets contain it),
+  /// in insertion order; empty for unknown ids or once `id` has completed
+  /// (completion clears its edge chain).  This is the dependency-edge
+  /// export the decentralized planner turns into manifest successor lists.
+  std::vector<UpdateId> dependents(UpdateId id) const;
+
+  /// Abandons `id` and, transitively, every dependent that could now
+  /// never be released: each uncompleted update in the closure is marked
+  /// completed (so counters drain and late acks stay idempotent no-ops)
+  /// and its edges are cleared.  Returns the ids actually abandoned in
+  /// discovery order; empty for unknown or already-completed ids.
+  std::vector<UpdateId> abandon(UpdateId id);
+
   /// Updates released but not yet completed.
   std::size_t in_flight() const { return in_flight_; }
   /// Updates not yet released.
@@ -58,6 +71,12 @@ class DependencyTracker {
 
   const Update& update(UpdateId id) const;
   bool knows(UpdateId id) const { return index_.contains(id); }
+  /// True once `id` has completed (acked or abandoned); false for
+  /// unknown ids.
+  bool completed(UpdateId id) const {
+    const std::uint32_t* slot = index_.find(id);
+    return slot != nullptr && nodes_[*slot].state == State::kCompleted;
+  }
 
  private:
   static constexpr std::uint32_t kNoEdge = UINT32_MAX;

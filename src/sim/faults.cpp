@@ -1,5 +1,6 @@
 #include "sim/faults.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cicero::sim {
@@ -54,9 +55,15 @@ void FaultInjector::set_link_loss(NodeId a, NodeId b, double p) {
   link_loss_[unordered_pair_key(a, b)] = p;
 }
 
+void FaultInjector::set_node_loss(NodeId node, double p) {
+  if (p < 0.0 || p > 1.0) throw std::invalid_argument("FaultInjector: loss not in [0,1]");
+  node_loss_[node] = p;
+}
+
 void FaultInjector::clear_loss() {
   uniform_loss_ = 0.0;
   link_loss_.clear();
+  node_loss_.clear();
 }
 
 void FaultInjector::set_node_down(NodeId node, bool down) {
@@ -139,6 +146,14 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
   }
 
   double p = uniform_loss_;
+  if (!node_loss_.empty()) {
+    // Either endpoint's node rate applies (worst of the two); a per-link
+    // rate below still overrides.
+    const double* nf = node_loss_.find(from);
+    const double* nt = node_loss_.find(to);
+    if (nf != nullptr) p = std::max(p, *nf);
+    if (nt != nullptr) p = std::max(p, *nt);
+  }
   if (!link_loss_.empty()) {
     const double* l = link_loss_.find(unordered_pair_key(from, to));
     if (l != nullptr) p = *l;

@@ -67,6 +67,11 @@ class FaultInjector {
   /// Loss probability for the (a, b) pair, both directions; overrides the
   /// uniform rate for that pair.
   void set_link_loss(NodeId a, NodeId b, double p);
+  /// Loss probability for every message from or to `node` (both roles);
+  /// a matching per-link rate takes precedence, the uniform rate yields.
+  /// Unlike set_node_down the node stays up — messages are merely lossy —
+  /// so retransmission/abandonment paths actually exercise.
+  void set_node_loss(NodeId node, double p);
   void clear_loss();
 
   // --- node crash model ---
@@ -135,6 +140,7 @@ class FaultInjector {
   std::vector<Stripe> stripes_;
   double uniform_loss_ = 0.0;
   util::FlatHashMap<std::uint64_t, double> link_loss_;  ///< key: unordered pair
+  util::FlatHashMap<NodeId, double> node_loss_;
   util::FlatHashSet<NodeId> down_nodes_;
   /// Targeted rules mutate as they fire (self-consuming), so parallel
   /// sends serialize on targeted_mu_; the atomic rule count keeps the

@@ -289,6 +289,217 @@ TEST_F(SwitchRuntimeTest, AggregatorNotifyUpdatesConfig) {
   EXPECT_EQ(rt_->config().controllers.size(), 3u);
 }
 
+TEST_F(SwitchRuntimeTest, AppliedDedupeWindowBoundsMemory) {
+  // Regression: applied_ids_ grew without bound for the lifetime of the
+  // switch.  With a window of 8, applying 20 distinct updates must leave
+  // at most 8 remembered ids — and dedupe still works inside the window.
+  rebuild([](SwitchRuntime::Config& cfg) { cfg.applied_dedupe_window = 8; });
+  for (sched::UpdateId id = 1; id <= 20; ++id) {
+    sched::Update u;
+    u.id = id;
+    u.switch_node = 7;
+    u.op = sched::UpdateOp::kInstall;
+    u.rule = {{100 + static_cast<net::NodeIndex>(id), 200}, 9, 1e6};
+    send_partial(u, 0);
+    send_partial(u, 1);
+  }
+  EXPECT_EQ(rt_->updates_applied(), 20u);
+  EXPECT_LE(rt_->applied_dedupe_size(), 8u);
+  // A duplicate inside the window is still suppressed and re-acked.
+  sched::Update last;
+  last.id = 20;
+  last.switch_node = 7;
+  last.op = sched::UpdateOp::kInstall;
+  last.rule = {{120, 200}, 9, 1e6};
+  send_partial(last, 2);
+  EXPECT_EQ(rt_->updates_applied(), 20u);
+  EXPECT_EQ(rt_->acks_reissued(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Decentralized execution (manifest + SegmentDone handling)
+// ---------------------------------------------------------------------------
+
+class DecentralizedSwitchTest : public SwitchRuntimeTest {
+ protected:
+  void SetUp() override {
+    SwitchRuntimeTest::SetUp();
+    peer_node_ = net_->add_node("peer");
+    net_->set_handler(peer_node_, [this](sim::NodeId, const util::Bytes& wire) {
+      to_peer_.push_back(wire);
+    });
+    peer_key_ = crypto::SchnorrKeyPair::generate(*drbg_);
+    pki_.register_origin(7, switch_pk_);
+    pki_.register_origin(8, peer_key_.pk);
+    rebuild([this](SwitchRuntime::Config& cfg) {
+      cfg.execution_mode = ExecutionMode::kDecentralized;
+      cfg.pki = &pki_;
+    });
+  }
+
+  SegmentManifest make_manifest(sched::UpdateId id, std::vector<SegmentPeer> preds,
+                                std::vector<SegmentPeer> succs,
+                                net::NodeIndex next_hop = 9) {
+    SegmentManifest m;
+    m.update = make_update(id, next_hop);
+    m.preds = std::move(preds);
+    m.succs = std::move(succs);
+    m.sink = m.succs.empty();
+    return m;
+  }
+
+  void send_manifest_partial(const SegmentManifest& m, std::size_t signer_pos,
+                             std::uint64_t epoch = 0) {
+    ManifestMsg msg;
+    msg.manifest = m;
+    msg.cause = EventId{7, 1};
+    msg.epoch = epoch;
+    msg.partial = crypto::SimBlsScheme::instance().partial_sign(
+        results_[signer_pos].share, manifest_signing_bytes(m, epoch));
+    net_->send(ctrl_nodes_[signer_pos], switch_node_, msg.encode());
+    sim_.run_until(sim_.now() + sim::milliseconds(50));
+  }
+
+  void send_segment_done(sched::UpdateId for_update, sched::UpdateId done_update,
+                         bool good_sig = true) {
+    SegmentDoneMsg d;
+    d.for_update = for_update;
+    d.done_update = done_update;
+    d.switch_node = 8;  // the registered peer
+    d.epoch = 0;
+    const auto& key = good_sig ? peer_key_ : base_cfg_.key;  // wrong key = forged
+    d.sig = crypto::schnorr_sign(key, d.body()).to_bytes();
+    net_->send(peer_node_, switch_node_, d.encode());
+    sim_.run_until(sim_.now() + sim::milliseconds(50));
+  }
+
+  std::size_t peer_signals_delivered() const {
+    std::size_t n = 0;
+    for (const auto& w : to_peer_) {
+      if (SegmentDoneMsg::decode(w)) ++n;
+    }
+    return n;
+  }
+
+  PkiDirectory pki_;
+  sim::NodeId peer_node_ = 0;
+  crypto::SchnorrKeyPair peer_key_;
+  std::vector<util::Bytes> to_peer_;
+};
+
+TEST_F(DecentralizedSwitchTest, SinkManifestQuorumAppliesAndAcks) {
+  const auto m = make_manifest(1, {}, {});
+  send_manifest_partial(m, 0);
+  EXPECT_EQ(rt_->updates_applied(), 0u);  // one partial < quorum of 2
+  send_manifest_partial(m, 1);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_TRUE(rt_->table().has({100, 200}));
+  EXPECT_EQ(acks_received(), 4u);  // sink acks the whole control plane
+}
+
+TEST_F(DecentralizedSwitchTest, ManifestWaitsForPredecessorSignal) {
+  const auto m = make_manifest(2, {SegmentPeer{1, 8, peer_node_}}, {});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);  // quorum met, but pred 1 not done
+  send_segment_done(/*for_update=*/2, /*done_update=*/1);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_EQ(rt_->peer_signals_received(), 1u);
+}
+
+TEST_F(DecentralizedSwitchTest, EarlySegmentDoneParkedUntilManifest) {
+  // The peer's signal can race ahead of our manifest quorum.
+  send_segment_done(/*for_update=*/2, /*done_update=*/1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+  const auto m = make_manifest(2, {SegmentPeer{1, 8, peer_node_}}, {});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  EXPECT_EQ(rt_->updates_applied(), 1u);  // parked signal satisfied the pred
+}
+
+TEST_F(DecentralizedSwitchTest, ForgedSegmentDoneRejected) {
+  const auto m = make_manifest(2, {SegmentPeer{1, 8, peer_node_}}, {});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  send_segment_done(2, 1, /*good_sig=*/false);
+  EXPECT_EQ(rt_->updates_applied(), 0u);  // forged signal must not unblock
+  EXPECT_GE(rt_->updates_rejected(), 1u);
+  send_segment_done(2, 1, /*good_sig=*/true);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+}
+
+TEST_F(DecentralizedSwitchTest, NonSinkSignalsSuccessorInsteadOfAck) {
+  const auto m = make_manifest(1, {}, {SegmentPeer{2, 8, peer_node_}});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+  EXPECT_EQ(peer_signals_delivered(), 1u);  // in-band signal to the successor
+  EXPECT_EQ(rt_->peer_signals_sent(), 1u);
+  EXPECT_EQ(acks_received(), 0u);  // only the chain sink acks
+  // The signal verifies under this switch's PKI key.
+  for (const auto& w : to_peer_) {
+    if (const auto d = SegmentDoneMsg::decode(w)) {
+      EXPECT_EQ(d->for_update, 2u);
+      EXPECT_EQ(d->done_update, 1u);
+      EXPECT_TRUE(pki_.verify_segment_done(*d));
+    }
+  }
+}
+
+TEST_F(DecentralizedSwitchTest, DuplicateManifestTriggersIdempotentResignal) {
+  const auto m = make_manifest(1, {}, {SegmentPeer{2, 8, peer_node_}});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  ASSERT_EQ(rt_->updates_applied(), 1u);
+  ASSERT_EQ(peer_signals_delivered(), 1u);
+  // The controller retransmits (sink never acked — our signal was "lost").
+  send_manifest_partial(m, 2);
+  EXPECT_EQ(rt_->updates_applied(), 1u);     // not re-applied
+  EXPECT_EQ(peer_signals_delivered(), 2u);   // but the signal went out again
+}
+
+TEST_F(DecentralizedSwitchTest, SelfLoopManifestRejectedLocally) {
+  // Switch-local precondition: an install forwarding to this switch
+  // itself (topo_index 7) is a one-hop loop and must never reach the
+  // table, even with a valid quorum.
+  const auto m = make_manifest(1, {}, {}, /*next_hop=*/7);
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+  EXPECT_GE(rt_->updates_rejected(), 1u);
+  EXPECT_FALSE(rt_->table().has({100, 200}));
+}
+
+TEST_F(DecentralizedSwitchTest, StaleEpochManifestDropped) {
+  const auto fresh = make_manifest(1, {}, {});
+  send_manifest_partial(fresh, 0, /*epoch=*/3);  // advances phase to 3
+  const auto stale = make_manifest(2, {}, {});
+  send_manifest_partial(stale, 0, /*epoch=*/1);
+  send_manifest_partial(stale, 1, /*epoch=*/1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);  // stale copies never reach quorum
+  send_manifest_partial(fresh, 1, /*epoch=*/3);
+  EXPECT_EQ(rt_->updates_applied(), 1u);
+}
+
+TEST_F(DecentralizedSwitchTest, CrashDuringHandoffRerequestsOnRecover) {
+  // The switch accepted a manifest but crashes before its predecessor
+  // signals: the pending install must be re-requested via the signed
+  // event path on recover(), not waited on forever.
+  const auto m = make_manifest(2, {SegmentPeer{1, 8, peer_node_}}, {});
+  send_manifest_partial(m, 0);
+  send_manifest_partial(m, 1);
+  ASSERT_EQ(rt_->updates_applied(), 0u);  // waiting on pred
+  rt_->crash();
+  const auto emitted = rt_->events_emitted();
+  sim_.at(sim_.now(), [this] { rt_->recover(); });
+  sim_.run_until(sim_.now() + sim::milliseconds(100));
+  // One fresh flow-request event for the manifest's flow.
+  EXPECT_EQ(rt_->events_emitted(), emitted + 1);
+  // The late SegmentDone for the dead chain is ignored (state was lost).
+  send_segment_done(2, 1);
+  EXPECT_EQ(rt_->updates_applied(), 0u);
+}
+
 TEST_F(SwitchRuntimeTest, TeardownRequestEmitsEvent) {
   sim_.at(sim_.now(), [this] { rt_->request_teardown({100, 200}); });
   sim_.run_until(sim_.now() + sim::milliseconds(50));

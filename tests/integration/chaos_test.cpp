@@ -147,6 +147,35 @@ TEST_P(ChaosFrameworks, AckBlackoutForcesRetransmitThenDrains) {
   EXPECT_EQ(dep->pending_updates(), 0u);
 }
 
+TEST(ChaosRetryExhaustion, AbandonedUpdatesDrainEveryTracker) {
+  // Regression: when an update exhausted its retries the controller used
+  // to erase only the ack timer, leaving the tracker entry in flight and
+  // every dependent blocked behind it forever — pending_updates() never
+  // drained and the "abandoned" outcome was invisible in the stats.
+  core::DeploymentParams dp;
+  dp.framework = FrameworkKind::kCicero;
+  dp.seed = 12345;
+  dp.ack_timeout = sim::milliseconds(200);
+  dp.update_max_retries = 3;
+  auto dep = std::make_unique<core::Deployment>(net::build_pod(small_pod()), dp);
+  const auto flows = small_workload(dep->topology(), 15);
+  // 100% loss on everything touching one ToR — the node stays up (unlike
+  // set_node_down this is invisible to failure detectors), so updates
+  // targeting it genuinely retry to exhaustion.
+  const net::NodeIndex victim = dep->topology().host_tor(flows.front().src_host);
+  const sim::NodeId victim_node = dep->switch_at(victim).config().node;
+  dep->faults().set_node_loss(victim_node, 1.0);
+  dep->inject(flows);
+  dep->run(sim::seconds(120));
+  std::uint64_t abandoned = 0;
+  for (const auto id : dep->controller_ids()) {
+    abandoned += dep->controller(id).updates_abandoned();
+  }
+  EXPECT_GT(abandoned, 0u);                        // give-ups were recorded...
+  EXPECT_EQ(dep->pending_updates(), 0u);           // ...and stranded no dependents
+  EXPECT_LT(completed_count(*dep), flows.size());  // the blackholed flows really died
+}
+
 TEST(ChaosDeterminism, SameSeedBitIdenticalRun) {
   // Two runs with identical (workload seed, fault seed) must agree on
   // every observable counter: the loss draw is part of the simulation.

@@ -158,5 +158,72 @@ TEST(DependencyTracker, UpdateAccessor) {
   EXPECT_EQ(t.update(7).switch_node, 7u);
 }
 
+TEST(DependencyTracker, DependentsExportsReverseEdges) {
+  // 1 deps on 2, 2 deps on 3: the rdep export of 3 is {2}, of 2 is {1}.
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {3}), make(3, {})};
+  t.add(s);
+  EXPECT_EQ(t.dependents(3), (std::vector<UpdateId>{2}));
+  EXPECT_EQ(t.dependents(2), (std::vector<UpdateId>{1}));
+  EXPECT_TRUE(t.dependents(1).empty());
+  EXPECT_TRUE(t.dependents(42).empty());  // unknown id
+}
+
+TEST(DependencyTracker, DependentsDiamond) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2, 3}), make(2, {4}), make(3, {4}), make(4, {})};
+  t.add(s);
+  auto deps = t.dependents(4);
+  std::sort(deps.begin(), deps.end());
+  EXPECT_EQ(deps, (std::vector<UpdateId>{2, 3}));
+}
+
+TEST(DependencyTracker, AbandonRemovesTransitiveDependents) {
+  // Giving up on 3 strands 2 and 1 (blocked behind it) — abandon must
+  // retire all three so the tracker drains.
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {3}), make(3, {})};
+  t.add(s);
+  auto removed = t.abandon(3);
+  std::sort(removed.begin(), removed.end());
+  EXPECT_EQ(removed, (std::vector<UpdateId>{1, 2, 3}));
+  EXPECT_EQ(t.in_flight(), 0u);
+  EXPECT_EQ(t.blocked(), 0u);
+  EXPECT_TRUE(t.idle());
+}
+
+TEST(DependencyTracker, AbandonLeavesDisjointChainsAlone) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {}), make(11, {12}), make(12, {})};
+  t.add(s);
+  auto removed = t.abandon(2);
+  std::sort(removed.begin(), removed.end());
+  EXPECT_EQ(removed, (std::vector<UpdateId>{1, 2}));
+  // Chain B is untouched and still completes normally.
+  EXPECT_EQ(t.in_flight(), 1u);
+  EXPECT_EQ(t.blocked(), 1u);
+  EXPECT_EQ(t.complete(12), (std::vector<UpdateId>{11}));
+  t.complete(11);
+  EXPECT_TRUE(t.idle());
+}
+
+TEST(DependencyTracker, AbandonIsIdempotentAndSkipsCompleted) {
+  DependencyTracker t;
+  UpdateSchedule s;
+  s.updates = {make(1, {2}), make(2, {})};
+  t.add(s);
+  t.complete(2);  // 1 now in flight
+  auto removed = t.abandon(2);  // already completed: nothing to do
+  EXPECT_TRUE(removed.empty());
+  removed = t.abandon(1);
+  EXPECT_EQ(removed, (std::vector<UpdateId>{1}));
+  EXPECT_TRUE(t.abandon(1).empty());  // idempotent
+  EXPECT_TRUE(t.idle());
+}
+
 }  // namespace
 }  // namespace cicero::sched

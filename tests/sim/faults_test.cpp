@@ -82,6 +82,22 @@ TEST_F(FaultsTest, LinkLossOverridesUniformBothDirections) {
   EXPECT_EQ(received_[b_], 10);
 }
 
+TEST_F(FaultsTest, NodeLossAppliesToBothRolesAndYieldsToLinkRate) {
+  faults_->set_node_loss(b_, 1.0);  // everything touching b dies
+  blast(a_, b_, 50);
+  blast(b_, c_, 50);
+  blast(a_, c_, 50);  // b not involved
+  EXPECT_EQ(received_[b_], 0);
+  EXPECT_EQ(received_[c_], 50);
+  // A per-link rate overrides the node rate for that pair.
+  faults_->set_link_loss(a_, b_, 0.0);
+  blast(a_, b_, 20);
+  EXPECT_EQ(received_[b_], 20);
+  faults_->clear_loss();  // clears node rates too
+  blast(b_, c_, 10);
+  EXPECT_EQ(received_[c_], 60);
+}
+
 TEST_F(FaultsTest, DownNodeNeitherSendsNorReceives) {
   faults_->set_node_down(b_, true);
   EXPECT_TRUE(faults_->node_down(b_));

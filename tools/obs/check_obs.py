@@ -15,7 +15,7 @@ Two artifact kinds, auto-detected per file:
 * Run reports (``*.report.json`` as written by ``obs::RunReport``):
   schema ``cicero-run-report/v1`` with consistent histogram and CDF
   shapes (``counts`` has ``len(bounds) + 1`` entries, the last being the
-  overflow bucket), plus the ``critical_path`` (six-phase latency
+  overflow bucket), plus the ``critical_path`` (seven-phase latency
   attribution) and ``shards`` (parallel-engine utilization) sections
   when present.
 
@@ -29,7 +29,8 @@ import sys
 
 RUN_REPORT_SCHEMA = "cicero-run-report/v1"
 TRACE_PHASES = {"X", "i", "b", "e", "M", "s", "t", "f"}
-CRIT_PHASES = ("order", "dependency_wait", "sign", "propagate", "apply", "retransmit")
+CRIT_PHASES = ("order", "dependency_wait", "sign", "propagate", "peer_signal",
+               "apply", "retransmit")
 SHARD_INT_FIELDS = ("shard", "windows", "events", "stall_windows", "posts_in", "posts_out")
 
 
