@@ -2,7 +2,8 @@
 # Runs the crypto micro-benchmarks and records the results as JSON, then
 # the observability smoke pass: the obs-overhead guard, the Fig. 11a
 # bench (which emits a machine-readable run report), the scale smoke
-# bench, the decentralized-execution comparison bench, the schema
+# bench, the decentralized-execution comparison bench, the in-network
+# aggregation control-plane-size sweep, the schema
 # checker (tools/obs/check_obs.py) over the emitted
 # artifacts, and the perf gate (tools/obs/bench_diff.py) against the
 # committed baselines in bench/baselines/.
@@ -70,6 +71,13 @@ CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_decentralized" > /dev/nul
 
 echo "Validating decentralized run report"
 python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_decentralized.report.json"
+
+echo
+echo "Running bench_innet_cp_size -> $bench_out/BENCH_innet.report.json"
+CICERO_REPORT_DIR="$bench_out" "$build_dir/bench/bench_innet_cp_size" > /dev/null
+
+echo "Validating in-network aggregation run report"
+python3 "$repo_root/tools/obs/check_obs.py" "$bench_out/BENCH_innet.report.json"
 
 echo
 echo "Perf gate: bench_diff vs bench/baselines/"

@@ -51,6 +51,8 @@ Controller::Controller(sim::Simulator& simulator, sim::NetworkSim& network, Conf
     m_retransmits_ = m.counter("ctrl.update_retransmits");
     m_manifests_sent_ = m.counter("ctrl.manifests_sent");
     m_abandoned_ = m.counter("ctrl.updates_abandoned");
+    m_southbound_bytes_ = m.counter("ctrl.southbound_bytes");
+    m_agg_mismatch_ = m.counter("ctrl.agg_mismatch_reports");
     m_deps_released_ = m.counter("sched.updates_released");
     update_ack_ms_ = m.histogram("ctrl.update_ack_ms", obs::latency_buckets_ms());
   }
@@ -250,6 +252,17 @@ void Controller::process_event(const Event& e) {
     case EventKind::kAddController:
     case EventKind::kRemoveController:
       if (on_membership_) on_membership_(e);
+      break;
+    case EventKind::kAggMismatch:
+      // An aggregator switch saw conflicting replica digests for one
+      // update (in-network response comparison, DESIGN.md §16).  The
+      // honest quorum's bucket still aggregates on its own; the alarm is
+      // recorded so operators (and the Byzantine tests) can see the
+      // attempted corruption.
+      ++agg_mismatch_reports_;
+      m_agg_mismatch_.inc();
+      CICERO_LOG_WARN(kLog, "c%u: aggregator s%u reported conflicting update digests",
+                      config_.id, e.id.origin);
       break;
   }
 }
@@ -518,6 +531,16 @@ void Controller::dispatch_update(const sched::Update& update, const EventId& cau
         msg.partial.payload = {0x00};  // placeholder (cost-only runs)
       }
     }
+    const bool innet = config_.aggregation == AggregationMode::kInNetwork &&
+                       config_.framework == FrameworkKind::kCicero;
+    if (innet) {
+      const std::size_t rank = member_rank();
+      if (!retransmit && rank >= config_.quorum) return;  // silent on the fast path
+      ++updates_sent_;
+      m_updates_sent_.inc();
+      dispatch_innet(msg, uid, rank, retransmit);
+      return;
+    }
     ++updates_sent_;
     m_updates_sent_.inc();
 
@@ -553,9 +576,50 @@ void Controller::dispatch_update(const sched::Update& update, const EventId& cau
                                         config_.node, obs::kTidNet);
         }
       }
+      southbound_bytes_ += wire.size();
+      m_southbound_bytes_.inc(wire.size());
       net_.send(config_.node, sw_it->second, wire);
     }
   });
+}
+
+std::size_t Controller::member_rank() const {
+  for (std::size_t i = 0; i < config_.members.size(); ++i) {
+    if (config_.members[i].id == config_.id) return i;
+  }
+  return 0;
+}
+
+void Controller::dispatch_innet(const UpdateMsg& msg, sched::UpdateId uid, std::size_t rank,
+                                bool retransmit) {
+  if (config_.innet_aggregator == sim::kInvalidNode) return;
+  util::Bytes wire;
+  if (retransmit || rank == 0) {
+    // Body supplier (or escalated retransmission): the full update, so
+    // the aggregator has a bucket body to aggregate into even when every
+    // optimistic share was lost or the original supplier lied.
+    wire = msg.encode();
+  } else {
+    PartialShareMsg share;
+    share.update_id = uid;
+    share.digest = signing_digest64(update_signing_bytes(msg.update));
+    share.partial = msg.partial;
+    wire = share.encode();
+  }
+  // The partial-carrying hop to the aggregator switch is signing-phase
+  // traffic (like kCiceroAgg's partial hop); the single fan-out send the
+  // aggregator makes afterwards is the propagate phase.
+  if (obs::CritPath* cp = critpath()) {
+    cp->add_phase_bytes(retransmit ? obs::CritPhase::kRetransmit : obs::CritPhase::kSign,
+                        wire.size());
+  }
+  if (!retransmit && trace_leader()) {
+    config_.obs->trace.flow_start("flow", flow_track_id(uid), "update.send", config_.node,
+                                  obs::kTidNet);
+  }
+  southbound_bytes_ += wire.size();
+  m_southbound_bytes_.inc(wire.size());
+  net_.send(config_.node, config_.innet_aggregator, wire);
 }
 
 // ---------------------------------------------------------------------------
@@ -710,6 +774,8 @@ void Controller::send_manifest(const SegmentManifest& manifest, const EventId& c
                                       obs::kTidNet);
       }
     }
+    southbound_bytes_ += wire.size();
+    m_southbound_bytes_.inc(wire.size());
     net_.send(config_.node, sw_it->second, wire);
   });
 }
@@ -823,6 +889,8 @@ void Controller::on_peer_update(const UpdateMsg& m) {
         config_.obs->trace.flow_step("flow", flow_track_id(m.update.id), "update.resend",
                                      config_.node, obs::kTidNet);
       }
+      southbound_bytes_ += done->second.size();
+      m_southbound_bytes_.inc(done->second.size());
       net_.send(config_.node, sw_it->second, done->second);
     }
     return;
@@ -928,6 +996,8 @@ void Controller::on_peer_update(const UpdateMsg& m) {
           config_.obs->trace.flow_start("flow", flow_track_id(id), "update.send",
                                         config_.node, obs::kTidNet);
         }
+        southbound_bytes_ += wire.size();
+        m_southbound_bytes_.inc(wire.size());
         net_.send(config_.node, sw_it->second, wire);
       }
       agg_pending_.erase(it2);
@@ -1124,7 +1194,10 @@ void Controller::inject_rogue_update(net::NodeIndex switch_node, const sched::Up
     msg.partial = crypto::SimBlsScheme::instance().partial_sign(
         config_.share, update_signing_bytes(msg.update));
   }
-  net_.send(config_.node, sw_it->second, msg.encode());
+  const util::Bytes wire = msg.encode();
+  southbound_bytes_ += wire.size();
+  m_southbound_bytes_.inc(wire.size());
+  net_.send(config_.node, sw_it->second, wire);
 }
 
 }  // namespace cicero::core

@@ -79,6 +79,17 @@ class Controller {
     /// decentralized (one signed manifest per segment, switches sequence
     /// the chain in-band; incompatible with kCiceroAgg).
     ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
+    /// In-network aggregation (DESIGN.md §16): replicas address the
+    /// domain's designated aggregator *switch* instead of the target
+    /// switch.  On the optimistic first send only the lowest-ranked
+    /// replica ships the full update body; the next quorum-1 ranks ship
+    /// compact PartialShareMsgs and the rest stay silent — every replica
+    /// still arms its ack timer, and any retransmission escalates to the
+    /// full body, so liveness never depends on the optimistic cast.
+    AggregationMode aggregation = AggregationMode::kNone;
+    /// Sim address of the designated aggregator switch (kInNetwork only);
+    /// re-pointed by the Deployment when that switch crashes.
+    sim::NodeId innet_aggregator = sim::kInvalidNode;
     std::uint64_t nonce_seed = 0;  ///< per-controller FROST nonce stream
     bool real_crypto = true;
     bool sign_bft_messages = false;  ///< Schnorr on every BFT message
@@ -127,6 +138,10 @@ class Controller {
 
   void set_fault(ControllerFault fault) { fault_ = fault; }
 
+  /// Aggregator-switch failover (in-network aggregation): the Deployment
+  /// re-points every replica of the domain at the new designated switch.
+  void set_innet_aggregator(sim::NodeId node) { config_.innet_aggregator = node; }
+
   /// Hash-chained, signed log of every update this controller emitted
   /// (§7 future work: decision auditability); see core/audit.hpp.
   const AuditLog& audit() const { return audit_; }
@@ -159,6 +174,12 @@ class Controller {
   std::uint64_t updates_retransmitted() const { return updates_retransmitted_; }
   std::uint64_t manifests_sent() const { return manifests_sent_; }
   std::uint64_t updates_abandoned() const { return updates_abandoned_; }
+  /// Total bytes this controller sent southbound (controller -> switch,
+  /// all message kinds, retransmissions included) — the fig12a metric the
+  /// in-network offload is measured by.
+  std::uint64_t southbound_bytes() const { return southbound_bytes_; }
+  /// kAggMismatch alarms delivered through the domain's broadcast.
+  std::uint64_t agg_mismatch_reports() const { return agg_mismatch_reports_; }
 
  private:
   void rebuild_replica();
@@ -170,6 +191,11 @@ class Controller {
   void send_update(const sched::Update& update, const EventId& cause);
   void dispatch_update(const sched::Update& update, const EventId& cause,
                        bool retransmit = false);
+  /// In-network aggregation: rank-dependent send to the aggregator switch.
+  void dispatch_innet(const UpdateMsg& msg, sched::UpdateId uid, std::size_t rank,
+                      bool retransmit);
+  /// This replica's rank: position of our id in the sorted member list.
+  std::size_t member_rank() const;
   void arm_ack_timer(sched::UpdateId id, sim::SimTime delay);
   void on_ack(const AckMsg& ack);
   /// Decentralized execution: plan + ship every manifest of one schedule,
@@ -283,6 +309,8 @@ class Controller {
   std::uint64_t updates_retransmitted_ = 0;
   std::uint64_t manifests_sent_ = 0;
   std::uint64_t updates_abandoned_ = 0;
+  std::uint64_t southbound_bytes_ = 0;
+  std::uint64_t agg_mismatch_reports_ = 0;
 
   // Observability.  The async lifecycle tracks (event submit->order,
   // update release->sign->apply->ack) are emitted by the aggregator
@@ -313,6 +341,8 @@ class Controller {
   obs::Counter m_retransmits_;
   obs::Counter m_manifests_sent_;
   obs::Counter m_abandoned_;
+  obs::Counter m_southbound_bytes_;
+  obs::Counter m_agg_mismatch_;
   obs::Histogram update_ack_ms_;
   /// First-send instant per un-acked update; populated unconditionally
   /// (the retransmission path relies on it), observed into metrics only

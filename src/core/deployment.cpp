@@ -29,6 +29,24 @@ Deployment::Deployment(net::Topology topology, DeploymentParams params)
         "Deployment: decentralized execution aggregates manifests at the "
         "switch, which controller aggregation bypasses");
   }
+  if (params_.aggregation == AggregationMode::kInNetwork) {
+    if (params_.framework != FrameworkKind::kCicero) {
+      throw std::invalid_argument(
+          "Deployment: in-network aggregation extends the kCicero framework "
+          "(the baselines have no partials to aggregate; kCiceroAgg already "
+          "aggregates at a controller)");
+    }
+    if (params_.execution_mode != ExecutionMode::kControllerDriven) {
+      throw std::invalid_argument(
+          "Deployment: in-network aggregation is controller-driven only "
+          "(decentralized manifests already aggregate at their own switch)");
+    }
+    if (params_.backend != ThresholdBackend::kSimBls) {
+      throw std::invalid_argument(
+          "Deployment: in-network aggregation requires the kSimBls backend "
+          "(FROST's signing session needs a controller coordinator)");
+    }
+  }
   setup_parallel();
   if (psim_ == nullptr) {
     // The trace/log clocks read the sequential simulator; in parallel
@@ -172,6 +190,8 @@ void Deployment::build_nodes() {
     }
     cfg.real_crypto = params_.real_crypto;
     cfg.execution_mode = params_.execution_mode;
+    cfg.aggregation = params_.aggregation;
+    cfg.switch_directory = &switch_nodes_;
     cfg.pki = &pki_;
     cfg.applied_dedupe_window = params_.applied_dedupe_window;
     cfg.domain = d;
@@ -181,6 +201,14 @@ void Deployment::build_nodes() {
     runtime->add_applied_observer(
         [this, sw](const sched::Update& u) { on_switch_applied(sw, u); });
     switches_[sw] = std::move(runtime);
+  }
+
+  // Initial in-network aggregator designation (lowest topology index per
+  // domain).  Must precede controller construction: member_config reads it.
+  if (params_.aggregation == AggregationMode::kInNetwork) {
+    for (const net::DomainId d : topo_.domains()) {
+      innet_agg_switch_[d] = pick_innet_aggregator(d);
+    }
   }
 
   // Controllers (after switches and all planes exist, so the cross-domain
@@ -296,6 +324,13 @@ Controller::Config Deployment::member_config(const Plane& plane, std::uint32_t i
   cfg.bft_timeout = params_.bft_timeout;
   cfg.ack_timeout = params_.ack_timeout;
   cfg.update_max_retries = params_.update_max_retries;
+  cfg.aggregation = params_.aggregation;
+  if (params_.aggregation == AggregationMode::kInNetwork) {
+    const auto it = innet_agg_switch_.find(plane.domain);
+    if (it != innet_agg_switch_.end() && it->second != net::kNoNode) {
+      cfg.innet_aggregator = switch_nodes_.at(it->second);
+    }
+  }
   cfg.obs = obs_for_domain(plane.domain);
   return cfg;
 }
@@ -374,11 +409,52 @@ void Deployment::restore_link(net::NodeIndex a, net::NodeIndex b) {
 void Deployment::crash_switch(net::NodeIndex sw) {
   switches_.at(sw)->crash();
   faults_->set_node_down(switch_nodes_.at(sw), true);
+  if (params_.aggregation == AggregationMode::kInNetwork) {
+    update_innet_aggregator(topo_.node(sw).domain);
+  }
 }
 
 void Deployment::recover_switch(net::NodeIndex sw) {
   faults_->set_node_down(switch_nodes_.at(sw), false);
   switches_.at(sw)->recover();
+  if (params_.aggregation == AggregationMode::kInNetwork) {
+    update_innet_aggregator(topo_.node(sw).domain);
+  }
+}
+
+net::NodeIndex Deployment::innet_aggregator_switch(net::DomainId d) const {
+  const auto it = innet_agg_switch_.find(d);
+  return it == innet_agg_switch_.end() ? net::kNoNode : it->second;
+}
+
+net::NodeIndex Deployment::pick_innet_aggregator(net::DomainId d) const {
+  // switches_in_domain returns ascending topology indices, so the first
+  // live switch IS the deterministic designation.  Any switch can serve:
+  // the threshold signature, not the aggregator's identity, carries the
+  // update's authority (DESIGN.md §16).
+  for (const net::NodeIndex sw : topo_.switches_in_domain(d)) {
+    const auto it = switches_.find(sw);
+    if (it != switches_.end() && !it->second->down()) return sw;
+  }
+  return net::kNoNode;
+}
+
+void Deployment::update_innet_aggregator(net::DomainId d) {
+  const net::NodeIndex chosen = pick_innet_aggregator(d);
+  innet_agg_switch_[d] = chosen;
+  const sim::NodeId node =
+      chosen == net::kNoNode ? sim::kInvalidNode : switch_nodes_.at(chosen);
+  // Re-point every live replica of the domain's plane.  This models the
+  // management-plane routing change a real deployment would push; the
+  // replicas' ack timers cover any update in flight at the old
+  // aggregator (retransmissions escalate to full bodies, DESIGN.md §16).
+  const auto pit = planes_.find(d);
+  if (pit == planes_.end()) return;
+  for (const std::uint32_t id : pit->second.member_ids) {
+    if (removed_.count(id) != 0) continue;
+    const auto cit = controllers_.find(id);
+    if (cit != controllers_.end()) cit->second->set_innet_aggregator(node);
+  }
 }
 
 std::size_t Deployment::pending_updates() const {

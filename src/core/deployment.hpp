@@ -52,6 +52,12 @@ struct DeploymentParams {
   /// manifest and lets the switches sequence the chain in-band.
   /// Incompatible with kCiceroAgg (manifests aggregate at the switch).
   ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
+  /// Where threshold partials are combined (DESIGN.md §16): kInNetwork
+  /// designates one aggregator switch per domain (P4BFT-style offload —
+  /// replicas send one small message per update instead of one full copy
+  /// each).  Requires kCicero, kControllerDriven and the kSimBls backend
+  /// (FROST's signing session needs a controller coordinator).
+  AggregationMode aggregation = AggregationMode::kNone;
   std::size_t controllers_per_domain = 4;
   /// Switch-side duplicate-suppression window (SwitchRuntime::Config).
   std::size_t applied_dedupe_window = 4096;
@@ -175,9 +181,17 @@ class Deployment {
   void restore_link(net::NodeIndex a, net::NodeIndex b);
 
   /// Crashes a switch (§5.1): its runtime loses volatile state and the
-  /// fault injector drops all its traffic until `recover_switch`.
+  /// fault injector drops all its traffic until `recover_switch`.  Under
+  /// in-network aggregation, crashing (or recovering) the designated
+  /// aggregator re-designates deterministically and re-points the
+  /// domain's replicas (DESIGN.md §16 failover).
   void crash_switch(net::NodeIndex sw);
   void recover_switch(net::NodeIndex sw);
+
+  /// The domain's currently designated aggregator switch (kNoNode when
+  /// every switch is down), or kNoNode outside in-network mode.  Tests
+  /// and benches use this to aim chaos at the aggregator.
+  net::NodeIndex innet_aggregator_switch(net::DomainId d) const;
 
   /// Updates released or blocked but not yet completed, summed over every
   /// controller; the chaos suite asserts this drains to zero at
@@ -222,6 +236,11 @@ class Deployment {
   void run_membership_change(net::DomainId domain, const Event& e);
   void notify_switches(const Plane& plane);
   std::uint32_t plane_quorum(const Plane& plane) const;
+  /// In-network aggregation: deterministic designation rule — the lowest
+  /// topology index among the domain's non-crashed switches.
+  net::NodeIndex pick_innet_aggregator(net::DomainId d) const;
+  /// Recomputes the domain's designation and re-points its replicas.
+  void update_innet_aggregator(net::DomainId d);
 
   struct Placement2 {  ///< placement info for latency classification
     std::uint32_t dc = 0;
@@ -258,6 +277,9 @@ class Deployment {
   std::map<std::uint32_t, sim::NodeId> ctrl_nodes_;
   std::map<std::uint32_t, net::DomainId> ctrl_domain_;
   std::map<net::DomainId, Plane> planes_;
+  /// In-network aggregation: current designated aggregator switch per
+  /// domain (kNoNode when the whole domain is down).
+  std::map<net::DomainId, net::NodeIndex> innet_agg_switch_;
   std::map<sim::NodeId, Placement2> node_place_;
   std::uint32_t next_ctrl_id_ = 0;
   std::set<std::uint32_t> removed_;  ///< silenced ex-members (ids never reused)

@@ -26,6 +26,16 @@ const char* execution_mode_name(ExecutionMode mode) {
   return "?";
 }
 
+const char* aggregation_mode_name(AggregationMode mode) {
+  switch (mode) {
+    case AggregationMode::kNone:
+      return "framework-default";
+    case AggregationMode::kInNetwork:
+      return "in-network";
+  }
+  return "?";
+}
+
 std::vector<Capabilities> table2_rows() {
   // Rows mirror Table 2 of the paper; the final rows describe this
   // repository's implementations.

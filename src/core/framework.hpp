@@ -37,6 +37,23 @@ enum class ExecutionMode : std::uint8_t {
 
 const char* execution_mode_name(ExecutionMode mode);
 
+/// Where threshold partials are combined into the aggregate signature.
+/// `kNone` keeps the framework's own shape (switch-side collection under
+/// `kCicero`, controller-side under `kCiceroAgg`).  `kInNetwork` is the
+/// P4BFT-style offload: one designated aggregator switch per control
+/// domain collects the replicas' partials, compares response digests
+/// (matching-digest quorum before aggregation, mismatches reported via
+/// the signed-event path), aggregates, and fans the single signed update
+/// out to the target switch — so each replica sends one small message
+/// per update instead of one full copy per participating switch.
+/// Only meaningful with `kCicero` + `kControllerDriven` (§ DESIGN.md 16).
+enum class AggregationMode : std::uint8_t {
+  kNone = 0,       ///< aggregate where the framework says (switch or controller)
+  kInNetwork = 1,  ///< designated aggregator switch per domain (P4BFT-style)
+};
+
+const char* aggregation_mode_name(AggregationMode mode);
+
 /// One row of Table 2.
 struct Capabilities {
   std::string system;

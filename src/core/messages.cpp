@@ -49,7 +49,7 @@ std::optional<Event> Event::decode(const util::Bytes& wire) {
     e.id.origin = r.u32();
     e.id.seq = r.u64();
     const std::uint8_t kind = r.u8();
-    if (kind > static_cast<std::uint8_t>(EventKind::kRemoveController)) return std::nullopt;
+    if (kind > static_cast<std::uint8_t>(EventKind::kAggMismatch)) return std::nullopt;
     e.kind = static_cast<EventKind>(kind);
     e.match.src_host = r.u32();
     e.match.dst_host = r.u32();
@@ -81,6 +81,15 @@ util::Bytes update_signing_bytes(const sched::Update& update) {
   w.str("cicero/update");
   update.serialize(w);
   return w.take();
+}
+
+std::uint64_t signing_digest64(const util::Bytes& signing_bytes) {
+  const crypto::Digest d = crypto::Sha256::hash(signing_bytes);
+  std::uint64_t dig = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    dig |= static_cast<std::uint64_t>(d[i]) << (8 * i);
+  }
+  return dig;
 }
 
 util::Bytes UpdateMsg::encode() const {
@@ -132,6 +141,67 @@ std::optional<AggUpdateMsg> AggUpdateMsg::decode(const util::Bytes& wire) {
     util::Reader r(wire);
     if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kAggUpdate)) return std::nullopt;
     AggUpdateMsg m;
+    m.update = sched::Update::deserialize(r);
+    m.cause.origin = r.u32();
+    m.cause.seq = r.u64();
+    m.agg_sig = r.bytes();
+    r.expect_end();
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// In-network aggregation (P4BFT-style offload)
+// ---------------------------------------------------------------------------
+
+util::Bytes PartialShareMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kPartialShare));
+  w.u64(update_id);
+  w.u64(digest);
+  // No partial (defensive: never sent by the unauthenticated baselines)
+  // encodes as an empty string, same as UpdateMsg.
+  w.bytes(partial.signer == 0 ? util::Bytes{} : partial.to_bytes());
+  return w.take();
+}
+
+std::optional<PartialShareMsg> PartialShareMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kPartialShare)) return std::nullopt;
+    PartialShareMsg m;
+    m.update_id = r.u64();
+    m.digest = r.u64();
+    const util::Bytes pb = r.bytes();
+    r.expect_end();
+    if (!pb.empty()) {
+      auto p = crypto::PartialSignature::from_bytes(pb);
+      if (!p) return std::nullopt;
+      m.partial = std::move(*p);
+    }
+    return m;
+  } catch (const util::DeserializeError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes AggregatedUpdateMsg::encode() const {
+  util::Writer w;
+  w.u8(static_cast<std::uint8_t>(CoreMsgTag::kAggregatedUpdate));
+  update.serialize(w);
+  w.u32(cause.origin);
+  w.u64(cause.seq);
+  w.bytes(agg_sig);
+  return w.take();
+}
+
+std::optional<AggregatedUpdateMsg> AggregatedUpdateMsg::decode(const util::Bytes& wire) {
+  try {
+    util::Reader r(wire);
+    if (r.u8() != static_cast<std::uint8_t>(CoreMsgTag::kAggregatedUpdate)) return std::nullopt;
+    AggregatedUpdateMsg m;
     m.update = sched::Update::deserialize(r);
     m.cause.origin = r.u32();
     m.cause.seq = r.u64();

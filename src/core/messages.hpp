@@ -17,6 +17,8 @@
 //   0x07  AggregatorNotifyMsg  control plane -> switch
 //   0x0A  ManifestMsg    controller -> switch (decentralized execution)
 //   0x0B  SegmentDoneMsg switch -> switch (decentralized execution)
+//   0x0C  PartialShareMsg      controller -> aggregator switch (in-network)
+//   0x0D  AggregatedUpdateMsg  aggregator switch -> target switch (in-network)
 #pragma once
 
 #include <cstdint>
@@ -42,6 +44,8 @@ enum class CoreMsgTag : std::uint8_t {
   kFrostPartial = 0x09,  ///< signer -> aggregator: z_i for a session
   kManifest = 0x0A,      ///< controller -> switch: decentralized segment manifest
   kSegmentDone = 0x0B,   ///< switch -> switch: in-band completion signal
+  kPartialShare = 0x0C,  ///< controller -> aggregator switch: compact partial
+  kAggregatedUpdate = 0x0D,  ///< aggregator switch -> target switch: signed update
 };
 
 /// Which threshold scheme authenticates updates.  kSimBls is the paper's
@@ -70,6 +74,7 @@ enum class EventKind : std::uint8_t {
   kFlowTeardown = 1,  ///< flow completed: remove its route
   kAddController = 2, ///< membership: admit `member` to the control plane
   kRemoveController = 3,
+  kAggMismatch = 4,  ///< aggregator switch saw conflicting replica digests
 };
 
 /// A data-plane (or membership) event.  Signed by its origin's PKI key;
@@ -99,6 +104,11 @@ sched::UpdateId update_id_base(const EventId& cause);
 /// Canonical signed bytes of an update (what threshold partials cover).
 util::Bytes update_signing_bytes(const sched::Update& update);
 
+/// First 8 bytes (little-endian) of sha256(signing_bytes) — the compact
+/// response fingerprint PartialShareMsg carries and the in-network
+/// aggregator buckets by (P4BFT-style replica-response comparison).
+std::uint64_t signing_digest64(const util::Bytes& signing_bytes);
+
 /// Controller -> switch (switch aggregation) or -> aggregator.
 struct UpdateMsg {
   sched::Update update;
@@ -123,6 +133,34 @@ struct AggUpdateMsg {
 
   util::Bytes encode() const;
   static std::optional<AggUpdateMsg> decode(const util::Bytes& wire);
+};
+
+/// Controller replica -> aggregator switch (in-network aggregation): a
+/// compact threshold partial for an update whose body another replica
+/// supplies.  Carries only the update id, a truncated digest of the
+/// canonical signing bytes (the P4BFT-style response fingerprint the
+/// aggregator buckets and compares), and the partial itself — the whole
+/// point is that n-1 replicas avoid resending the full update body.
+struct PartialShareMsg {
+  sched::UpdateId update_id = 0;
+  std::uint64_t digest = 0;  ///< first 8 bytes of sha256(update_signing_bytes)
+  crypto::PartialSignature partial;
+
+  util::Bytes encode() const;
+  static std::optional<PartialShareMsg> decode(const util::Bytes& wire);
+};
+
+/// Aggregator switch -> target switch (in-network aggregation): the update
+/// body plus the aggregated threshold signature.  Same shape as
+/// AggUpdateMsg but a distinct tag, so fan-out accounting and the
+/// switch-to-switch hop stay distinguishable on the wire and in telemetry.
+struct AggregatedUpdateMsg {
+  sched::Update update;
+  EventId cause;
+  util::Bytes agg_sig;
+
+  util::Bytes encode() const;
+  static std::optional<AggregatedUpdateMsg> decode(const util::Bytes& wire);
 };
 
 /// Switch -> control plane acknowledgement that `update_id` was applied.

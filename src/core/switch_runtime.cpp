@@ -18,6 +18,8 @@ SwitchRuntime::SwitchRuntime(sim::Simulator& simulator, sim::NetworkSim& network
     m_events_ = m.counter("switch.events_emitted");
     m_applied_ = m.counter("switch.updates_applied");
     m_rejected_ = m.counter("switch.updates_rejected");
+    m_agg_fanouts_ = m.counter("switch.agg_fanouts");
+    m_agg_mismatches_ = m.counter("switch.agg_mismatches");
     update_apply_ms_ = m.histogram("switch.update_apply_ms", obs::latency_buckets_ms());
   }
 }
@@ -123,6 +125,13 @@ void SwitchRuntime::crash() {
   accepted_.clear();
   early_done_.clear();
   dec_applied_.clear();
+  // Aggregator role (in-network mode): buffered replica traffic and the
+  // fan-out cache die with the switch.  Liveness comes from the replicas'
+  // ack timers — their retransmissions escalate to full bodies and are
+  // routed to the domain's re-designated aggregator by the Deployment.
+  innet_pending_.clear();
+  innet_completed_.clear();
+  innet_completed_order_.clear();
 }
 
 void SwitchRuntime::recover() {
@@ -208,6 +217,24 @@ void SwitchRuntime::handle_message(sim::NodeId from, const util::Bytes& wire) {
       }
       break;
     }
+    case CoreMsgTag::kPartialShare: {
+      if (auto m = PartialShareMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle",
+                     [this, from, m = std::move(*m)] { on_partial_share(from, m); });
+      }
+      break;
+    }
+    case CoreMsgTag::kAggregatedUpdate: {
+      if (auto m = AggregatedUpdateMsg::decode(wire)) {
+        cpu_.execute(config_.costs.ctrl_msg_handling, "msg.handle", [this, from,
+                                                                     m = std::move(*m)] {
+          // Same dedupe/verify/apply path as controller-side aggregation:
+          // the only difference is who aggregated (a peer switch).
+          on_agg_update(from, AggUpdateMsg{m.update, m.cause, m.agg_sig});
+        });
+      }
+      break;
+    }
     case CoreMsgTag::kAggregatorNotify: {
       if (auto m = AggregatorNotifyMsg::decode(wire)) on_aggregator_notify(*m);
       break;
@@ -240,6 +267,13 @@ void SwitchRuntime::on_aggregator_notify(const AggregatorNotifyMsg& m) {
 
 void SwitchRuntime::on_update(sim::NodeId from, const UpdateMsg& m) {
   if (down_) return;
+  if (config_.aggregation == AggregationMode::kInNetwork &&
+      config_.framework == FrameworkKind::kCicero) {
+    // In-network mode the replicas only ever address the designated
+    // aggregator, so every body copy arriving here is aggregation input.
+    on_innet_body(from, m);
+    return;
+  }
   if (applied_ids_.count(m.update.id) != 0) {
     // Duplicate of an applied update: the sender retransmitted because it
     // never saw our ack (or its partial arrived after the quorum closed).
@@ -341,6 +375,196 @@ void SwitchRuntime::try_aggregate(sched::UpdateId id, const util::Bytes& digest)
     pending_.erase(it2);
     note_applied(id);
     apply_update(update);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// In-network aggregation (P4BFT-style offload; DESIGN.md §16)
+// ---------------------------------------------------------------------------
+
+bool SwitchRuntime::replay_innet(sched::UpdateId id, sim::NodeId from) {
+  const auto it = innet_completed_.find(id);
+  if (it == innet_completed_.end()) return false;
+  // The replica retransmitted because it never saw the target's ack —
+  // resend the cached fan-out; the target's own dedupe then re-acks the
+  // whole control plane.  When the target is this switch, the apply-side
+  // dedupe in on_update/on_partial_share already re-acked.
+  if (it->second.target_topo == config_.topo_index) return true;
+  ++agg_replays_;
+  const util::Bytes wire = it->second.wire;
+  const sim::NodeId to = it->second.target_node;
+  (void)from;
+  if (obs::CritPath* cp = critpath()) {
+    cp->add_phase_bytes(obs::CritPhase::kRetransmit, wire.size());
+  }
+  net_.send(config_.node, to, wire);
+  return true;
+}
+
+void SwitchRuntime::on_innet_body(sim::NodeId from, const UpdateMsg& m) {
+  if (replay_innet(m.update.id, from)) return;
+  if (applied_ids_.count(m.update.id) != 0) {
+    // Self-targeted update already applied (and evicted from the fan-out
+    // cache, or applied via an escalated duplicate): plain re-ack.
+    re_ack(m.update.id, from);
+    return;
+  }
+  if (m.partial.signer == 0) return;  // in-network updates must carry a partial
+  const util::Bytes signing_bytes = update_signing_bytes(m.update);
+  const std::uint64_t digest = signing_digest64(signing_bytes);
+
+  InnetPending& p = innet_pending_[m.update.id];
+  InnetBucket& bucket = p.buckets[digest];
+  if (!bucket.has_body) {
+    bucket.has_body = true;
+    bucket.update = m.update;
+    bucket.cause = m.cause;
+    bucket.signing_bytes = signing_bytes;
+  }
+  bucket.partials[m.partial.signer] = m.partial;
+  if (p.buckets.size() > 1) report_innet_mismatch(m.update.id, p);
+  try_aggregate_innet(m.update.id, digest);
+}
+
+void SwitchRuntime::on_partial_share(sim::NodeId from, const PartialShareMsg& m) {
+  if (down_) return;
+  if (config_.aggregation != AggregationMode::kInNetwork) return;
+  if (replay_innet(m.update_id, from)) return;
+  if (applied_ids_.count(m.update_id) != 0) {
+    re_ack(m.update_id, from);
+    return;
+  }
+  if (m.partial.signer == 0) return;
+  InnetPending& p = innet_pending_[m.update_id];
+  InnetBucket& bucket = p.buckets[m.digest];
+  bucket.partials[m.partial.signer] = m.partial;
+  if (p.buckets.size() > 1) report_innet_mismatch(m.update_id, p);
+  try_aggregate_innet(m.update_id, m.digest);
+}
+
+void SwitchRuntime::report_innet_mismatch(sched::UpdateId id, InnetPending& pending) {
+  if (pending.mismatch_reported) return;
+  pending.mismatch_reported = true;
+  ++agg_mismatches_;
+  m_agg_mismatches_.inc();
+  CICERO_LOG_WARN(kLog, "s%u: conflicting replica digests for update %llu",
+                  config_.topo_index, static_cast<unsigned long long>(id));
+  // P4BFT-style response comparison: conflicting digests mean at least one
+  // replica lied about this update.  Report through the signed-event path
+  // so the control plane sees an authenticated, attributable alarm; the
+  // honest quorum's bucket still aggregates on its own.
+  Event e;
+  e.id = EventId{config_.topo_index, ++event_seq_};
+  e.kind = EventKind::kAggMismatch;
+  for (const auto& [digest, bucket] : pending.buckets) {
+    if (!bucket.has_body) continue;
+    e.match = bucket.update.rule.match;
+    break;
+  }
+  emit_event(std::move(e));
+}
+
+void SwitchRuntime::try_aggregate_innet(sched::UpdateId id, std::uint64_t digest) {
+  auto it = innet_pending_.find(id);
+  if (it == innet_pending_.end()) return;
+  const auto bit = it->second.buckets.find(digest);
+  if (bit == it->second.buckets.end()) return;
+  InnetBucket& bucket = bit->second;
+  if (bucket.aggregating || !bucket.has_body || bucket.partials.size() < config_.quorum) {
+    return;
+  }
+  bucket.aggregating = true;
+
+  // Same cost shape as switch-side aggregation: per-share Lagrange work
+  // plus one threshold verification of the fresh aggregate.
+  const sim::SimTime cost =
+      config_.costs.aggregate_per_share * static_cast<sim::SimTime>(config_.quorum) +
+      config_.costs.threshold_verify;
+  cpu_.execute(cost, "aggregate", [this, id, digest] {
+    if (down_) return;
+    auto it2 = innet_pending_.find(id);
+    if (it2 == innet_pending_.end()) return;
+    const auto bit2 = it2->second.buckets.find(digest);
+    if (bit2 == it2->second.buckets.end()) return;
+    InnetBucket& bucket = bit2->second;
+    bucket.aggregating = false;
+    if (innet_completed_.count(id) != 0 || applied_ids_.count(id) != 0) return;
+
+    util::Bytes agg_sig{0x00};  // cost-model placeholder (like kCiceroAgg)
+    bool valid = true;
+    if (config_.real_crypto) {
+      // Quorum-subset exclusion, exactly as try_aggregate: up to f bad
+      // partials among >= 2f+1 received cannot block the honest bucket.
+      const auto& scheme = crypto::SimBlsScheme::instance();
+      std::vector<crypto::PartialSignature> all;
+      all.reserve(bucket.partials.size());
+      for (const auto& [idx, part] : bucket.partials) all.push_back(part);
+      valid = false;
+      for (std::size_t skip = 0; skip <= all.size() && !valid; ++skip) {
+        std::vector<crypto::PartialSignature> subset;
+        for (std::size_t i = 0; i < all.size(); ++i) {
+          if (skip != 0 && i == skip - 1) continue;  // skip==0: no exclusion
+          subset.push_back(all[i]);
+        }
+        if (subset.size() < config_.quorum) continue;
+        const auto agg = scheme.aggregate(bucket.signing_bytes, subset, config_.quorum);
+        if (agg && scheme.verify(config_.group_pk, bucket.signing_bytes, *agg)) {
+          agg_sig = *agg;
+          valid = true;
+        }
+      }
+    }
+    if (!valid) {
+      ++updates_rejected_;
+      m_rejected_.inc();
+      CICERO_LOG_WARN(kLog, "s%u: in-network aggregate verification failed for update %llu",
+                      config_.topo_index, static_cast<unsigned long long>(id));
+      return;
+    }
+
+    AggregatedUpdateMsg out;
+    out.update = bucket.update;
+    out.cause = bucket.cause;
+    out.agg_sig = std::move(agg_sig);
+    const util::Bytes wire = out.encode();
+    innet_pending_.erase(it2);
+
+    // Cache the fan-out for idempotent replay; bounded like the apply-side
+    // dedupe window (retransmission windows are short).
+    const auto dir = config_.switch_directory;
+    const sim::NodeId target =
+        dir != nullptr && dir->count(out.update.switch_node) != 0
+            ? dir->at(out.update.switch_node)
+            : sim::kInvalidNode;
+    innet_completed_[id] = InnetCompleted{wire, out.update.switch_node, target};
+    innet_completed_order_.push_back(id);
+    while (innet_completed_order_.size() > config_.applied_dedupe_window) {
+      innet_completed_.erase(innet_completed_order_.front());
+      innet_completed_order_.pop_front();
+    }
+
+    ++agg_fanouts_;
+    m_agg_fanouts_.inc();
+    // The aggregate signature is born here, so the sign->propagate
+    // boundary of the update's critical path is stamped at this switch
+    // (the replicas deliberately do not stamp it in in-network mode).
+    if (obs::CritPath* cp = critpath()) {
+      cp->update_signed(id, sim_.now());
+      cp->add_phase_bytes(obs::CritPhase::kPropagate, wire.size());
+    }
+    if (tracing()) {
+      config_.obs->trace.flow_step("flow", flow_track_id(id), "update.agg_fanout",
+                                   config_.node, obs::kTidMain);
+    }
+    if (out.update.switch_node == config_.topo_index) {
+      // The aggregator is itself the target: skip the network hop (and
+      // re-verifying a signature this switch just produced).
+      note_applied(id);
+      apply_update(out.update);
+      return;
+    }
+    if (target == sim::kInvalidNode) return;  // no directory: nothing to fan out to
+    net_.send(config_.node, target, wire);
   });
 }
 

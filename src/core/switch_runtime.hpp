@@ -39,9 +39,19 @@ class SwitchRuntime {
     sim::NodeId node = sim::kInvalidNode;      ///< network endpoint
     FrameworkKind framework = FrameworkKind::kCicero;
     ExecutionMode execution_mode = ExecutionMode::kControllerDriven;
+    /// In-network aggregation (DESIGN.md §16): when kInNetwork, every
+    /// switch can act as its domain's designated aggregator — collecting
+    /// replica bodies/partials, comparing digests P4BFT-style and fanning
+    /// the single aggregated update out to the target switch.  Which
+    /// switch actually receives the replicas' traffic is pure routing,
+    /// chosen (and re-chosen on crash) by the Deployment.
+    AggregationMode aggregation = AggregationMode::kNone;
     /// Peer public keys for SegmentDone verification (decentralized mode);
     /// owned by the Deployment, outlives every switch.
     const PkiDirectory* pki = nullptr;
+    /// Topology index -> sim address of every switch, for the aggregator
+    /// fan-out hop (in-network aggregation only); owned by the Deployment.
+    const std::map<net::NodeIndex, sim::NodeId>* switch_directory = nullptr;
     /// Bound on the duplicate-suppression window: how many recently applied
     /// update ids the switch remembers (§5.1 idempotence).  Retransmission
     /// windows are short — a few ack-timeout doublings — so a few thousand
@@ -121,6 +131,15 @@ class SwitchRuntime {
   /// Decentralized mode: in-band SegmentDone signals sent / received.
   std::uint64_t peer_signals_sent() const { return peer_signals_sent_; }
   std::uint64_t peer_signals_received() const { return peer_signals_received_; }
+  /// In-network aggregation: aggregated updates this switch fanned out as
+  /// the designated aggregator (first sends; replays count separately).
+  std::uint64_t agg_fanouts() const { return agg_fanouts_; }
+  /// In-network aggregation: cached fan-outs replayed for retransmitted
+  /// replica traffic (idempotent duplicate handling at the aggregator).
+  std::uint64_t agg_replays() const { return agg_replays_; }
+  /// In-network aggregation: conflicting-digest groups reported via the
+  /// signed-event path (one per update id, P4BFT response comparison).
+  std::uint64_t agg_mismatches() const { return agg_mismatches_; }
   /// Current size of the bounded duplicate-suppression set (tests).
   std::size_t applied_dedupe_size() const { return applied_ids_.size(); }
 
@@ -164,11 +183,47 @@ class SwitchRuntime {
     bool sink = false;
   };
 
+  // In-network aggregation (DESIGN.md §16): the designated aggregator
+  // buffers one full body (from the lowest-ranked replica) plus compact
+  // partial shares, bucketed by the truncated digest of the canonical
+  // signing bytes so conflicting replica responses can never merge.
+  struct InnetBucket {
+    bool has_body = false;
+    sched::Update update;
+    EventId cause;
+    util::Bytes signing_bytes;
+    std::map<crypto::ShareIndex, crypto::PartialSignature> partials;
+    bool aggregating = false;
+  };
+  struct InnetPending {
+    std::map<std::uint64_t, InnetBucket> buckets;  ///< truncated digest -> bucket
+    bool mismatch_reported = false;
+  };
+  /// Completed aggregation, cached for idempotent replay while the id
+  /// stays inside the dedupe window (a replica retransmitting means the
+  /// target's ack got lost — resend the fan-out, not a fresh aggregate).
+  struct InnetCompleted {
+    util::Bytes wire;  ///< encoded AggregatedUpdateMsg
+    net::NodeIndex target_topo = net::kNoNode;
+    sim::NodeId target_node = sim::kInvalidNode;
+  };
+
   void emit_event(Event e);
   void emit_flow_request(const net::FlowMatch& match, double reserved_bps,
                          std::uint32_t retries_left);
   void on_update(sim::NodeId from, const UpdateMsg& m);
   void on_agg_update(sim::NodeId from, const AggUpdateMsg& m);
+  /// Aggregator role: a full update body from a replica (in-network mode).
+  void on_innet_body(sim::NodeId from, const UpdateMsg& m);
+  /// Aggregator role: a compact partial share from a replica.
+  void on_partial_share(sim::NodeId from, const PartialShareMsg& m);
+  /// Quorum check + aggregate + fan-out for one digest bucket.
+  void try_aggregate_innet(sched::UpdateId id, std::uint64_t digest);
+  /// Replays the cached fan-out for a duplicate of a completed id; returns
+  /// false when the id is not in the completed cache.
+  bool replay_innet(sched::UpdateId id, sim::NodeId from);
+  /// One signed kAggMismatch event per update id with conflicting buckets.
+  void report_innet_mismatch(sched::UpdateId id, InnetPending& pending);
   void on_aggregator_notify(const AggregatorNotifyMsg& m);
   void try_aggregate(sched::UpdateId id, const util::Bytes& digest);
   void on_manifest(sim::NodeId from, const ManifestMsg& m);
@@ -210,6 +265,14 @@ class SwitchRuntime {
   std::uint64_t crashes_ = 0;
   std::uint64_t peer_signals_sent_ = 0;
   std::uint64_t peer_signals_received_ = 0;
+  std::uint64_t agg_fanouts_ = 0;
+  std::uint64_t agg_replays_ = 0;
+  std::uint64_t agg_mismatches_ = 0;
+
+  // In-network aggregation state (aggregator role only).
+  std::map<sched::UpdateId, InnetPending> innet_pending_;
+  std::map<sched::UpdateId, InnetCompleted> innet_completed_;
+  std::deque<sched::UpdateId> innet_completed_order_;
 
   // Decentralized mode state.
   std::map<sched::UpdateId, PendingManifest> pending_manifests_;
@@ -242,6 +305,8 @@ class SwitchRuntime {
   obs::Counter m_events_;
   obs::Counter m_applied_;
   obs::Counter m_rejected_;
+  obs::Counter m_agg_fanouts_;
+  obs::Counter m_agg_mismatches_;
   obs::Histogram update_apply_ms_;
   /// update id -> first receipt time (metrics runs only).
   std::map<sched::UpdateId, sim::SimTime> first_rx_;

@@ -192,6 +192,63 @@ TEST(ChaosDeterminism, SameSeedBitIdenticalRun) {
   EXPECT_EQ(run(), run());
 }
 
+TEST(ChaosInNetwork, AggregatorCrashMidAggregationUnderLoss) {
+  // The in-network offload's worst case: 10% uniform loss AND the
+  // designated aggregator switch crashing while partial shares and
+  // cached fan-outs are in flight (its pending buckets and replay cache
+  // are volatile — both die with it).  Replicas re-point at the next
+  // designation, ack timers escalate the compact fast path to full
+  // bodies, and every flow must still complete with every tracker
+  // drained.
+  core::DeploymentParams dp;
+  dp.framework = FrameworkKind::kCicero;
+  dp.aggregation = core::AggregationMode::kInNetwork;
+  dp.seed = 12345;
+  auto dep = std::make_unique<core::Deployment>(net::build_pod(small_pod()), dp);
+  dep->faults().set_uniform_loss(0.10);
+  const net::NodeIndex agg = dep->innet_aggregator_switch(0);
+  ASSERT_NE(agg, net::kNoNode);
+  dep->simulator().at(sim::milliseconds(60), [&dep, agg] { dep->crash_switch(agg); });
+  dep->simulator().at(sim::seconds(20), [&dep, agg] { dep->recover_switch(agg); });
+  const auto flows = small_workload(dep->topology(), 20);
+  dep->inject(flows);
+  dep->run(sim::seconds(180));
+  EXPECT_EQ(dep->switch_at(agg).crashes(), 1u);
+  EXPECT_EQ(completed_count(*dep), flows.size());
+  EXPECT_EQ(dep->pending_updates(), 0u);
+  EXPECT_GT(total_retransmits(*dep), 0u);  // loss + crash really bit
+}
+
+TEST(ChaosInNetwork, AggregatorCrashRunIsBitIdentical) {
+  // Same (workload seed, fault seed, crash schedule) twice: the failover
+  // path is inside the simulation, so every observable counter must
+  // agree bit-for-bit.
+  auto run = [] {
+    core::DeploymentParams dp;
+    dp.framework = FrameworkKind::kCicero;
+    dp.aggregation = core::AggregationMode::kInNetwork;
+    dp.seed = 777;
+    auto dep = std::make_unique<core::Deployment>(net::build_pod(small_pod()), dp);
+    dep->faults().set_uniform_loss(0.10);
+    const net::NodeIndex agg = dep->innet_aggregator_switch(0);
+    dep->simulator().at(sim::milliseconds(60), [&dep, agg] { dep->crash_switch(agg); });
+    dep->simulator().at(sim::seconds(20), [&dep, agg] { dep->recover_switch(agg); });
+    const auto flows = small_workload(dep->topology(), 15);
+    dep->inject(flows);
+    dep->run(sim::seconds(180));
+    std::uint64_t fanouts = 0, replays = 0;
+    for (const net::NodeIndex sw : dep->topology().switches()) {
+      fanouts += dep->switch_at(sw).agg_fanouts();
+      replays += dep->switch_at(sw).agg_replays();
+    }
+    return std::tuple<std::uint64_t, std::uint64_t, std::size_t, std::uint64_t,
+                      std::uint64_t, std::uint64_t>{
+        dep->network().messages_sent(), dep->faults().dropped_total(),
+        completed_count(*dep), total_retransmits(*dep), fanouts, replays};
+  };
+  EXPECT_EQ(run(), run());
+}
+
 TEST(ChaosDeterminism, DifferentSeedsSameOutcome) {
   // Different fault seeds lose different messages, but the protocol's
   // guarantee — every flow completes, every tracker drains — must hold

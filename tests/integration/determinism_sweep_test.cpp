@@ -22,9 +22,12 @@ using core::Deployment;
 using core::DeploymentParams;
 using core::FrameworkKind;
 
-std::unique_ptr<Deployment> seeded_deployment(net::Topology topo, std::uint64_t seed) {
+std::unique_ptr<Deployment> seeded_deployment(
+    net::Topology topo, std::uint64_t seed,
+    core::AggregationMode agg = core::AggregationMode::kNone) {
   DeploymentParams dp;
   dp.framework = FrameworkKind::kCicero;
+  dp.aggregation = agg;
   dp.controllers_per_domain = 4;
   dp.real_crypto = false;
   dp.seed = seed;
@@ -62,6 +65,19 @@ std::string run_scale(std::uint64_t seed) {
   return report_json(*dep, seed);
 }
 
+/// In-network scenario: the aggregation offload under the same 10 %
+/// loss — partial-share fast path, ack-timeout escalation and fan-out
+/// replay all draw from the seeded streams.
+std::string run_innet(std::uint64_t seed) {
+  auto dep = seeded_deployment(net::build_pod(testing::small_pod()), seed,
+                               core::AggregationMode::kInNetwork);
+  dep->faults().set_uniform_loss(0.10);
+  const auto flows = testing::small_workload(dep->topology(), 10);
+  dep->inject(flows);
+  dep->run(sim::seconds(90));
+  return report_json(*dep, seed);
+}
+
 TEST(DeterminismSweep, ChaosScenarioBitIdenticalAcrossEightSeeds) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     const std::string first = run_chaos(seed);
@@ -82,6 +98,15 @@ TEST(DeterminismSweep, ScaleScenarioBitIdenticalAcrossEightSeeds) {
     // this suite would pass vacuously with the seed being ignored.
     if (!previous.empty()) EXPECT_NE(first, previous) << "seed " << seed << " ignored";
     previous = first;
+  }
+}
+
+TEST(DeterminismSweep, InNetworkScenarioBitIdenticalAcrossEightSeeds) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const std::string first = run_innet(seed);
+    const std::string second = run_innet(seed);
+    ASSERT_FALSE(first.empty());
+    ASSERT_EQ(first, second) << "in-network run report diverged for seed " << seed;
   }
 }
 

@@ -37,9 +37,12 @@ struct ScopedHashSalt {
   ~ScopedHashSalt() { util::set_hash_salt(0); }
 };
 
-std::unique_ptr<Deployment> seeded_deployment(net::Topology topo, std::uint64_t seed) {
+std::unique_ptr<Deployment> seeded_deployment(
+    net::Topology topo, std::uint64_t seed,
+    core::AggregationMode agg = core::AggregationMode::kNone) {
   DeploymentParams dp;
   dp.framework = FrameworkKind::kCicero;
+  dp.aggregation = agg;
   dp.controllers_per_domain = 4;
   dp.real_crypto = false;
   dp.seed = seed;
@@ -81,6 +84,20 @@ std::string run_scale(std::uint64_t seed, std::uint64_t salt) {
   return report_json(*dep, seed);
 }
 
+/// In-network scenario under `salt`: the aggregator switch's pending
+/// buckets and replay cache are keyed maps — their placement must never
+/// leak into fan-out order or the report.
+std::string run_innet(std::uint64_t seed, std::uint64_t salt) {
+  ScopedHashSalt guard(salt);
+  auto dep = seeded_deployment(net::build_pod(testing::small_pod()), seed,
+                               core::AggregationMode::kInNetwork);
+  dep->faults().set_uniform_loss(0.10);
+  const auto flows = testing::small_workload(dep->topology(), 10);
+  dep->inject(flows);
+  dep->run(sim::seconds(90));
+  return report_json(*dep, seed);
+}
+
 TEST(HashSaltSweep, ChaosScenarioBitIdenticalAcrossSalts) {
   for (std::uint64_t seed = 1; seed <= 3; ++seed) {
     const std::string base = run_chaos(seed, 0);
@@ -98,6 +115,16 @@ TEST(HashSaltSweep, ScaleScenarioBitIdenticalAcrossSalts) {
     ASSERT_FALSE(base.empty());
     ASSERT_EQ(base, salted)
         << "scale run report depends on hash placement order (seed " << seed << ")";
+  }
+}
+
+TEST(HashSaltSweep, InNetworkScenarioBitIdenticalAcrossSalts) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const std::string base = run_innet(seed, 0);
+    const std::string salted = run_innet(seed, kAltSalt);
+    ASSERT_FALSE(base.empty());
+    ASSERT_EQ(base, salted)
+        << "in-network run report depends on hash placement order (seed " << seed << ")";
   }
 }
 

@@ -30,6 +30,9 @@ def main() -> int:
                     metavar="PREFIX=PCT", help="line-coverage floor for a directory prefix")
     ap.add_argument("--hard", action="store_true",
                     help="exit non-zero on shortfall (default: warn only)")
+    ap.add_argument("--suggest-margin", type=float, default=None, metavar="PCT",
+                    help="also print ratchet suggestions: actual minus PCT, "
+                         "rounded down to an integer, per floored prefix")
     args = ap.parse_args()
 
     with open(args.report, encoding="utf-8") as f:
@@ -59,6 +62,9 @@ def main() -> int:
             shortfalls.append(f"{prefix}: no lines matched (path mismatch?)")
         elif pct < floor:
             shortfalls.append(f"{prefix}: {pct:.1f}% < floor {floor:.1f}%")
+        if args.suggest_margin is not None and total > 0:
+            suggested = max(0, int(pct - args.suggest_margin))
+            print(f"  ratchet suggestion: --floor {prefix}={suggested}")
 
     if shortfalls:
         for s in shortfalls:
